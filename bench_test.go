@@ -1,0 +1,347 @@
+// Package noelle's root benchmark harness regenerates every table and
+// figure of the paper's evaluation (see DESIGN.md's per-experiment index).
+// Each benchmark prints the same rows/series the paper reports; run
+//
+//	go test -bench=. -benchmem
+//
+// or `go run noelle/cmd/noelle-eval` for the plain-text artifacts.
+// EXPERIMENTS.md records paper-reported vs measured values.
+package noelle
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"noelle/internal/alias"
+	"noelle/internal/bench"
+	"noelle/internal/core"
+	"noelle/internal/eval"
+	"noelle/internal/ir"
+	"noelle/internal/machine"
+	"noelle/internal/pdg"
+	"noelle/internal/profiler"
+	"noelle/internal/tools/helix"
+)
+
+// Each artifact is printed once per `go test -bench` invocation.
+var printOnce sync.Map
+
+func emitOnce(b *testing.B, key, text string) {
+	b.Helper()
+	if _, dup := printOnce.LoadOrStore(key, true); !dup {
+		fmt.Println(text)
+	}
+}
+
+// BenchmarkTable1Abstractions regenerates Table 1 (E1).
+func BenchmarkTable1Abstractions(b *testing.B) {
+	var rows []eval.InventoryRow
+	for i := 0; i < b.N; i++ {
+		rows = eval.Table1Abstractions()
+	}
+	emitOnce(b, "t1", eval.FormatInventory("Table 1: NOELLE abstractions (this repo)", rows))
+}
+
+// BenchmarkTable2Tools regenerates Table 2 (E2).
+func BenchmarkTable2Tools(b *testing.B) {
+	var rows []eval.InventoryRow
+	for i := 0; i < b.N; i++ {
+		rows = eval.Table2Tools()
+	}
+	emitOnce(b, "t2", eval.FormatInventory("Table 2: NOELLE tools (this repo)", rows))
+}
+
+// BenchmarkTable3CustomTools regenerates Table 3 (E3).
+func BenchmarkTable3CustomTools(b *testing.B) {
+	var rows []eval.Table3Row
+	for i := 0; i < b.N; i++ {
+		rows = eval.Table3CustomTools()
+	}
+	emitOnce(b, "t3", eval.FormatTable3(rows))
+}
+
+// BenchmarkTable4UsageMatrix regenerates Table 4 (E4).
+func BenchmarkTable4UsageMatrix(b *testing.B) {
+	var rows []eval.Table4Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.Table4UsageMatrix()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	emitOnce(b, "t4", eval.FormatTable4(rows))
+}
+
+// BenchmarkFigure3Dependences regenerates Figure 3 (E5).
+func BenchmarkFigure3Dependences(b *testing.B) {
+	var rows []eval.Fig3Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.Figure3Dependences()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	emitOnce(b, "f3", eval.FormatFigure3(rows))
+}
+
+// BenchmarkFigure4Invariants regenerates Figure 4 (E6).
+func BenchmarkFigure4Invariants(b *testing.B) {
+	var rows []eval.Fig4Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.Figure4Invariants()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	emitOnce(b, "f4", eval.FormatFigure4(rows))
+}
+
+// BenchmarkGoverningIVs regenerates the Section 4.3 counts (E7).
+func BenchmarkGoverningIVs(b *testing.B) {
+	var g eval.GovIVResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		g, err = eval.GoverningIVs()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	emitOnce(b, "goviv", fmt.Sprintf(
+		"Section 4.3: governing IVs across %d loops: LLVM-style %d, NOELLE %d (paper: 11 vs 385)",
+		g.Loops, g.LLVMTotal, g.NoelleTotal))
+}
+
+// BenchmarkFigure5Speedups regenerates Figure 5 (E8).
+func BenchmarkFigure5Speedups(b *testing.B) {
+	var rows []eval.Fig5Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.Figure5Speedups([]bench.Suite{bench.PARSEC, bench.MiBench}, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	emitOnce(b, "f5", eval.FormatFigure5("Figure 5: PARSEC + MiBench program speedups", rows, 12))
+}
+
+// BenchmarkSPECSpeedups regenerates the Section 4.4 SPEC study (E9).
+func BenchmarkSPECSpeedups(b *testing.B) {
+	var rows []eval.Fig5Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.Figure5Speedups([]bench.Suite{bench.SPEC}, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	emitOnce(b, "spec", eval.FormatFigure5("Section 4.4: SPEC CPU2017 program speedups", rows, 12))
+}
+
+// BenchmarkDeadFunctionElimination regenerates the Section 4.5 study (E10).
+func BenchmarkDeadFunctionElimination(b *testing.B) {
+	var rows []eval.DeadRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.DeadFunctionStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	emitOnce(b, "dead", eval.FormatDeadStudy(rows))
+}
+
+// BenchmarkInvariantAlgorithms contrasts Algorithm 1 and Algorithm 2
+// directly (E11): same corpus, both detectors, wall-clock included.
+func BenchmarkInvariantAlgorithms(b *testing.B) {
+	var rows []eval.Fig4Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.Figure4Invariants()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	totL, totN := 0, 0
+	for _, r := range rows {
+		totL += r.LLVMAbs
+		totN += r.NoelleAbs
+	}
+	emitOnce(b, "inv-alg", fmt.Sprintf(
+		"Algorithms 1 vs 2: low-level %d invariants, PDG-powered %d (x%.2f)",
+		totL, totN, float64(totN)/float64(max(totL, 1))))
+}
+
+// ---- ablations (DESIGN.md "Design choices worth ablating") ----
+
+// BenchmarkAblationDemandDriven measures what demand-driven construction
+// saves: loading the layer and asking for nothing vs eagerly materializing
+// every abstraction for every function.
+func BenchmarkAblationDemandDriven(b *testing.B) {
+	bm, err := bench.ByName("streamcluster")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := bm.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("load-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = core.New(m, core.DefaultOptions())
+		}
+	})
+	b.Run("eager-all", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := core.New(m, core.DefaultOptions())
+			n.CallGraph()
+			for _, f := range m.Functions {
+				if f.IsDeclaration() {
+					continue
+				}
+				n.FunctionPDG(f)
+				for _, node := range n.Forest(f).Nodes() {
+					n.Loop(node.LS)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationAliasStacks measures PDG memory-dependence precision
+// and cost per alias stack (type-basic only, Andersen only, combined).
+func BenchmarkAblationAliasStacks(b *testing.B) {
+	bm, err := bench.ByName("swaptions")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := bm.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, mk func() *pdg.Builder) {
+		disproved, total := 0, 0
+		for i := 0; i < b.N; i++ {
+			builder := mk()
+			disproved, total = 0, 0
+			for _, f := range m.Functions {
+				if f.IsDeclaration() {
+					continue
+				}
+				t, d := builder.PotentialMemoryPairs(f)
+				total += t
+				disproved += d
+			}
+		}
+		b.ReportMetric(100*float64(disproved)/float64(max(total, 1)), "%disproved")
+	}
+	b.Run("type-basic", func(b *testing.B) {
+		run(b, func() *pdg.Builder { return pdg.NewBaselineBuilder(m) })
+	})
+	b.Run("andersen", func(b *testing.B) {
+		run(b, func() *pdg.Builder {
+			pt := alias.NewPointsTo(m)
+			return &pdg.Builder{Mod: m, AA: alias.AndersenAA{PT: pt}, PT: pt}
+		})
+	})
+	b.Run("combined", func(b *testing.B) {
+		run(b, func() *pdg.Builder { return pdg.NewBuilder(m) })
+	})
+}
+
+// BenchmarkAblationHelixSched measures the SCD header-shrinking pass's
+// effect on HELIX's simulated time (plans with and without it).
+func BenchmarkAblationHelixSched(b *testing.B) {
+	bm, err := bench.ByName("rawcaudio")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, optimized := range []bool{false, true} {
+		name := "sched-off"
+		if optimized {
+			name = "sched-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var par int64
+			for i := 0; i < b.N; i++ {
+				m, err := bm.Compile()
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts := core.DefaultOptions()
+				opts.MinHotness = 0
+				n := core.New(m, opts)
+				res := helix.Run(n, optimized)
+				par = 0
+				for _, p := range res.Plans {
+					_, pp, err := helix.Simulate(n, p, 12)
+					if err != nil {
+						b.Fatal(err)
+					}
+					par += pp
+				}
+			}
+			b.ReportMetric(float64(par), "sim-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationChunking sweeps DOALL's chunk size (the IVS use case).
+func BenchmarkAblationChunking(b *testing.B) {
+	bm, err := bench.ByName("bitcnts")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := bm.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof, err := profiler.Collect(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof.Embed()
+	opts := core.DefaultOptions()
+	opts.MinHotness = 0
+	n := core.New(m, opts)
+	cfg := machine.DefaultConfig(n.Arch(), 12)
+
+	// Hot loop: the popcount reduction in main.
+	var invs []*machine.Invocation
+	for _, ls := range n.HotLoops() {
+		if ls.Fn.Nam != "main" {
+			continue
+		}
+		iv, err := machine.AttributeLoopCosts(n.Mod, ls.Nat, map[*ir.Instr]int{}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(iv) > 0 && machine.SequentialCycles(iv) > machine.SequentialCycles(invs) {
+			invs = iv
+		}
+	}
+	if len(invs) == 0 {
+		b.Fatal("no hot loop found")
+	}
+	for _, chunk := range []int{1, 4, 8, 32, 128} {
+		b.Run(fmt.Sprintf("chunk-%d", chunk), func(b *testing.B) {
+			var par int64
+			for i := 0; i < b.N; i++ {
+				par = machine.SimulateAll(invs, func(inv *machine.Invocation) int64 {
+					return machine.SimulateDOALL(inv, cfg, chunk)
+				})
+			}
+			b.ReportMetric(float64(par), "sim-cycles")
+		})
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

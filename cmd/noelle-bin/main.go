@@ -1,0 +1,51 @@
+// noelle-bin produces the runnable artifact from an IR file and executes
+// it (paper Table 2). The backend of this reproduction is the IR
+// interpreter, so "generating the binary" means validating the module,
+// honouring its embedded link options, and running it; -emit writes the
+// final IR image instead of executing.
+//
+// Usage: noelle-bin whole.nir [-emit out.nir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"noelle/internal/interp"
+	"noelle/internal/ir"
+	"noelle/internal/toolio"
+)
+
+func main() {
+	emit := flag.String("emit", "", "write the executable IR image instead of running")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: noelle-bin whole.nir")
+		os.Exit(2)
+	}
+	m, err := toolio.ReadModule(flag.Arg(0))
+	if err != nil {
+		toolio.Fatal(err)
+	}
+	if err := ir.Verify(m); err != nil {
+		toolio.Fatal(err)
+	}
+	for _, opt := range m.LinkOptions {
+		fmt.Fprintf(os.Stderr, "link option: %s\n", opt)
+	}
+	if *emit != "" {
+		if err := toolio.WriteModule(m, *emit); err != nil {
+			toolio.Fatal(err)
+		}
+		return
+	}
+	it := interp.New(m)
+	code, err := it.Run()
+	if err != nil {
+		toolio.Fatal(err)
+	}
+	fmt.Print(it.Output.String())
+	fmt.Fprintf(os.Stderr, "exit=%d cycles=%d steps=%d\n", code, it.Cycles, it.Steps)
+	os.Exit(int(code & 0xff))
+}

@@ -1,0 +1,40 @@
+// noelle-linker links IR files while preserving the semantics of
+// NOELLE-generated metadata (paper Table 2).
+//
+// Usage: noelle-linker -o out.nir a.nir b.nir ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"noelle/internal/ir"
+	"noelle/internal/linker"
+	"noelle/internal/toolio"
+)
+
+func main() {
+	out := flag.String("o", "-", "output IR file")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: noelle-linker -o out.nir a.nir b.nir ...")
+		os.Exit(2)
+	}
+	var mods []*ir.Module
+	for _, path := range flag.Args() {
+		m, err := toolio.ReadModule(path)
+		if err != nil {
+			toolio.Fatal(err)
+		}
+		mods = append(mods, m)
+	}
+	whole, err := linker.Link("linked", mods...)
+	if err != nil {
+		toolio.Fatal(err)
+	}
+	whole.AssignIDs()
+	if err := toolio.WriteModule(whole, *out); err != nil {
+		toolio.Fatal(err)
+	}
+}

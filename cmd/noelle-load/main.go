@@ -1,0 +1,104 @@
+// noelle-load loads the NOELLE layer over an IR file — without computing
+// any abstraction — and runs the requested custom tool against it (paper
+// Table 2: custom tools invoke NOELLE's empowered pass pipeline through
+// noelle-load rather than through a bare opt).
+//
+// Usage: noelle-load -tool NAME [-o out.nir] [-cores N] [-budget N] whole.nir
+//
+// Tools: licm, dead, doall, helix, dswp, carat, coos, prvj, timesq, perspective
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"noelle/internal/core"
+	"noelle/internal/toolio"
+	"noelle/internal/tools/carat"
+	"noelle/internal/tools/coos"
+	"noelle/internal/tools/dead"
+	"noelle/internal/tools/doall"
+	"noelle/internal/tools/dswp"
+	"noelle/internal/tools/helix"
+	"noelle/internal/tools/licm"
+	"noelle/internal/tools/perspective"
+	"noelle/internal/tools/prvj"
+	"noelle/internal/tools/timesq"
+)
+
+func main() {
+	tool := flag.String("tool", "", "custom tool to run")
+	out := flag.String("o", "-", "output IR file")
+	cores := flag.Int("cores", 12, "worker count for parallelizers")
+	budget := flag.Int64("budget", 4000, "COOS callback budget (cycles)")
+	flag.Parse()
+	if flag.NArg() != 1 || *tool == "" {
+		fmt.Fprintln(os.Stderr, "usage: noelle-load -tool NAME whole.nir")
+		os.Exit(2)
+	}
+	m, err := toolio.ReadModule(flag.Arg(0))
+	if err != nil {
+		toolio.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.Cores = *cores
+	opts.MinHotness = 0
+	n := core.New(m, opts)
+
+	switch *tool {
+	case "licm":
+		r := licm.Run(n)
+		fmt.Fprintf(os.Stderr, "licm: hoisted %d instructions across %d loops\n", r.Hoisted, r.Loops)
+	case "dead":
+		r := dead.Run(n)
+		fmt.Fprintf(os.Stderr, "dead: removed %d functions (%d -> %d instrs, -%.1f%%)\n",
+			r.Removed, r.InstrsBefore, r.InstrsAfter, r.ReductionPercent())
+	case "doall":
+		r, err := doall.Run(n)
+		if err != nil {
+			toolio.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "doall: parallelized %d loops (rejected %d)\n", len(r.Parallelized), r.Rejected)
+	case "helix":
+		r := helix.Run(n, true)
+		fmt.Fprintf(os.Stderr, "helix: planned %d loops (rejected %d)\n", len(r.Plans), r.Rejected)
+		for _, p := range r.Plans {
+			fmt.Fprintf(os.Stderr, "  @%s/%s: %d sequential segments\n", p.LS.Fn.Nam, p.LS.Header.Nam, p.NumSeq)
+		}
+	case "dswp":
+		r := dswp.Run(n)
+		fmt.Fprintf(os.Stderr, "dswp: planned %d loops (rejected %d)\n", len(r.Plans), r.Rejected)
+		for _, p := range r.Plans {
+			fmt.Fprintf(os.Stderr, "  @%s/%s: %d stages\n", p.LS.Fn.Nam, p.LS.Header.Nam, p.NumStages)
+		}
+	case "carat":
+		r := carat.Run(n)
+		fmt.Fprintf(os.Stderr, "carat: %d accesses, %d proven, %d guards (%d elided, %d hoisted)\n",
+			r.Accesses, r.Proven, r.Guards, r.Elided, r.Hoisted)
+	case "coos":
+		r := coos.Run(n, *budget)
+		fmt.Fprintf(os.Stderr, "coos: inserted %d callbacks (budget %d cycles)\n", r.Inserted, r.Budget)
+	case "prvj":
+		r := prvj.Run(n)
+		fmt.Fprintf(os.Stderr, "prvj: %d generators, swapped %d call sites, kept %d\n",
+			len(r.Generators), r.Swapped, r.Kept)
+	case "timesq":
+		r := timesq.Run(n)
+		fmt.Fprintf(os.Stderr, "timesq: swapped %d compares, %d clock sets (naive placement: %d), %d islands\n",
+			r.SwappedCompares, r.ClockSets, r.ClockSetsUnscheduled, r.Islands)
+	case "perspective":
+		r := perspective.Run(n)
+		for _, p := range r.Plans {
+			fmt.Fprintf(os.Stderr, "  @%s/%s: parallelizable=%v overhead/iter=%d\n",
+				p.LS.Fn.Nam, p.LS.Header.Nam, p.Parallelizable, p.OverheadPerIter)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown tool %q\n", *tool)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "abstractions requested: %v\n", n.Requested())
+	if err := toolio.WriteModule(m, *out); err != nil {
+		toolio.Fatal(err)
+	}
+}

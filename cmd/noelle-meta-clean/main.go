@@ -1,0 +1,31 @@
+// noelle-meta-clean strips all NOELLE-specific metadata (profiles,
+// embedded PDGs) from an IR file (paper Table 2 / Figure 1).
+//
+// Usage: noelle-meta-clean -o out.nir whole.nir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"noelle/internal/pdg"
+	"noelle/internal/toolio"
+)
+
+func main() {
+	out := flag.String("o", "-", "output IR file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: noelle-meta-clean -o out.nir whole.nir")
+		os.Exit(2)
+	}
+	m, err := toolio.ReadModule(flag.Arg(0))
+	if err != nil {
+		toolio.Fatal(err)
+	}
+	pdg.Clean(m)
+	if err := toolio.WriteModule(m, *out); err != nil {
+		toolio.Fatal(err)
+	}
+}

@@ -1,0 +1,42 @@
+// noelle-meta-pdg-embed runs the (expensive) whole-program alias analyses,
+// computes every function's PDG, and embeds the graphs as metadata so
+// later tool invocations can reconstruct them without re-analysis (paper
+// Table 2).
+//
+// Usage: noelle-meta-pdg-embed -o out.nir whole.nir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"noelle/internal/ir"
+	"noelle/internal/pdg"
+	"noelle/internal/toolio"
+)
+
+func main() {
+	out := flag.String("o", "-", "output IR file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: noelle-meta-pdg-embed -o out.nir whole.nir")
+		os.Exit(2)
+	}
+	m, err := toolio.ReadModule(flag.Arg(0))
+	if err != nil {
+		toolio.Fatal(err)
+	}
+	m.AssignIDs()
+	b := pdg.NewBuilder(m)
+	graphs := map[*ir.Function]*pdg.Graph{}
+	for _, f := range m.Functions {
+		if !f.IsDeclaration() {
+			graphs[f] = b.FunctionPDG(f)
+		}
+	}
+	pdg.Embed(m, graphs)
+	if err := toolio.WriteModule(m, *out); err != nil {
+		toolio.Fatal(err)
+	}
+}

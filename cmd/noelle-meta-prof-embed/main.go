@@ -1,0 +1,36 @@
+// noelle-meta-prof-embed profiles the program on its training input and
+// embeds the result as metadata inside the IR file (paper Table 2), so
+// later tools can query hotness without re-running.
+//
+// Usage: noelle-meta-prof-embed -o out.nir whole.nir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"noelle/internal/profiler"
+	"noelle/internal/toolio"
+)
+
+func main() {
+	out := flag.String("o", "-", "output IR file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: noelle-meta-prof-embed -o out.nir whole.nir")
+		os.Exit(2)
+	}
+	m, err := toolio.ReadModule(flag.Arg(0))
+	if err != nil {
+		toolio.Fatal(err)
+	}
+	prof, err := profiler.Collect(m)
+	if err != nil {
+		toolio.Fatal(err)
+	}
+	prof.Embed()
+	if err := toolio.WriteModule(m, *out); err != nil {
+		toolio.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+// noelle-prof-coverage runs the program under the IR interpreter on its
+// training input and reports coverage statistics (paper Table 2). Use
+// noelle-meta-prof-embed to persist the profile into the IR file.
+//
+// Usage: noelle-prof-coverage whole.nir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"noelle/internal/analysis"
+	"noelle/internal/profiler"
+	"noelle/internal/toolio"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: noelle-prof-coverage whole.nir")
+		os.Exit(2)
+	}
+	m, err := toolio.ReadModule(flag.Arg(0))
+	if err != nil {
+		toolio.Fatal(err)
+	}
+	prof, err := profiler.Collect(m)
+	if err != nil {
+		toolio.Fatal(err)
+	}
+	fmt.Printf("total cycles: %d\n", prof.TotalCycles)
+	for _, f := range m.Functions {
+		if f.IsDeclaration() || prof.CallCount[f] == 0 {
+			continue
+		}
+		fmt.Printf("func @%-24s calls=%-8d self-cycles=%d\n", f.Nam, prof.CallCount[f], prof.FunctionCycles(f))
+		li := analysis.NewLoopInfo(f)
+		for _, nat := range li.Loops {
+			st := prof.LoopStatsFor(nat)
+			fmt.Printf("  loop %-20s iters=%-8d invocations=%-6d avg=%.1f hotness=%.1f%%\n",
+				nat.Header.Nam, st.Iterations, st.Invocations, st.AvgIterations(), 100*st.Hotness)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// noelle-whole-ir compiles mini-C sources (and/or existing .nir files)
+// into a single whole-program IR file, embedding the compilation options
+// as metadata (paper Table 2). It is the entry point of every NOELLE
+// compilation flow.
+//
+// Usage: noelle-whole-ir -o whole.nir [-O] [-linkopt OPT]... src.c [src2.c ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"noelle/internal/ir"
+	"noelle/internal/linker"
+	"noelle/internal/passes"
+	"noelle/internal/toolio"
+)
+
+func main() {
+	out := flag.String("o", "-", "output IR file")
+	optimize := flag.Bool("O", true, "run the standard optimization pipeline")
+	var linkopts multi
+	flag.Var(&linkopts, "linkopt", "option to embed for the final binary (repeatable)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: noelle-whole-ir -o out.nir src.c ...")
+		os.Exit(2)
+	}
+
+	var mods []*ir.Module
+	for _, path := range flag.Args() {
+		var m *ir.Module
+		var err error
+		if strings.HasSuffix(path, ".nir") {
+			m, err = toolio.ReadModule(path)
+		} else {
+			m, err = toolio.CompileC(path)
+		}
+		if err != nil {
+			toolio.Fatal(err)
+		}
+		mods = append(mods, m)
+	}
+	whole, err := linker.Link("whole", mods...)
+	if err != nil {
+		toolio.Fatal(err)
+	}
+	whole.LinkOptions = append(whole.LinkOptions, linkopts...)
+	if *optimize {
+		passes.Optimize(whole)
+	}
+	whole.AssignIDs()
+	if err := toolio.WriteModule(whole, *out); err != nil {
+		toolio.Fatal(err)
+	}
+}
+
+type multi []string
+
+func (m *multi) String() string     { return strings.Join(*m, ",") }
+func (m *multi) Set(s string) error { *m = append(*m, s); return nil }

@@ -1,0 +1,99 @@
+// Invariants: the paper's Section 2.5 head-to-head. The same loop is
+// analyzed with Algorithm 1 (the low-level operand/alias/dominator test)
+// and Algorithm 2 (the PDG-powered recursion NOELLE's INV uses); the
+// PDG-powered version finds the invariant chain the low-level one misses,
+// and LICM hoists it, which the cost model confirms.
+//
+//	go run ./examples/invariants
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"noelle/internal/alias"
+	"noelle/internal/analysis"
+	"noelle/internal/core"
+	"noelle/internal/interp"
+	"noelle/internal/ir"
+	"noelle/internal/minic"
+	"noelle/internal/passes"
+	"noelle/internal/tools/baseline"
+	"noelle/internal/tools/licm"
+)
+
+const src = `
+int table[64];
+int bias = 17;
+int gain = 3;
+
+// The kernel writes through a pointer parameter. The low-level algorithm
+// only has type/basic alias analysis: it cannot prove the stores through t
+// leave bias and gain alone, so the loads (and the whole chain computed
+// from them) stay in the loop. NOELLE's PDG is powered by whole-program
+// points-to analysis, which proves t can only point at table.
+int kernel(int *t) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 2000; i = i + 1) {
+    int k = bias * gain + 7;
+    int idx = i % 64;
+    t[idx] = k + idx;
+    acc = acc + t[idx];
+  }
+  return acc;
+}
+
+int main() {
+  int acc = kernel(&table[0]);
+  print_i64(acc);
+  return acc % 256;
+}
+`
+
+func main() {
+	m, err := minic.Compile("invariants", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	passes.Optimize(m)
+	kernelFn := m.FunctionByName("kernel")
+
+	// Algorithm 1: low-level detection.
+	li := analysis.NewLoopInfo(kernelFn)
+	dt := analysis.NewDomTree(kernelFn)
+	for _, nat := range li.TopLevel {
+		low := baseline.InvariantsLLVM(kernelFn, nat, dt, alias.TypeBasicAA{})
+		fmt.Printf("Algorithm 1 (low-level): %d invariants\n", len(low))
+	}
+
+	// Algorithm 2: the INV abstraction over the PDG.
+	n := core.New(m, core.DefaultOptions())
+	for _, node := range n.Forest(kernelFn).Roots {
+		l := n.Loop(node.LS)
+		fmt.Printf("Algorithm 2 (PDG):       %d invariants\n", l.Invariants.Count())
+		for _, in := range l.Invariants.List() {
+			fmt.Printf("  invariant: %s\n", in)
+		}
+	}
+
+	// Hoist and measure with the cost model.
+	before, out0 := runCycles(m)
+	res := licm.Run(n)
+	after, out1 := runCycles(m)
+	fmt.Printf("LICM hoisted %d instructions: %d -> %d cycles (%.1f%% less work)\n",
+		res.Hoisted, before, after, 100*float64(before-after)/float64(before))
+	if out0 != out1 {
+		fmt.Println("SEMANTICS CHANGED ✗")
+	} else {
+		fmt.Println("semantics preserved ✓")
+	}
+}
+
+func runCycles(m *ir.Module) (int64, string) {
+	it := interp.New(ir.CloneModule(m))
+	if _, err := it.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return it.Cycles, it.Output.String()
+}

@@ -1,0 +1,207 @@
+package alias_test
+
+import (
+	"testing"
+
+	"noelle/internal/alias"
+	"noelle/internal/ir"
+	"noelle/internal/minic"
+	"noelle/internal/passes"
+)
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	passes.Optimize(m)
+	return m
+}
+
+// ptrsOf collects the pointer operands of loads/stores in f, keyed by the
+// name of the global at the base (for test addressing).
+func accessPtrs(f *ir.Function) []ir.Value {
+	var out []ir.Value
+	f.Instrs(func(in *ir.Instr) bool {
+		switch in.Opcode {
+		case ir.OpLoad:
+			out = append(out, in.Ops[0])
+		case ir.OpStore:
+			out = append(out, in.Ops[1])
+		}
+		return true
+	})
+	return out
+}
+
+func TestTypeBasicDistinctGlobals(t *testing.T) {
+	m := compile(t, `
+int a[4];
+int b[4];
+int main() { a[1] = 1; b[2] = 2; return a[1] + b[2]; }`)
+	f := m.FunctionByName("main")
+	ptrs := accessPtrs(f)
+	aa := alias.TypeBasicAA{}
+	// First two accesses are the stores to a and b.
+	if got := aa.Alias(ptrs[0], ptrs[1]); got != alias.NoAlias {
+		t.Errorf("distinct globals alias = %v, want no", got)
+	}
+}
+
+func TestTypeBasicSameBaseDistinctOffsets(t *testing.T) {
+	m := compile(t, `
+int a[8];
+int main() { a[1] = 1; a[2] = 2; return a[1]; }`)
+	f := m.FunctionByName("main")
+	ptrs := accessPtrs(f)
+	aa := alias.TypeBasicAA{}
+	if got := aa.Alias(ptrs[0], ptrs[1]); got != alias.NoAlias {
+		t.Errorf("a[1] vs a[2] = %v, want no", got)
+	}
+}
+
+func TestTypeBasicTBAA(t *testing.T) {
+	m := compile(t, `
+int xs[4];
+float ys[4];
+int pick(int *p, float *q) { *p = 3; q[0] = 1.5; return *p; }
+int main() { return pick(&xs[0], &ys[0]); }`)
+	f := m.FunctionByName("pick")
+	ptrs := accessPtrs(f)
+	aa := alias.TypeBasicAA{}
+	// The int* and float* accesses cannot alias under TBAA even though
+	// both come from unidentified parameters.
+	if got := aa.Alias(ptrs[0], ptrs[1]); got != alias.NoAlias {
+		t.Errorf("int* vs float* = %v, want no", got)
+	}
+}
+
+func TestAndersenParamResolution(t *testing.T) {
+	m := compile(t, `
+int a[4];
+int b[4];
+int write1(int *p) { p[0] = 7; return p[0]; }
+int main() {
+  write1(&a[0]);
+  b[0] = 9;
+  return a[0] + b[0];
+}`)
+	pt := alias.NewPointsTo(m)
+	aa := alias.AndersenAA{PT: pt}
+	write1 := m.FunctionByName("write1")
+	var paramPtr ir.Value
+	write1.Instrs(func(in *ir.Instr) bool {
+		if in.Opcode == ir.OpStore {
+			paramPtr = in.Ops[1]
+			return false
+		}
+		return true
+	})
+	bGlobal := m.GlobalByName("b")
+	if got := aa.Alias(paramPtr, bGlobal); got != alias.NoAlias {
+		t.Errorf("param (=a) vs @b = %v, want no (points-to resolves the param)", got)
+	}
+	aGlobal := m.GlobalByName("a")
+	if got := aa.Alias(paramPtr, aGlobal); got == alias.NoAlias {
+		t.Errorf("param (=a) vs @a = no, but they do alias")
+	}
+}
+
+func TestIndirectCalleeDiscovery(t *testing.T) {
+	m := compile(t, `
+int f1(int x) { return x + 1; }
+int f2(int x) { return x + 2; }
+int unused_f3(int x) { return x + 3; }
+int main() {
+  func(int) int g = f1;
+  if (g(0) > 0) { g = f2; }
+  return g(1);
+}`)
+	pt := alias.NewPointsTo(m)
+	var indirect *ir.Instr
+	m.FunctionByName("main").Instrs(func(in *ir.Instr) bool {
+		if in.Opcode == ir.OpCall && in.CalledFunction() == nil {
+			indirect = in // the last indirect call
+		}
+		return true
+	})
+	if indirect == nil {
+		t.Fatal("no indirect call found")
+	}
+	callees := pt.Callees(indirect)
+	names := map[string]bool{}
+	for _, c := range callees {
+		names[c.Nam] = true
+	}
+	if !names["f1"] || !names["f2"] {
+		t.Errorf("callees = %v, want f1 and f2", names)
+	}
+	if names["unused_f3"] {
+		t.Error("unused_f3 reported as callee despite never being stored")
+	}
+}
+
+func TestModRefSummaries(t *testing.T) {
+	m := compile(t, `
+int g;
+int pure_math(int x) { return x * x; }
+int writes_g(int x) { g = x; return x; }
+int main() { return pure_math(3) + writes_g(4) + g; }`)
+	pt := alias.NewPointsTo(m)
+	if pt.FuncAccessesMemory(m.FunctionByName("pure_math")) {
+		t.Error("pure_math flagged as accessing memory")
+	}
+	if !pt.FuncAccessesMemory(m.FunctionByName("writes_g")) {
+		t.Error("writes_g not flagged")
+	}
+}
+
+func TestPrivateAllocaDoesNotEscapeSummary(t *testing.T) {
+	m := compile(t, `
+int helper_fill(int *p) { p[0] = 3; return p[0]; }
+int worker(int seed) {
+  int st[2];
+  st[0] = seed;
+  return helper_fill(&st[0]) + st[0];
+}
+int main() { return worker(1) + worker(2); }`)
+	pt := alias.NewPointsTo(m)
+	worker := m.FunctionByName("worker")
+	// worker writes only its own non-escaping alloca: the exported
+	// summary must be empty, so two worker calls can run in parallel.
+	if pt.FuncAccessesMemory(worker) {
+		t.Error("activation-private alloca leaked into worker's summary")
+	}
+}
+
+func TestSideEffectTracking(t *testing.T) {
+	m := compile(t, `
+int quiet(int x) { return x + 1; }
+int noisy(int x) { print_i64(x); return x; }
+int main() { return quiet(1) + noisy(2); }`)
+	pt := alias.NewPointsTo(m)
+	if pt.FuncHasSideEffects(m.FunctionByName("quiet")) {
+		t.Error("quiet flagged with side effects")
+	}
+	if !pt.FuncHasSideEffects(m.FunctionByName("noisy")) {
+		t.Error("noisy not flagged")
+	}
+}
+
+func TestCombinedPrecision(t *testing.T) {
+	m := compile(t, `
+int a[4];
+float f[4];
+int main() { a[0] = 1; f[1] = 2.0; return a[0]; }`)
+	f := m.FunctionByName("main")
+	ptrs := accessPtrs(f)
+	pt := alias.NewPointsTo(m)
+	comb := alias.NewCombined(alias.TypeBasicAA{}, alias.AndersenAA{PT: pt})
+	if got := comb.Alias(ptrs[0], ptrs[1]); got != alias.NoAlias {
+		t.Errorf("combined verdict = %v, want no", got)
+	}
+	if comb.Alias(ptrs[0], ptrs[0]) != alias.MustAlias {
+		t.Error("identical pointers must alias")
+	}
+}

@@ -1,0 +1,525 @@
+package alias
+
+import (
+	"sort"
+
+	"noelle/internal/ir"
+)
+
+// An object is an abstract memory location: an alloca instruction, a
+// global, or a function (for function pointers). Objects are identified by
+// the ir.Value that creates them.
+
+// objSet is a small set of objects with stable iteration order.
+type objSet struct {
+	m map[ir.Value]bool
+}
+
+func newObjSet() *objSet { return &objSet{m: map[ir.Value]bool{}} }
+
+func (s *objSet) add(v ir.Value) bool {
+	if s.m[v] {
+		return false
+	}
+	s.m[v] = true
+	return true
+}
+
+func (s *objSet) addAll(o *objSet) bool {
+	changed := false
+	for v := range o.m {
+		if s.add(v) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s *objSet) has(v ir.Value) bool { return s.m[v] }
+func (s *objSet) size() int           { return len(s.m) }
+
+func (s *objSet) intersects(o *objSet) bool {
+	a, b := s, o
+	if b.size() < a.size() {
+		a, b = b, a
+	}
+	for v := range a.m {
+		if b.m[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// PointsTo is a whole-module, flow-insensitive, inclusion-based
+// (Andersen-style) points-to analysis with interprocedural argument and
+// return binding, including through indirect calls discovered during the
+// fixed point. It is the stand-in for the SVF and SCAF analyses that power
+// NOELLE's PDG in the paper.
+type PointsTo struct {
+	Mod *ir.Module
+
+	pts  map[ir.Value]*objSet // SSA value -> objects it may point to
+	heap map[ir.Value]*objSet // object -> objects its cells may point to
+
+	// Per-function transitive memory summaries (mod/ref).
+	reads  map[*ir.Function]*objSet
+	writes map[*ir.Function]*objSet
+
+	// pureExterns do not access program memory (I/O and runtime hooks).
+	pureExterns map[string]bool
+	// io marks functions that may (transitively) perform externally
+	// visible side effects (calls to any declaration).
+	io map[*ir.Function]bool
+}
+
+// NewPointsTo runs the analysis over m to a fixed point.
+func NewPointsTo(m *ir.Module) *PointsTo {
+	pt := &PointsTo{
+		Mod:    m,
+		pts:    map[ir.Value]*objSet{},
+		heap:   map[ir.Value]*objSet{},
+		reads:  map[*ir.Function]*objSet{},
+		writes: map[*ir.Function]*objSet{},
+		pureExterns: map[string]bool{
+			"print_i64": true, "print_f64": true,
+			"carat_guard": true, "os_callback": true, "clock_set": true,
+		},
+		io: map[*ir.Function]bool{},
+	}
+	pt.solve()
+	pt.summarize()
+	pt.summarizeIO()
+	return pt
+}
+
+// summarizeIO computes which functions may (transitively) call externs:
+// those have externally visible effects even when they touch no memory.
+func (pt *PointsTo) summarizeIO() {
+	for _, f := range pt.Mod.Functions {
+		if f.IsDeclaration() {
+			pt.io[f] = true
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, f := range pt.Mod.Functions {
+			if pt.io[f] {
+				continue
+			}
+			f.Instrs(func(in *ir.Instr) bool {
+				if in.Opcode != ir.OpCall {
+					return true
+				}
+				for _, callee := range pt.Callees(in) {
+					if pt.io[callee] {
+						pt.io[f] = true
+						changed = true
+						return false
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// FuncHasSideEffects reports whether f may perform externally visible I/O
+// (transitively calls a declaration).
+func (pt *PointsTo) FuncHasSideEffects(f *ir.Function) bool { return pt.io[f] }
+
+// CallIsPure reports whether the call provably has no memory access and no
+// externally visible side effect — the condition for hoisting it.
+func (pt *PointsTo) CallIsPure(call *ir.Instr) bool {
+	callees := pt.Callees(call)
+	if len(callees) == 0 {
+		return false // unknown target: assume the worst
+	}
+	for _, callee := range callees {
+		if pt.io[callee] || pt.FuncAccessesMemory(callee) {
+			return false
+		}
+	}
+	return true
+}
+
+func (pt *PointsTo) setOf(v ir.Value) *objSet {
+	s, ok := pt.pts[v]
+	if !ok {
+		s = newObjSet()
+		pt.pts[v] = s
+	}
+	return s
+}
+
+func (pt *PointsTo) heapOf(obj ir.Value) *objSet {
+	s, ok := pt.heap[obj]
+	if !ok {
+		s = newObjSet()
+		pt.heap[obj] = s
+	}
+	return s
+}
+
+// solve iterates the inclusion constraints to a fixed point. Module sizes
+// in this repo are small, so a simple round-robin loop is fine.
+func (pt *PointsTo) solve() {
+	// Seed: address-taking values.
+	for _, g := range pt.Mod.Globals {
+		pt.setOf(g).add(g)
+	}
+	for _, f := range pt.Mod.Functions {
+		pt.setOf(f).add(f)
+		f.Instrs(func(in *ir.Instr) bool {
+			if in.Opcode == ir.OpAlloca {
+				pt.setOf(in).add(in)
+			}
+			return true
+		})
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, f := range pt.Mod.Functions {
+			f.Instrs(func(in *ir.Instr) bool {
+				switch in.Opcode {
+				case ir.OpPtrAdd:
+					// Field-insensitive: derived pointer points into the
+					// same objects as the base.
+					if pt.setOf(in).addAll(pt.valSet(in.Ops[0])) {
+						changed = true
+					}
+				case ir.OpPhi, ir.OpSelect:
+					ops := in.Ops
+					if in.Opcode == ir.OpSelect {
+						ops = in.Ops[1:]
+					}
+					for _, op := range ops {
+						if pt.setOf(in).addAll(pt.valSet(op)) {
+							changed = true
+						}
+					}
+				case ir.OpP2I, ir.OpI2P:
+					// Address casts carry provenance through integers.
+					if pt.setOf(in).addAll(pt.valSet(in.Ops[0])) {
+						changed = true
+					}
+				case ir.OpLoad:
+					// Loads propagate unconditionally: integer cells may
+					// carry pointer bits (p2i round trips through task
+					// environments).
+					for obj := range pt.valSet(in.Ops[0]).m {
+						if pt.setOf(in).addAll(pt.heapOf(obj)) {
+							changed = true
+						}
+					}
+				case ir.OpStore:
+					if src := pt.valSet(in.Ops[0]); src.size() > 0 {
+						for obj := range pt.valSet(in.Ops[1]).m {
+							if pt.heapOf(obj).addAll(src) {
+								changed = true
+							}
+						}
+					}
+				case ir.OpCall:
+					if pt.bindCall(in) {
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// valSet returns the points-to set of v, materializing singletons for
+// direct object references.
+func (pt *PointsTo) valSet(v ir.Value) *objSet {
+	s := pt.setOf(v)
+	switch v.(type) {
+	case *ir.Global, *ir.Function:
+		s.add(v)
+	}
+	return s
+}
+
+func pointerLike(t *ir.Type) bool {
+	return t != nil && (t.Kind == ir.PtrKind || t.Kind == ir.FuncKind)
+}
+
+// bindCall propagates points-to facts across a call site: arguments into
+// parameters and the callee's return values into the call's result.
+func (pt *PointsTo) bindCall(call *ir.Instr) bool {
+	changed := false
+	for _, callee := range pt.Callees(call) {
+		if callee.IsDeclaration() {
+			continue
+		}
+		args := call.CallArgs()
+		for i, p := range callee.Params {
+			if i < len(args) && pointerLike(p.Ty) {
+				if pt.setOf(p).addAll(pt.valSet(args[i])) {
+					changed = true
+				}
+			}
+		}
+		if call.HasResult() && pointerLike(call.Ty) {
+			for _, b := range callee.Blocks {
+				t := b.Terminator()
+				if t != nil && t.Opcode == ir.OpRet && len(t.Ops) == 1 {
+					if pt.setOf(call).addAll(pt.valSet(t.Ops[0])) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// Callees returns the possible targets of a call instruction: the static
+// callee for direct calls, or every function in the callee operand's
+// points-to set for indirect ones.
+func (pt *PointsTo) Callees(call *ir.Instr) []*ir.Function {
+	if f := call.CalledFunction(); f != nil {
+		return []*ir.Function{f}
+	}
+	var out []*ir.Function
+	for obj := range pt.valSet(call.Ops[0]).m {
+		if f, ok := obj.(*ir.Function); ok {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Nam < out[j].Nam })
+	return out
+}
+
+// summarize computes per-function transitive read/write object sets.
+// Callee summaries are imported through an export filter: allocas owned by
+// the callee that never escape it are private per activation, so they
+// cannot induce cross-call conflicts in the caller (this is what lets two
+// calls to a Monte-Carlo path function with a local RNG state run in
+// parallel).
+func (pt *PointsTo) summarize() {
+	escaping := pt.escapingAllocas()
+	exported := func(f *ir.Function, s *objSet) *objSet {
+		out := newObjSet()
+		for obj := range s.m {
+			if a, ok := obj.(*ir.Instr); ok && a.Opcode == ir.OpAlloca &&
+				a.Parent != nil && a.Parent.Parent == f && !escaping[a] {
+				continue // activation-private storage
+			}
+			out.add(obj)
+		}
+		return out
+	}
+	for _, f := range pt.Mod.Functions {
+		pt.reads[f] = newObjSet()
+		pt.writes[f] = newObjSet()
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, f := range pt.Mod.Functions {
+			r, w := pt.reads[f], pt.writes[f]
+			f.Instrs(func(in *ir.Instr) bool {
+				switch in.Opcode {
+				case ir.OpLoad:
+					if r.addAll(pt.valSet(in.Ops[0])) {
+						changed = true
+					}
+				case ir.OpStore:
+					if w.addAll(pt.valSet(in.Ops[1])) {
+						changed = true
+					}
+				case ir.OpCall:
+					for _, callee := range pt.Callees(in) {
+						if callee.IsDeclaration() && pt.pureExterns[callee.Nam] {
+							continue
+						}
+						if callee.IsDeclaration() {
+							// Unknown extern: assume it can touch anything
+							// reachable from its pointer arguments.
+							for _, a := range in.CallArgs() {
+								if pointerLike(a.Type()) {
+									if r.addAll(pt.valSet(a)) {
+										changed = true
+									}
+									if w.addAll(pt.valSet(a)) {
+										changed = true
+									}
+								}
+							}
+							continue
+						}
+						if r.addAll(exported(callee, pt.reads[callee])) {
+							changed = true
+						}
+						if w.addAll(exported(callee, pt.writes[callee])) {
+							changed = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	// The caller-visible sets themselves must also hide private allocas.
+	for _, f := range pt.Mod.Functions {
+		pt.reads[f] = exported(f, pt.reads[f])
+		pt.writes[f] = exported(f, pt.writes[f])
+	}
+}
+
+// escapingAllocas finds allocas whose address leaves their activation:
+// stored into memory, or returned.
+func (pt *PointsTo) escapingAllocas() map[*ir.Instr]bool {
+	esc := map[*ir.Instr]bool{}
+	mark := func(s *objSet) {
+		for obj := range s.m {
+			if a, ok := obj.(*ir.Instr); ok && a.Opcode == ir.OpAlloca {
+				esc[a] = true
+			}
+		}
+	}
+	for _, heap := range pt.heap {
+		mark(heap)
+	}
+	for _, f := range pt.Mod.Functions {
+		for _, b := range f.Blocks {
+			t := b.Terminator()
+			if t != nil && t.Opcode == ir.OpRet && len(t.Ops) == 1 {
+				mark(pt.valSet(t.Ops[0]))
+			}
+		}
+	}
+	return esc
+}
+
+// PointsToSet returns the objects v may point to, in deterministic order.
+func (pt *PointsTo) PointsToSet(v ir.Value) []ir.Value {
+	s := pt.valSet(v)
+	out := make([]ir.Value, 0, s.size())
+	for obj := range s.m {
+		out = append(out, obj)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ident() < out[j].Ident() })
+	return out
+}
+
+// ModRef classifies how a call may access the memory addressed by ptr.
+type ModRef int
+
+// ModRef lattice.
+const (
+	NoModRef ModRef = iota
+	RefOnly
+	ModOnly
+	ModAndRef
+)
+
+// CallModRefPtr reports whether call's possible callees may read or write
+// the memory ptr addresses.
+func (pt *PointsTo) CallModRefPtr(call *ir.Instr, ptr ir.Value) ModRef {
+	target := pt.valSet(ptr)
+	mayRead, mayWrite := false, false
+	unknownTarget := target.size() == 0
+	for _, callee := range pt.Callees(call) {
+		if callee.IsDeclaration() {
+			if pt.pureExterns[callee.Nam] {
+				continue
+			}
+			mayRead, mayWrite = true, true
+			break
+		}
+		if unknownTarget {
+			// ptr with empty points-to set (e.g. from an extern): be
+			// conservative against functions that touch any memory.
+			if pt.reads[callee].size() > 0 {
+				mayRead = true
+			}
+			if pt.writes[callee].size() > 0 {
+				mayWrite = true
+			}
+			continue
+		}
+		if pt.reads[callee].intersects(target) {
+			mayRead = true
+		}
+		if pt.writes[callee].intersects(target) {
+			mayWrite = true
+		}
+	}
+	switch {
+	case mayRead && mayWrite:
+		return ModAndRef
+	case mayWrite:
+		return ModOnly
+	case mayRead:
+		return RefOnly
+	default:
+		return NoModRef
+	}
+}
+
+// CallsAccessMemory reports whether the two calls may touch overlapping
+// memory (used for call-call ordering dependences).
+func (pt *PointsTo) CallsAccessMemory(a, b *ir.Instr) bool {
+	ra, wa := pt.callAccess(a)
+	rb, wb := pt.callAccess(b)
+	// Write-write, write-read, read-write conflicts order the calls.
+	return wa.intersects(wb) || wa.intersects(rb) || ra.intersects(wb)
+}
+
+func (pt *PointsTo) callAccess(call *ir.Instr) (reads, writes *objSet) {
+	reads, writes = newObjSet(), newObjSet()
+	for _, callee := range pt.Callees(call) {
+		if callee.IsDeclaration() {
+			if pt.pureExterns[callee.Nam] {
+				continue
+			}
+			for _, a := range call.CallArgs() {
+				if pointerLike(a.Type()) {
+					reads.addAll(pt.valSet(a))
+					writes.addAll(pt.valSet(a))
+				}
+			}
+			continue
+		}
+		reads.addAll(pt.reads[callee])
+		writes.addAll(pt.writes[callee])
+	}
+	return reads, writes
+}
+
+// FuncAccessesMemory reports whether f may read or write program memory.
+func (pt *PointsTo) FuncAccessesMemory(f *ir.Function) bool {
+	if f.IsDeclaration() {
+		return !pt.pureExterns[f.Nam]
+	}
+	return pt.reads[f].size() > 0 || pt.writes[f].size() > 0
+}
+
+// AndersenAA adapts PointsTo to the Analysis interface.
+type AndersenAA struct{ PT *PointsTo }
+
+// Name implements Analysis.
+func (AndersenAA) Name() string { return "andersen" }
+
+// Alias implements Analysis: disjoint points-to sets prove NoAlias; two
+// pointers directly naming the same single object are MustAlias.
+func (a AndersenAA) Alias(x, y ir.Value) Result {
+	if x == y {
+		return MustAlias
+	}
+	sx, sy := a.PT.valSet(x), a.PT.valSet(y)
+	if sx.size() == 0 || sy.size() == 0 {
+		return MayAlias // unknown provenance
+	}
+	if !sx.intersects(sy) {
+		return NoAlias
+	}
+	return MayAlias
+}

@@ -1,0 +1,147 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"noelle/internal/analysis"
+	"noelle/internal/ir"
+	"noelle/internal/minic"
+	"noelle/internal/passes"
+)
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	passes.Optimize(m)
+	return m
+}
+
+const diamondSrc = `
+int pick(int x) {
+  int r = 0;
+  if (x > 0) { r = 1; } else { r = 2; }
+  return r + x;
+}
+int main() { return pick(4); }`
+
+func TestDominatorsOnDiamond(t *testing.T) {
+	m := compile(t, diamondSrc)
+	f := m.FunctionByName("pick")
+	dt := analysis.NewDomTree(f)
+	entry := f.Entry()
+	for _, b := range f.Blocks {
+		if !dt.Dominates(entry, b) {
+			t.Errorf("entry does not dominate %s", b.Nam)
+		}
+	}
+	// Neither arm dominates the join.
+	thenB := f.BlockByName("if.then")
+	endB := f.BlockByName("if.end")
+	if thenB != nil && endB != nil && dt.Dominates(thenB, endB) {
+		t.Error("then-arm must not dominate the join")
+	}
+}
+
+// Dominance properties checked on every function of a nontrivial program:
+// (1) entry dominates all; (2) idom strictly dominates its node; (3) every
+// CFG predecessor of b is dominated by idom(b)'s dominators... simplified:
+// if a dominates b and b dominates a then a == b (antisymmetry).
+func TestDominatorProperties(t *testing.T) {
+	m := compile(t, `
+int f(int n) {
+  int s = 0;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    if (i % 3 == 0) { s = s + i; } else { s = s - 1; }
+    int j;
+    for (j = 0; j < 4; j = j + 1) { s = s + j; }
+  }
+  return s;
+}
+int main() { return f(10); }`)
+	f := m.FunctionByName("f")
+	dt := analysis.NewDomTree(f)
+	for _, a := range f.Blocks {
+		for _, b := range f.Blocks {
+			if a != b && dt.Dominates(a, b) && dt.Dominates(b, a) {
+				t.Fatalf("antisymmetry violated: %s <-> %s", a.Nam, b.Nam)
+			}
+		}
+	}
+	// idom strictly dominates.
+	for b, idom := range dt.IDom {
+		if idom != nil && !dt.StrictlyDominates(idom, b) {
+			t.Errorf("idom(%s)=%s does not strictly dominate it", b.Nam, idom.Nam)
+		}
+	}
+}
+
+func TestPostDominators(t *testing.T) {
+	m := compile(t, diamondSrc)
+	f := m.FunctionByName("pick")
+	pdt := analysis.NewPostDomTree(f)
+	// The join (and the return block) post-dominates both arms.
+	endB := f.BlockByName("if.end")
+	thenB := f.BlockByName("if.then")
+	if endB != nil && thenB != nil && !pdt.Dominates(endB, thenB) {
+		t.Error("join does not post-dominate the then-arm")
+	}
+}
+
+func TestLoopInfoNesting(t *testing.T) {
+	m := compile(t, `
+int main() {
+  int s = 0;
+  int i;
+  for (i = 0; i < 4; i = i + 1) {
+    int j;
+    for (j = 0; j < 4; j = j + 1) { s = s + i * j; }
+  }
+  return s;
+}`)
+	f := m.FunctionByName("main")
+	li := analysis.NewLoopInfo(f)
+	if len(li.Loops) != 2 || len(li.TopLevel) != 1 {
+		t.Fatalf("loops=%d top=%d, want 2/1", len(li.Loops), len(li.TopLevel))
+	}
+	outer := li.TopLevel[0]
+	if len(outer.Childs) != 1 {
+		t.Fatalf("outer children = %d", len(outer.Childs))
+	}
+	inner := outer.Childs[0]
+	if inner.Depth != 2 || outer.Depth != 1 {
+		t.Errorf("depths = %d/%d, want 1/2", outer.Depth, inner.Depth)
+	}
+	// Every inner block is also an outer block.
+	for b := range inner.Blocks {
+		if !outer.Contains(b) {
+			t.Errorf("inner block %s not in outer loop", b.Nam)
+		}
+	}
+	if li.LoopOf(inner.Header) != inner {
+		t.Error("innermost mapping wrong")
+	}
+}
+
+func TestDefUse(t *testing.T) {
+	m := compile(t, `
+int main() {
+  int a = 7;
+  int b = a * a;
+  return b;
+}`)
+	f := m.FunctionByName("main")
+	du := analysis.NewDefUse(f)
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Opcode == ir.OpMul {
+			// mul's result feeds ret: exactly one use.
+			if u := du.SoleUser(in); u == nil || u.Opcode != ir.OpRet {
+				t.Errorf("mul's sole user = %v", u)
+			}
+		}
+		return true
+	})
+}

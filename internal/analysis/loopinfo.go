@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"sort"
+
+	"noelle/internal/ir"
+)
+
+// NaturalLoop is a natural loop discovered from dominator back edges.
+// It is the raw material for the NOELLE loop-structure abstraction (LS).
+type NaturalLoop struct {
+	Header  *ir.Block
+	Latches []*ir.Block // blocks with a back edge to the header
+	Blocks  map[*ir.Block]bool
+	Parent  *NaturalLoop
+	Childs  []*NaturalLoop
+	Depth   int // 1 for top-level loops
+}
+
+// Contains reports whether b belongs to the loop.
+func (l *NaturalLoop) Contains(b *ir.Block) bool { return l.Blocks[b] }
+
+// ContainsInstr reports whether in's block belongs to the loop.
+func (l *NaturalLoop) ContainsInstr(in *ir.Instr) bool { return l.Blocks[in.Parent] }
+
+// BlockList returns the loop's blocks in function layout order.
+func (l *NaturalLoop) BlockList() []*ir.Block {
+	var out []*ir.Block
+	for _, b := range l.Header.Parent.Blocks {
+		if l.Blocks[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Preheader returns the unique out-of-loop predecessor of the header whose
+// only successor is the header, or nil when no such block exists.
+func (l *NaturalLoop) Preheader() *ir.Block {
+	var outside []*ir.Block
+	for _, p := range l.Header.Preds() {
+		if !l.Blocks[p] {
+			outside = append(outside, p)
+		}
+	}
+	if len(outside) != 1 {
+		return nil
+	}
+	p := outside[0]
+	if len(p.Successors()) != 1 {
+		return nil
+	}
+	return p
+}
+
+// ExitEdges returns the (from, to) CFG edges leaving the loop.
+func (l *NaturalLoop) ExitEdges() (froms, tos []*ir.Block) {
+	for _, b := range l.BlockList() {
+		for _, s := range b.Successors() {
+			if !l.Blocks[s] {
+				froms = append(froms, b)
+				tos = append(tos, s)
+			}
+		}
+	}
+	return froms, tos
+}
+
+// ExitBlocks returns the distinct out-of-loop targets of exit edges.
+func (l *NaturalLoop) ExitBlocks() []*ir.Block {
+	_, tos := l.ExitEdges()
+	var out []*ir.Block
+	seen := map[*ir.Block]bool{}
+	for _, b := range tos {
+		if !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Instrs calls fn for each instruction in the loop, in layout order.
+func (l *NaturalLoop) Instrs(fn func(*ir.Instr) bool) {
+	for _, b := range l.BlockList() {
+		for _, in := range b.Instrs {
+			if !fn(in) {
+				return
+			}
+		}
+	}
+}
+
+// LoopInfo holds every natural loop of a function and the innermost-loop
+// mapping.
+type LoopInfo struct {
+	Fn       *ir.Function
+	Loops    []*NaturalLoop // all loops, outermost first within each nest
+	TopLevel []*NaturalLoop
+	// Innermost maps each block to its innermost containing loop.
+	Innermost map[*ir.Block]*NaturalLoop
+}
+
+// NewLoopInfo detects f's natural loops from dominator back edges, merging
+// loops that share a header and building the nesting forest.
+func NewLoopInfo(f *ir.Function) *LoopInfo {
+	c := NewCFG(f)
+	dt := NewDomTree(f)
+	li := &LoopInfo{Fn: f, Innermost: map[*ir.Block]*NaturalLoop{}}
+
+	byHeader := map[*ir.Block]*NaturalLoop{}
+	var headers []*ir.Block
+	for _, b := range c.RPO {
+		for _, s := range c.Succs[b] {
+			if dt.Dominates(s, b) {
+				// b -> s is a back edge; the loop body is every block that
+				// reaches b without passing through s.
+				l, ok := byHeader[s]
+				if !ok {
+					l = &NaturalLoop{Header: s, Blocks: map[*ir.Block]bool{s: true}}
+					byHeader[s] = l
+					headers = append(headers, s)
+				}
+				l.Latches = append(l.Latches, b)
+				collectLoopBody(l, b, c)
+			}
+		}
+	}
+
+	// Sort loops by size descending so parents come before children.
+	for _, h := range headers {
+		li.Loops = append(li.Loops, byHeader[h])
+	}
+	sort.SliceStable(li.Loops, func(i, j int) bool {
+		return len(li.Loops[i].Blocks) > len(li.Loops[j].Blocks)
+	})
+
+	// Nesting: a loop's parent is the smallest strictly-larger loop that
+	// contains its header.
+	for i, l := range li.Loops {
+		var best *NaturalLoop
+		for j := 0; j < i; j++ {
+			outer := li.Loops[j]
+			if outer != l && outer.Blocks[l.Header] && len(outer.Blocks) > len(l.Blocks) {
+				if best == nil || len(outer.Blocks) < len(best.Blocks) {
+					best = outer
+				}
+			}
+		}
+		l.Parent = best
+		if best != nil {
+			best.Childs = append(best.Childs, l)
+		} else {
+			li.TopLevel = append(li.TopLevel, l)
+		}
+	}
+	var setDepth func(l *NaturalLoop, d int)
+	setDepth = func(l *NaturalLoop, d int) {
+		l.Depth = d
+		for _, ch := range l.Childs {
+			setDepth(ch, d+1)
+		}
+	}
+	for _, l := range li.TopLevel {
+		setDepth(l, 1)
+	}
+
+	// Innermost mapping: loops sorted large->small, so later assignment wins.
+	for _, l := range li.Loops {
+		for b := range l.Blocks {
+			li.Innermost[b] = l
+		}
+	}
+	return li
+}
+
+func collectLoopBody(l *NaturalLoop, latch *ir.Block, c *CFG) {
+	var stack []*ir.Block
+	if !l.Blocks[latch] {
+		l.Blocks[latch] = true
+		stack = append(stack, latch)
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range c.Preds[b] {
+			if !l.Blocks[p] && c.Reachable(p) {
+				l.Blocks[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+}
+
+// LoopOf returns the innermost loop containing b, or nil.
+func (li *LoopInfo) LoopOf(b *ir.Block) *NaturalLoop { return li.Innermost[b] }

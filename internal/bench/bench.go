@@ -1,0 +1,96 @@
+// Package bench holds the 41-benchmark corpus mirroring the paper's
+// evaluation suites (14 SPEC CPU2017, 8 PARSEC 3.0, 19 MiBench). Each
+// program is a mini-C synthesis of the pattern class that drives the
+// paper's per-benchmark result for its namesake: PARSEC and MiBench
+// kernels are dominated by data-parallel loops and reductions (Figure 5's
+// speedups), SPEC programs by loop-carried recurrences, pointer chasing,
+// and recursion (Section 4.4's 1–5%), crc by a memory-cloning-hostile
+// accumulator table (the paper's explicit negative example), and every
+// program carries while-shaped loops, invariant subexpressions, unused
+// helper functions, and occasional indirect calls so each custom tool has
+// work to do.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"noelle/internal/ir"
+	"noelle/internal/minic"
+	"noelle/internal/passes"
+)
+
+// Suite identifies the benchmark's origin suite.
+type Suite string
+
+// The three suites of the paper's evaluation.
+const (
+	SPEC    Suite = "SPEC CPU2017"
+	PARSEC  Suite = "PARSEC 3.0"
+	MiBench Suite = "MiBench"
+)
+
+// Benchmark is one corpus program.
+type Benchmark struct {
+	Name   string
+	Suite  Suite
+	Source string
+	// Parallel says whether the benchmark's hot loop is expected to be
+	// profitably parallelizable (drives Figure 5's shape).
+	Parallel bool
+}
+
+var registry []Benchmark
+
+func register(name string, suite Suite, parallel bool, src string) {
+	registry = append(registry, Benchmark{Name: name, Suite: suite, Source: src, Parallel: parallel})
+}
+
+// List returns all benchmarks in suite order (SPEC, PARSEC, MiBench),
+// alphabetical within each suite — the order of the paper's figures.
+func List() []Benchmark {
+	out := append([]Benchmark(nil), registry...)
+	rank := map[Suite]int{SPEC: 0, PARSEC: 1, MiBench: 2}
+	sort.SliceStable(out, func(i, j int) bool {
+		if rank[out[i].Suite] != rank[out[j].Suite] {
+			return rank[out[i].Suite] < rank[out[j].Suite]
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// BySuite returns the benchmarks of one suite.
+func BySuite(s Suite) []Benchmark {
+	var out []Benchmark
+	for _, b := range List() {
+		if b.Suite == s {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range registry {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("bench: unknown benchmark %q", name)
+}
+
+// Compile builds the benchmark to optimized IR (the clang -O2 equivalent
+// the paper's tool-chain starts from).
+func (b Benchmark) Compile() (*ir.Module, error) {
+	m, err := minic.Compile(b.Name, b.Source)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+	}
+	passes.Optimize(m)
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,161 @@
+package bench_test
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"noelle/internal/bench"
+	"noelle/internal/core"
+	"noelle/internal/interp"
+	"noelle/internal/ir"
+	"noelle/internal/tools/baseline"
+	"noelle/internal/tools/doall"
+)
+
+// outputsEquivalent compares program outputs line by line. Float lines may
+// differ in the last ulps: parallel reductions reassociate float sums,
+// exactly as the paper's parallelizers do.
+func outputsEquivalent(a, b string) bool {
+	la := strings.Split(strings.TrimRight(a, "\n"), "\n")
+	lb := strings.Split(strings.TrimRight(b, "\n"), "\n")
+	if len(la) != len(lb) {
+		return false
+	}
+	for i := range la {
+		if la[i] == lb[i] {
+			continue
+		}
+		fa, errA := strconv.ParseFloat(la[i], 64)
+		fb, errB := strconv.ParseFloat(lb[i], 64)
+		if errA != nil || errB != nil {
+			return false
+		}
+		diff := math.Abs(fa - fb)
+		scale := math.Max(math.Abs(fa), math.Abs(fb))
+		if diff > 1e-9*math.Max(scale, 1) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCorpusShape(t *testing.T) {
+	all := bench.List()
+	if len(all) != 41 {
+		t.Fatalf("corpus has %d benchmarks, want 41", len(all))
+	}
+	counts := map[bench.Suite]int{}
+	for _, b := range all {
+		counts[b.Suite]++
+	}
+	if counts[bench.SPEC] != 14 || counts[bench.PARSEC] != 8 || counts[bench.MiBench] != 19 {
+		t.Errorf("suite sizes = %v, want SPEC 14 / PARSEC 8 / MiBench 19", counts)
+	}
+}
+
+func TestCorpusCompilesAndRuns(t *testing.T) {
+	for _, b := range bench.List() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			m, err := b.Compile()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			it := interp.New(m)
+			r1, err := it.Run()
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			// Determinism.
+			it2 := interp.New(ir.CloneModule(m))
+			r2, err := it2.Run()
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			if r1 != r2 || it.Output.String() != it2.Output.String() {
+				t.Errorf("nondeterministic: (%d,%q) vs (%d,%q)", r1, it.Output.String(), r2, it2.Output.String())
+			}
+			if it.Output.Len() == 0 {
+				t.Error("benchmark produced no output")
+			}
+		})
+	}
+}
+
+// TestDOALLPreservesCorpusSemantics is the repo's most important
+// integration test: parallelize every benchmark and check observational
+// equivalence (exit code, output, final global memory).
+func TestDOALLPreservesCorpusSemantics(t *testing.T) {
+	parallelizedSomewhere := 0
+	for _, b := range bench.List() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			m, err := b.Compile()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			orig := ir.CloneModule(m)
+			it0 := interp.New(orig)
+			r0, err := it0.Run()
+			if err != nil {
+				t.Fatalf("original run: %v", err)
+			}
+
+			opts := core.DefaultOptions()
+			opts.MinHotness = 0
+			res, err := doall.Run(core.New(m, opts))
+			if err != nil {
+				t.Fatalf("doall: %v", err)
+			}
+			if err := ir.Verify(m); err != nil {
+				t.Fatalf("transformed module malformed: %v", err)
+			}
+			it1 := interp.New(m)
+			r1, err := it1.Run()
+			if err != nil {
+				t.Fatalf("transformed run: %v", err)
+			}
+			if r0 != r1 {
+				t.Errorf("exit code %d -> %d", r0, r1)
+			}
+			if !outputsEquivalent(it0.Output.String(), it1.Output.String()) {
+				t.Errorf("output %q -> %q", it0.Output.String(), it1.Output.String())
+			}
+			// Integer-only programs must also preserve memory bit-exactly;
+			// float programs may differ in reduction rounding.
+			if it0.Output.String() == it1.Output.String() &&
+				it0.MemoryFingerprint() != it1.MemoryFingerprint() {
+				t.Errorf("final memory diverged")
+			}
+			if len(res.Parallelized) > 0 {
+				parallelizedSomewhere++
+			}
+			if b.Parallel && len(res.Parallelized) == 0 {
+				t.Errorf("expected DOALL to parallelize something (rejected %d)", res.Rejected)
+			}
+		})
+	}
+	if parallelizedSomewhere < 25 {
+		t.Errorf("DOALL parallelized loops in only %d benchmarks; expected broad coverage", parallelizedSomewhere)
+	}
+}
+
+// TestConservativeBaselineExtractsLittle reproduces the gcc/icc
+// observation: the conservative legality checks fail on while-shaped
+// loops and pointer code.
+func TestConservativeBaselineExtractsLittle(t *testing.T) {
+	totalParallelized := 0
+	for _, b := range bench.List() {
+		m, err := b.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		res := baseline.ConservativeAutoPar(m)
+		totalParallelized += len(res.Parallelized)
+	}
+	if totalParallelized > 3 {
+		t.Errorf("conservative baseline parallelized %d loops; expected near zero", totalParallelized)
+	}
+}

@@ -1,0 +1,698 @@
+package bench
+
+// The MiBench stand-ins: small embedded kernels. Most are data-parallel
+// per-element transforms (Figure 5 speedups); crc is the paper's explicit
+// negative case (an accumulator threaded through a table lookup, which
+// needs memory-object cloning NOELLE deliberately does not provide), and
+// the ADPCM/GSM codecs carry their state sample-to-sample.
+
+func init() {
+	register("basicmath", MiBench, true, srcBasicmath)
+	register("bf_d", MiBench, true, srcBlowfishD)
+	register("bf_e", MiBench, true, srcBlowfishE)
+	register("bitcnts", MiBench, true, srcBitcnts)
+	register("cjpeg", MiBench, true, srcCjpeg)
+	register("crc", MiBench, false, srcCRC)
+	register("djpeg", MiBench, true, srcDjpeg)
+	register("fft", MiBench, true, srcFFT)
+	register("fft_inv", MiBench, true, srcFFTInv)
+	register("qsort", MiBench, false, srcQsort)
+	register("rawcaudio", MiBench, false, srcRawcaudio)
+	register("rawdaudio", MiBench, false, srcRawdaudio)
+	register("search", MiBench, true, srcSearch)
+	register("sha", MiBench, false, srcSHA)
+	register("susan_c", MiBench, true, srcSusanC)
+	register("susan_e", MiBench, true, srcSusanE)
+	register("susan_s", MiBench, true, srcSusanS)
+	register("toast", MiBench, false, srcToast)
+	register("untoast", MiBench, false, srcUntoast)
+}
+
+const srcBasicmath = `
+// Independent cubic-root style iterations per input value.
+int xs[512];
+int roots[512];
+
+int unused_deg_to_rad(int d) { return d * 314159 / 18000000; }
+
+int cuberoot_newton(int a) {
+  int x = a / 3 + 1;
+  int k;
+  for (k = 0; k < 12; k = k + 1) {
+    int x2 = x * x;
+    if (x2 == 0) { x2 = 1; }
+    x = (2 * x + a / x2) / 3;
+    if (x < 1) { x = 1; }
+  }
+  return x;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 512; i = i + 1) { xs[i] = i * i * 3 + 7; }
+  for (i = 0; i < 512; i = i + 1) { roots[i] = cuberoot_newton(xs[i]); }
+  int s = 0;
+  for (i = 0; i < 512; i = i + 1) { s = s + roots[i]; }
+  print_i64(s);
+  return s % 256;
+}
+`
+
+const blowfishCommon = `
+int sbox[256];
+int subkeys[16];
+int blocks[256];
+int out[256];
+
+void key_schedule(int key) {
+  int i = 0;
+  do {
+    subkeys[i] = (key * (i + 1) * 2654435761) % 65536;
+    i = i + 1;
+  } while (i < 16);
+  for (i = 0; i < 256; i = i + 1) {
+    sbox[i] = (i * 40503 + key) % 65536;
+  }
+}
+
+int feistel(int half) {
+  int a = sbox[half % 256];
+  int b = sbox[(half / 256) % 256];
+  return (a + b) % 65536;
+}
+`
+
+const srcBlowfishE = blowfishCommon + `
+// Encryption: blocks are independent once the key schedule (invariant) is
+// built.
+int main() {
+  int i;
+  key_schedule(1234);
+  for (i = 0; i < 256; i = i + 1) { blocks[i] = (i * 257 + 31) % 65536; }
+  for (i = 0; i < 256; i = i + 1) {
+    int l = blocks[i] % 256;
+    int r = blocks[i] / 256;
+    int round;
+    for (round = 0; round < 16; round = round + 1) {
+      int t = r ^ subkeys[round];
+      r = l ^ feistel(t);
+      l = t;
+    }
+    out[i] = l * 256 + (r % 256);
+  }
+  int s = 0;
+  for (i = 0; i < 256; i = i + 1) { s = s + out[i]; }
+  print_i64(s);
+  return s % 256;
+}
+`
+
+const srcBlowfishD = blowfishCommon + `
+// Decryption: same independent-block structure, reversed round order.
+int main() {
+  int i;
+  key_schedule(1234);
+  for (i = 0; i < 256; i = i + 1) { blocks[i] = (i * 263 + 17) % 65536; }
+  for (i = 0; i < 256; i = i + 1) {
+    int l = blocks[i] % 256;
+    int r = blocks[i] / 256;
+    int round;
+    for (round = 15; round >= 0; round = round - 1) {
+      int t = r ^ subkeys[round];
+      r = l ^ feistel(t);
+      l = t;
+    }
+    out[i] = l * 256 + (r % 256);
+  }
+  int s = 0;
+  for (i = 0; i < 256; i = i + 1) { s = s + out[i]; }
+  print_i64(s);
+  return s % 256;
+}
+`
+
+const srcBitcnts = `
+// Population counts over a buffer: classic reduction.
+int data[2048];
+
+int unused_bitreverse(int v) {
+  int r = 0;
+  int k;
+  for (k = 0; k < 32; k = k + 1) { r = r * 2 + ((v >> k) & 1); }
+  return r;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 2048; i = i + 1) { data[i] = (i * 2654435761) % 1048576; }
+  int total = 0;
+  for (i = 0; i < 2048; i = i + 1) {
+    int v = data[i];
+    int c = 0;
+    int k;
+    for (k = 0; k < 20; k = k + 1) { c = c + ((v >> k) & 1); }
+    total = total + c;
+  }
+  print_i64(total);
+  return total % 256;
+}
+`
+
+const jpegCommon = `
+int image[1024];
+int coeff[1024];
+int quant[64];
+
+void init_quant() {
+  int i;
+  for (i = 0; i < 64; i = i + 1) { quant[i] = 1 + (i * 3) % 31; }
+}
+`
+
+const srcCjpeg = jpegCommon + `
+// Forward DCT-like transform + quantization, independent per 8x8 block.
+int main() {
+  int i;
+  init_quant();
+  for (i = 0; i < 1024; i = i + 1) { image[i] = (i * 7) % 255; }
+  int blk;
+  for (blk = 0; blk < 16; blk = blk + 1) {
+    int base = blk * 64;
+    int k;
+    for (k = 0; k < 64; k = k + 1) {
+      int acc = 0;
+      int j;
+      for (j = 0; j < 8; j = j + 1) {
+        acc = acc + image[base + (k % 8) * 8 + j] * ((j + k) % 16 - 8);
+      }
+      coeff[base + k] = acc / quant[k];
+    }
+  }
+  int s = 0;
+  for (i = 0; i < 1024; i = i + 1) { s = s + coeff[i]; }
+  print_i64(s);
+  return s % 256;
+}
+`
+
+const srcDjpeg = jpegCommon + `
+// Inverse transform: dequantize + inverse DCT-like sum per block.
+int main() {
+  int i;
+  init_quant();
+  for (i = 0; i < 1024; i = i + 1) { coeff[i] = (i * 13) % 127 - 63; }
+  int blk;
+  for (blk = 0; blk < 16; blk = blk + 1) {
+    int base = blk * 64;
+    int k;
+    for (k = 0; k < 64; k = k + 1) {
+      int acc = 0;
+      int j;
+      for (j = 0; j < 8; j = j + 1) {
+        acc = acc + coeff[base + (k / 8) * 8 + j] * quant[j] * ((j * k) % 7 - 3);
+      }
+      int v = acc / 64 + 128;
+      if (v < 0) { v = 0; }
+      if (v > 255) { v = 255; }
+      image[base + k] = v;
+    }
+  }
+  int s = 0;
+  for (i = 0; i < 1024; i = i + 1) { s = s + image[i]; }
+  print_i64(s);
+  return s % 256;
+}
+`
+
+const srcCRC = `
+// CRC: the accumulator threads through a table lookup every byte — a
+// loop-carried dependence through memory that only memory-object cloning
+// could break. The paper names crc as the benchmark NOELLE-based tools
+// cannot speed up for exactly this reason.
+int table[256];
+int buf[4096];
+
+int unused_crc16_variant(int c) { return (c * 31) % 65536; }
+
+int main() {
+  int i;
+  for (i = 0; i < 256; i = i + 1) {
+    int c = i;
+    int k = 0;
+    do {
+      if (c & 1) { c = (c >> 1) ^ 79764919; } else { c = c >> 1; }
+      k = k + 1;
+    } while (k < 8);
+    table[i] = c;
+  }
+  for (i = 0; i < 4096; i = i + 1) { buf[i] = (i * 151) % 256; }
+  int crc = 1;
+  for (i = 0; i < 4096; i = i + 1) {
+    crc = table[(crc ^ buf[i]) & 255] ^ (crc >> 8);
+  }
+  if (crc < 0) { crc = 0 - crc; }
+  print_i64(crc);
+  return crc % 256;
+}
+`
+
+const fftCommon = `
+float re[512];
+float im[512];
+float wre[256];
+float wim[256];
+
+void init_twiddles() {
+  int i;
+  for (i = 0; i < 256; i = i + 1) {
+    float x = (float)i * 0.0245;
+    wre[i] = 1.0 - x * x * 0.5;
+    wim[i] = x - x * x * x * 0.16666;
+  }
+}
+`
+
+const srcFFT = fftCommon + `
+// One radix-2 stage: butterflies touch disjoint (2i, 2i+1) pairs =>
+// independent iterations.
+int main() {
+  int i;
+  init_twiddles();
+  for (i = 0; i < 512; i = i + 1) {
+    re[i] = (float)(i % 64) * 0.125;
+    im[i] = 0.0;
+  }
+  int stage;
+  for (stage = 0; stage < 4; stage = stage + 1) {
+    for (i = 0; i < 256; i = i + 1) {
+      float ar = re[2 * i];
+      float ai = im[2 * i];
+      float br = re[2 * i + 1] * wre[i] - im[2 * i + 1] * wim[i];
+      float bi = re[2 * i + 1] * wim[i] + im[2 * i + 1] * wre[i];
+      re[2 * i] = ar + br;
+      im[2 * i] = ai + bi;
+      re[2 * i + 1] = ar - br;
+      im[2 * i + 1] = ai - bi;
+    }
+  }
+  float s = 0.0;
+  for (i = 0; i < 512; i = i + 1) { s = s + re[i] + im[i]; }
+  print_f64(s);
+  return (int)s % 256;
+}
+`
+
+const srcFFTInv = fftCommon + `
+// The inverse stage: conjugated twiddles, same independent butterflies,
+// plus the 1/N scale pass.
+int main() {
+  int i;
+  init_twiddles();
+  for (i = 0; i < 512; i = i + 1) {
+    re[i] = (float)((i * 3) % 64) * 0.125;
+    im[i] = (float)(i % 7) * 0.1;
+  }
+  int stage;
+  for (stage = 0; stage < 4; stage = stage + 1) {
+    for (i = 0; i < 256; i = i + 1) {
+      float ar = re[2 * i];
+      float ai = im[2 * i];
+      float br = re[2 * i + 1] * wre[i] + im[2 * i + 1] * wim[i];
+      float bi = im[2 * i + 1] * wre[i] - re[2 * i + 1] * wim[i];
+      re[2 * i] = ar + br;
+      im[2 * i] = ai + bi;
+      re[2 * i + 1] = ar - br;
+      im[2 * i + 1] = ai - bi;
+    }
+  }
+  for (i = 0; i < 512; i = i + 1) {
+    re[i] = re[i] * 0.0625;
+    im[i] = im[i] * 0.0625;
+  }
+  float s = 0.0;
+  for (i = 0; i < 512; i = i + 1) { s = s + re[i] - im[i]; }
+  print_f64(s);
+  return (int)s % 256;
+}
+`
+
+const srcQsort = `
+// Sorting many independent small arrays (the outer loop is DOALL); the
+// comparator is reached through a function pointer, exercising the
+// complete call graph.
+int data[1024];
+
+int cmp_asc(int a, int b) { return a - b; }
+int cmp_desc(int a, int b) { return b - a; }
+int unused_cmp_abs(int a, int b) {
+  if (a < 0) { a = 0 - a; }
+  if (b < 0) { b = 0 - b; }
+  return a - b;
+}
+
+void sort_range(int base, int n, func(int, int) int cmp) {
+  int i;
+  for (i = 1; i < n; i = i + 1) {
+    int v = data[base + i];
+    int j = i - 1;
+    int moving = 1;
+    while (moving) {
+      if (j < 0) { moving = 0; }
+      else {
+        if (cmp(data[base + j], v) > 0) {
+          data[base + j + 1] = data[base + j];
+          j = j - 1;
+        } else { moving = 0; }
+      }
+    }
+    data[base + j + 1] = v;
+  }
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 1024; i = i + 1) { data[i] = (i * 2654435761) % 1000; }
+  func(int, int) int cmp = cmp_asc;
+  int g;
+  for (g = 0; g < 32; g = g + 1) {
+    sort_range(g * 32, 32, cmp);
+  }
+  int checksum = 0;
+  for (i = 0; i < 1024; i = i + 1) { checksum = checksum + data[i] * (i % 7); }
+  print_i64(checksum);
+  return checksum % 256;
+}
+`
+
+const adpcmCommon = `
+int samples[2048];
+int encoded[2048];
+int stepsizes[16];
+
+void init_steps() {
+  int i;
+  for (i = 0; i < 16; i = i + 1) { stepsizes[i] = 7 + i * 11; }
+}
+`
+
+const srcRawcaudio = adpcmCommon + `
+// ADPCM encode: the predictor state is carried sample to sample — the
+// loop is inherently sequential.
+int main() {
+  int i;
+  init_steps();
+  for (i = 0; i < 2048; i = i + 1) { samples[i] = ((i * 37) % 256) - 128; }
+  int pred = 0;
+  int index = 0;
+  i = 0;
+  do {
+    int diff = samples[i] - pred;
+    int sign = 0;
+    if (diff < 0) { sign = 8; diff = 0 - diff; }
+    int step = stepsizes[index];
+    int code = diff * 4 / (step + 1);
+    if (code > 7) { code = 7; }
+    pred = pred + (1 - 2 * (sign / 8)) * (code * step / 4);
+    index = (index + code - 3) % 16;
+    if (index < 0) { index = 0; }
+    encoded[i] = sign + code;
+    i = i + 1;
+  } while (i < 2048);
+  int s = 0;
+  for (i = 0; i < 2048; i = i + 1) { s = s + encoded[i]; }
+  print_i64(s);
+  return s % 256;
+}
+`
+
+const srcRawdaudio = adpcmCommon + `
+// ADPCM decode: the reconstruction state is carried — sequential.
+int main() {
+  int i;
+  init_steps();
+  for (i = 0; i < 2048; i = i + 1) { encoded[i] = (i * 5) % 16; }
+  int pred = 0;
+  int index = 0;
+  for (i = 0; i < 2048; i = i + 1) {
+    int code = encoded[i] % 8;
+    int sign = encoded[i] / 8;
+    int step = stepsizes[index];
+    int delta = code * step / 4 + step / 8;
+    if (sign) { pred = pred - delta; } else { pred = pred + delta; }
+    if (pred > 127) { pred = 127; }
+    if (pred < -128) { pred = -128; }
+    index = (index + code - 3) % 16;
+    if (index < 0) { index = 0; }
+    samples[i] = pred;
+  }
+  int s = 0;
+  for (i = 0; i < 2048; i = i + 1) { s = s + samples[i]; }
+  print_i64(s);
+  return s % 256;
+}
+`
+
+const srcSearch = `
+// String search: each pattern scans the text independently.
+int text[2048];
+int patterns[64];
+int hits[16];
+
+int unused_boyer_moore_skip(int c) { return c % 8 + 1; }
+
+int main() {
+  int i;
+  for (i = 0; i < 2048; i = i + 1) { text[i] = (i * 11 + 3) % 26; }
+  for (i = 0; i < 64; i = i + 1) { patterns[i] = (i * 17) % 26; }
+  int p;
+  for (p = 0; p < 16; p = p + 1) {
+    int count = 0;
+    int j;
+    for (j = 0; j < 2044; j = j + 1) {
+      int ok = 1;
+      int k;
+      for (k = 0; k < 4; k = k + 1) {
+        if (text[j + k] != patterns[p * 4 + k]) { ok = 0; }
+      }
+      count = count + ok;
+    }
+    hits[p] = count;
+  }
+  int s = 0;
+  for (i = 0; i < 16; i = i + 1) { s = s + hits[i]; }
+  print_i64(s);
+  return s % 256;
+}
+`
+
+const srcSHA = `
+// SHA-style hashing: the chaining values serialize every block.
+int msg[1024];
+int h0 = 1732584193;
+int h1 = 4023233417;
+
+int rotl(int v, int r) {
+  return ((v << r) | (v >> (32 - r))) % 4294967296;
+}
+
+int unused_hmac_pad(int k) { return k ^ 909522486; }
+
+int main() {
+  int i;
+  for (i = 0; i < 1024; i = i + 1) { msg[i] = (i * 2654435761) % 4294967296; }
+  int blk;
+  for (blk = 0; blk < 64; blk = blk + 1) {
+    int a = h0;
+    int b = h1;
+    int t = 0;
+    do {
+      int w = msg[blk * 16 + t];
+      int tmp = (rotl(a, 5) + (b ^ w) + t) % 4294967296;
+      b = a;
+      a = tmp;
+      t = t + 1;
+    } while (t < 16);
+    h0 = (h0 + a) % 4294967296;
+    h1 = (h1 + b) % 4294967296;
+  }
+  int s = (h0 ^ h1) % 100000;
+  if (s < 0) { s = 0 - s; }
+  print_i64(s);
+  return s % 256;
+}
+`
+
+const susanCommon = `
+int img[1156];
+int outimg[1156];
+int thr_base = 5;
+int gain = 4;
+
+void init_image() {
+  int i;
+  for (i = 0; i < 1156; i = i + 1) { img[i] = (i * 23 + 7) % 256; }
+}
+`
+
+const srcSusanC = susanCommon + `
+// Corner response per pixel: independent window sums. The kernel works
+// through pointer parameters (as the real library does) with an invariant
+// threshold chain computed from globals: low-level alias analysis cannot
+// hoist it past the stores through the output pointer.
+void corners(int *src, int *out) {
+  int y;
+  for (y = 1; y < 33; y = y + 1) {
+    int x;
+    for (x = 1; x < 33; x = x + 1) {
+      int thr = thr_base * gain;
+      int c = src[y * 34 + x];
+      int n = 0;
+      int dy;
+      for (dy = -1; dy <= 1; dy = dy + 1) {
+        int dx;
+        for (dx = -1; dx <= 1; dx = dx + 1) {
+          int d = src[(y + dy) * 34 + x + dx] - c;
+          if (d < 0) { d = 0 - d; }
+          if (d < thr) { n = n + 1; }
+        }
+      }
+      out[y * 34 + x] = n;
+    }
+  }
+}
+int main() {
+  init_image();
+  corners(&img[0], &outimg[0]);
+  int s = 0;
+  int i;
+  for (i = 0; i < 1156; i = i + 1) { s = s + outimg[i]; }
+  print_i64(s);
+  return s % 256;
+}
+`
+
+const srcSusanE = susanCommon + `
+// Edge response: gradient magnitude per pixel through pointer params,
+// scaled by an invariant global chain.
+void edges(int *src, int *out) {
+  int y;
+  for (y = 1; y < 33; y = y + 1) {
+    int x;
+    for (x = 1; x < 33; x = x + 1) {
+      int scale = gain * 2 + 1;
+      int gx = src[y * 34 + x + 1] - src[y * 34 + x - 1];
+      int gy = src[(y + 1) * 34 + x] - src[(y - 1) * 34 + x];
+      if (gx < 0) { gx = 0 - gx; }
+      if (gy < 0) { gy = 0 - gy; }
+      out[y * 34 + x] = (gx + gy) * scale / 8;
+    }
+  }
+}
+int main() {
+  init_image();
+  edges(&img[0], &outimg[0]);
+  int s = 0;
+  int i;
+  for (i = 0; i < 1156; i = i + 1) { s = s + outimg[i]; }
+  print_i64(s);
+  return s % 256;
+}
+`
+
+const srcSusanS = susanCommon + `
+// Smoothing: 3x3 box filter through pointer params with an invariant
+// global-derived divisor.
+void smooth(int *src, int *out) {
+  int y;
+  for (y = 1; y < 33; y = y + 1) {
+    int x;
+    for (x = 1; x < 33; x = x + 1) {
+      int div = thr_base + gain;
+      int acc = 0;
+      int dy;
+      for (dy = -1; dy <= 1; dy = dy + 1) {
+        int dx;
+        for (dx = -1; dx <= 1; dx = dx + 1) {
+          acc = acc + src[(y + dy) * 34 + x + dx];
+        }
+      }
+      out[y * 34 + x] = acc / div;
+    }
+  }
+}
+int main() {
+  init_image();
+  smooth(&img[0], &outimg[0]);
+  int s = 0;
+  int i;
+  for (i = 0; i < 1156; i = i + 1) { s = s + outimg[i]; }
+  print_i64(s);
+  return s % 256;
+}
+`
+
+const gsmCommon = `
+int pcm[1024];
+int lar[64];
+int residual[1024];
+
+void init_pcm() {
+  int i;
+  for (i = 0; i < 1024; i = i + 1) { pcm[i] = ((i * 31) % 512) - 256; }
+}
+`
+
+const srcToast = gsmCommon + `
+// GSM encode: short-term LPC filtering carries its state across samples.
+int main() {
+  init_pcm();
+  int s0 = 0;
+  int s1 = 0;
+  int i;
+  for (i = 0; i < 1024; i = i + 1) {
+    int x = pcm[i];
+    int pred = (s0 * 3 - s1) / 4;
+    int r = x - pred;
+    residual[i] = r;
+    s1 = s0;
+    s0 = x + r / 8;
+  }
+  int frame;
+  for (frame = 0; frame < 64; frame = frame + 1) {
+    int acc = 0;
+    int k;
+    for (k = 0; k < 16; k = k + 1) {
+      int v = residual[frame * 16 + k];
+      if (v < 0) { v = 0 - v; }
+      acc = acc + v;
+    }
+    lar[frame] = acc / 16;
+  }
+  int s = 0;
+  for (i = 0; i < 64; i = i + 1) { s = s + lar[i]; }
+  print_i64(s);
+  return s % 256;
+}
+`
+
+const srcUntoast = gsmCommon + `
+// GSM decode: the synthesis filter state is carried — sequential.
+int main() {
+  int i;
+  for (i = 0; i < 1024; i = i + 1) { residual[i] = ((i * 13) % 64) - 32; }
+  for (i = 0; i < 64; i = i + 1) { lar[i] = (i * 3) % 16 + 1; }
+  int s0 = 0;
+  int s1 = 0;
+  for (i = 0; i < 1024; i = i + 1) {
+    int g = lar[i / 16];
+    int x = residual[i] * g + (s0 * 3 - s1) / 4;
+    pcm[i] = x;
+    s1 = s0;
+    s0 = x;
+  }
+  int s = 0;
+  for (i = 0; i < 1024; i = i + 1) { s = s + pcm[i] % 97; }
+  print_i64(s);
+  return s % 256;
+}
+`

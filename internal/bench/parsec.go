@@ -1,0 +1,342 @@
+package bench
+
+// The PARSEC 3.0 stand-ins: data-parallel kernels whose hot loops are
+// DOALL-able (maps, stencils reading one buffer and writing another,
+// reductions), matching Figure 5's PARSEC speedups.
+
+func init() {
+	register("blackscholes", PARSEC, true, srcBlackscholes)
+	register("bodytrack", PARSEC, true, srcBodytrack)
+	register("canneal", PARSEC, true, srcCanneal)
+	register("fluidanimate", PARSEC, true, srcFluidanimate)
+	register("freqmine", PARSEC, true, srcFreqmine)
+	register("streamcluster", PARSEC, true, srcStreamcluster)
+	register("swaptions", PARSEC, true, srcSwaptions)
+	register("x264", PARSEC, true, srcX264)
+}
+
+const srcBlackscholes = `
+// Option pricing: one independent closed-form evaluation per option.
+float spot[512];
+float strike[512];
+float rate = 0.03;
+float vol = 0.2;
+float prices[512];
+
+float approx_exp(float x) {
+  float s = 1.0 + x + x * x * 0.5 + x * x * x * 0.16666;
+  return s;
+}
+
+// Unused legacy entry point: DeadFunctionElimination fodder.
+float legacy_put_price(float s, float k) {
+  float acc = 0.0;
+  int i;
+  for (i = 0; i < 16; i = i + 1) { acc = acc + s * 0.01 - k * 0.005; }
+  return acc;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 512; i = i + 1) {
+    spot[i] = 80.0 + (float)(i % 40);
+    strike[i] = 100.0;
+  }
+  for (i = 0; i < 512; i = i + 1) {
+    float t = 0.5 + (float)(i % 4) * 0.25;
+    float d1 = (spot[i] / strike[i] - 1.0 + (rate + vol * vol * 0.5) * t) / (vol * t);
+    float d2 = d1 - vol * t;
+    prices[i] = spot[i] * approx_exp(d1 * 0.01) - strike[i] * approx_exp(d2 * 0.01 - rate * t);
+  }
+  float sum = 0.0;
+  for (i = 0; i < 512; i = i + 1) { sum = sum + prices[i]; }
+  print_f64(sum);
+  return (int)sum % 256;
+}
+`
+
+const srcBodytrack = `
+// Particle filter: independent per-particle likelihood, then a weight
+// normalization reduction.
+int obs[256];
+int particle[256];
+int weight[256];
+
+int unused_render_debug(int p) { return p * 3 + 1; }
+
+int main() {
+  int i;
+  for (i = 0; i < 256; i = i + 1) {
+    obs[i] = (i * 37 + 11) % 101;
+    particle[i] = (i * 53 + 7) % 101;
+  }
+  int frame;
+  for (frame = 0; frame < 8; frame = frame + 1) {
+    int base = frame * 3 + 1;  // loop-invariant inside the hot loop
+    for (i = 0; i < 256; i = i + 1) {
+      int d = obs[i] - particle[i] + base;
+      if (d < 0) { d = 0 - d; }
+      weight[i] = 1000 / (1 + d);
+    }
+    int total = 0;
+    for (i = 0; i < 256; i = i + 1) { total = total + weight[i]; }
+    for (i = 0; i < 256; i = i + 1) {
+      particle[i] = (particle[i] * weight[i] + obs[i] * 17) % (total + 1);
+    }
+  }
+  int s = 0;
+  for (i = 0; i < 256; i = i + 1) { s = s + particle[i]; }
+  print_i64(s);
+  return s % 256;
+}
+`
+
+const srcCanneal = `
+// Simulated annealing: the hot cost evaluation sweeps all elements
+// independently; the annealing schedule itself is the sequential outer
+// loop. Uses a PRVG for the proposal.
+int netx[256];
+int nety[256];
+int cost[256];
+int prvg_state[2];
+
+int prvg_lcg_next(int *st) {
+  st[0] = (st[0] * 1103515245 + 12345) % 2147483647;
+  if (st[0] < 0) { st[0] = 0 - st[0]; }
+  return st[0];
+}
+
+int prvg_mt_next(int *st) {
+  int x = st[0];
+  int k;
+  for (k = 0; k < 8; k = k + 1) {
+    x = (x ^ (x << 13)) % 2147483647;
+    x = (x ^ (x >> 7)) % 2147483647;
+    x = (x * 69069 + 362437) % 2147483647;
+    if (x < 0) { x = 0 - x; }
+  }
+  st[0] = x;
+  return x;
+}
+
+int main() {
+  int i;
+  prvg_state[0] = 42;
+  for (i = 0; i < 256; i = i + 1) {
+    netx[i] = (i * 31) % 64;
+    nety[i] = (i * 17) % 64;
+  }
+  int temp = 10;
+  int total = 0;
+  do {
+    for (i = 0; i < 256; i = i + 1) {
+      int dx = netx[i] - 32;
+      int dy = nety[i] - 32;
+      if (dx < 0) { dx = 0 - dx; }
+      if (dy < 0) { dy = 0 - dy; }
+      cost[i] = dx + dy;
+    }
+    int sum = 0;
+    for (i = 0; i < 256; i = i + 1) { sum = sum + cost[i]; }
+    int r = prvg_mt_next(&prvg_state[0]);
+    int victim = r % 256;
+    netx[victim] = (netx[victim] + temp) % 64;
+    total = total + sum;
+    temp = temp - 1;
+  } while (temp > 0);
+  print_i64(total);
+  return total % 256;
+}
+`
+
+const srcFluidanimate = `
+// Grid stencil: densities read from the previous field, forces written to
+// a distinct field => DOALL.
+float dens[514];
+float force[514];
+
+float unused_viscosity_term(float a) { return a * 0.001; }
+
+int main() {
+  int i;
+  for (i = 0; i < 514; i = i + 1) { dens[i] = (float)(i % 32) * 0.25; }
+  int step;
+  for (step = 0; step < 6; step = step + 1) {
+    for (i = 1; i < 513; i = i + 1) {
+      force[i] = (dens[i - 1] + dens[i] * 2.0 + dens[i + 1]) * 0.25;
+    }
+    for (i = 1; i < 513; i = i + 1) {
+      dens[i] = force[i] * 0.995;
+    }
+  }
+  float s = 0.0;
+  for (i = 0; i < 514; i = i + 1) { s = s + dens[i]; }
+  print_f64(s);
+  return (int)s % 256;
+}
+`
+
+const srcFreqmine = `
+// Frequent itemset mining: per-transaction support counting is a map +
+// reduction over independent transactions.
+int txn[1024];
+int support[1024];
+
+int popcount16(int v) {
+  int c = 0;
+  int k;
+  for (k = 0; k < 16; k = k + 1) {
+    c = c + ((v >> k) & 1);
+  }
+  return c;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 1024; i = i + 1) { txn[i] = (i * 2654435761) % 65536; }
+  int mask;
+  int best = 0;
+  for (mask = 3; mask < 12; mask = mask + 3) {
+    for (i = 0; i < 1024; i = i + 1) {
+      int hit = (txn[i] & mask) == mask;
+      support[i] = hit * popcount16(txn[i]);
+    }
+    int total = 0;
+    for (i = 0; i < 1024; i = i + 1) { total = total + support[i]; }
+    if (total > best) { best = total; }
+  }
+  print_i64(best);
+  return best % 256;
+}
+`
+
+const srcStreamcluster = `
+// k-median clustering: the hot loop computes each point's distance to the
+// candidate centers (independent) and reduces the assignment cost.
+int px[400];
+int py[400];
+int cx[8];
+int cy[8];
+
+int unused_shuffle(int v) { return (v * 7 + 3) % 400; }
+
+int main() {
+  int i;
+  int c;
+  for (i = 0; i < 400; i = i + 1) {
+    px[i] = (i * 29) % 200;
+    py[i] = (i * 43) % 200;
+  }
+  for (c = 0; c < 8; c = c + 1) {
+    cx[c] = c * 25;
+    cy[c] = 200 - c * 25;
+  }
+  int round;
+  int total = 0;
+  for (round = 0; round < 4; round = round + 1) {
+    int cost = 0;
+    for (i = 0; i < 400; i = i + 1) {
+      int bestd = 1000000;
+      for (c = 0; c < 8; c = c + 1) {
+        int dx = px[i] - cx[c];
+        int dy = py[i] - cy[c];
+        int d = dx * dx + dy * dy;
+        if (d < bestd) { bestd = d; }
+      }
+      cost = cost + bestd;
+    }
+    total = total + cost;
+    cx[round % 8] = (cx[round % 8] + 13) % 200;
+  }
+  print_i64(total);
+  return total % 256;
+}
+`
+
+const srcSwaptions = `
+// Monte Carlo swaption pricing: per-path simulation with an
+// iteration-seeded generator, so paths are independent (DOALL) and the
+// PRVG choice is PRVJeeves' to make.
+int prvg_scratch[2];
+
+int prvg_lcg_next(int *st) {
+  st[0] = (st[0] * 1103515245 + 12345) % 2147483647;
+  if (st[0] < 0) { st[0] = 0 - st[0]; }
+  return st[0];
+}
+
+int prvg_mt_next(int *st) {
+  int x = st[0];
+  int k;
+  for (k = 0; k < 10; k = k + 1) {
+    x = (x ^ (x << 11)) % 2147483647;
+    x = (x ^ (x >> 5)) % 2147483647;
+    x = (x * 69069 + 362437) % 2147483647;
+    if (x < 0) { x = 0 - x; }
+  }
+  st[0] = x;
+  return x;
+}
+
+int path_value(int seed) {
+  int st[1];
+  st[0] = seed * 2 + 1;
+  int v = 100;
+  int t;
+  for (t = 0; t < 12; t = t + 1) {
+    int r = prvg_mt_next(&st[0]);
+    v = v + (r % 7) - 3;
+  }
+  if (v < 90) { return 0; }
+  return v - 90;
+}
+
+int main() {
+  int p;
+  int payoff = 0;
+  for (p = 0; p < 300; p = p + 1) {
+    payoff = payoff + path_value(p);
+  }
+  print_i64(payoff);
+  return payoff % 256;
+}
+`
+
+const srcX264 = `
+// Motion estimation: sum of absolute differences over candidate blocks,
+// independent per candidate.
+int frame0[1024];
+int frame1[1024];
+int sad[64];
+
+int unused_deblock(int v) { return v / 2; }
+
+int main() {
+  int i;
+  for (i = 0; i < 1024; i = i + 1) {
+    frame0[i] = (i * 11) % 255;
+    frame1[i] = (i * 11 + active_offset()) % 255;
+  }
+  int cand;
+  for (cand = 0; cand < 64; cand = cand + 1) {
+    int acc = 0;
+    int k;
+    for (k = 0; k < 256; k = k + 1) {
+      int a = frame0[(cand * 4 + k) % 1024];
+      int b = frame1[k];
+      int d = a - b;
+      if (d < 0) { d = 0 - d; }
+      acc = acc + d;
+    }
+    sad[cand] = acc;
+  }
+  int best = 1000000;
+  for (i = 0; i < 64; i = i + 1) {
+    if (sad[i] < best) { best = sad[i]; }
+  }
+  print_i64(best);
+  return best % 256;
+}
+
+int active_offset() { return 3; }
+`

@@ -1,0 +1,520 @@
+package bench
+
+// The SPEC CPU2017 stand-ins: programs whose hot kernels carry
+// dependences the non-speculative parallelizers cannot break (pointer
+// chasing, in-place stencils, recursion, interpreter loops with indirect
+// calls), with small data-parallel side loops. Whole-program speedups land
+// in the paper's 1–5% band (Section 4.4).
+
+func init() {
+	register("blender_r", SPEC, false, srcBlender)
+	register("deepsjeng_r", SPEC, false, srcDeepsjeng)
+	register("imagick_r", SPEC, false, srcImagick)
+	register("lbm_r", SPEC, false, srcLbm)
+	register("leela_r", SPEC, false, srcLeela)
+	register("mcf_r", SPEC, false, srcMcf)
+	register("nab_r", SPEC, false, srcNab)
+	register("namd_r", SPEC, false, srcNamd)
+	register("omnetpp_r", SPEC, false, srcOmnetpp)
+	register("parest_r", SPEC, false, srcParest)
+	register("perlbench_r", SPEC, false, srcPerlbench)
+	register("x264_r", SPEC, false, srcX264r)
+	register("xalancbmk_r", SPEC, false, srcXalancbmk)
+	register("xz_r", SPEC, false, srcXz)
+}
+
+const srcBlender = `
+// Layer compositing: each layer blends over the accumulated canvas, so
+// the layer loop carries the canvas. A small independent gamma pass gives
+// the 1-5%.
+int canvas[512];
+int layer[512];
+
+int unused_aa_sample(int x) { return (x * 3 + 1) / 2; }
+
+int main() {
+  int i;
+  for (i = 0; i < 512; i = i + 1) { canvas[i] = 0; layer[i] = (i * 37) % 256; }
+  int pass = 0;
+  do {
+    int alpha = (pass * 11) % 256;
+    for (i = 1; i < 512; i = i + 1) {
+      int src = (layer[i] + pass * 7) % 256;
+      canvas[i] = (canvas[i - 1] / 4 + canvas[i] * (255 - alpha) + src * alpha) / 255;
+    }
+    pass = pass + 1;
+  } while (pass < 24);
+  for (i = 0; i < 512; i = i + 1) { layer[i] = canvas[i] * canvas[i] / 255; }
+  int s = 0;
+  for (i = 0; i < 512; i = i + 1) { s = s + layer[i]; }
+  print_i64(s);
+  return s % 256;
+}
+`
+
+const srcDeepsjeng = `
+// Alpha-beta game-tree search: recursion dominates.
+int board[64];
+int nodes = 0;
+
+int unused_opening_book(int m) { return m % 32; }
+
+int evaluate(int depth, int pos) {
+  return board[pos % 64] * 3 + depth;
+}
+
+int search(int depth, int pos, int alpha) {
+  nodes = nodes + 1;
+  if (depth == 0) { return evaluate(depth, pos); }
+  int best = -100000;
+  int mv;
+  for (mv = 0; mv < 4; mv = mv + 1) {
+    int nxt = (pos * 5 + mv * 13 + 1) % 64;
+    int v = 0 - search(depth - 1, nxt, 0 - best);
+    if (v > best) { best = v; }
+    if (best >= alpha) { return best; }
+  }
+  return best;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 64; i = i + 1) { board[i] = (i * 29) % 100 - 50; }
+  int best = search(7, 11, 100000);
+  for (i = 0; i < 64; i = i + 1) { board[i] = board[i] * 2 + 1; }
+  print_i64(best + nodes % 100);
+  return (best + nodes) % 256;
+}
+`
+
+const srcImagick = `
+// In-place image morphology: the scanline loop reads pixels it wrote
+// (left neighbour), carrying a dependence through the image buffer.
+int img[1024];
+
+int unused_color_lut(int c) { return 255 - c; }
+
+int main() {
+  int i;
+  for (i = 0; i < 1024; i = i + 1) { img[i] = (i * 41) % 256; }
+  int pass = 0;
+  do {
+    for (i = 1; i < 1024; i = i + 1) {
+      img[i] = (img[i - 1] + img[i] * 3) / 4;
+    }
+    pass = pass + 1;
+  } while (pass < 12);
+  int s = 0;
+  for (i = 0; i < 1024; i = i + 1) { s = s + img[i]; }
+  print_i64(s);
+  return s % 256;
+}
+`
+
+const srcLbm = `
+// Lattice-Boltzmann with an in-place update: site i consumes neighbours
+// already updated this sweep (Gauss-Seidel style), serializing the sweep.
+float grid[1026];
+
+float unused_viscosity(float v) { return v * 0.9; }
+
+int main() {
+  int i;
+  for (i = 0; i < 1026; i = i + 1) { grid[i] = (float)(i % 17) * 0.5; }
+  int t;
+  for (t = 0; t < 10; t = t + 1) {
+    for (i = 1; i < 1025; i = i + 1) {
+      grid[i] = (grid[i - 1] + grid[i] + grid[i + 1]) * 0.3333;
+    }
+  }
+  float s = 0.0;
+  for (i = 0; i < 1026; i = i + 1) { s = s + grid[i]; }
+  print_f64(s);
+  return (int)s % 256;
+}
+`
+
+const srcLeela = `
+// Monte-Carlo tree search: playouts mutate the shared tree statistics, so
+// the playout loop carries through the tree arrays.
+int visits[256];
+int wins[256];
+
+int unused_gtp_reply(int id) { return id * 2; }
+
+int playout(int node, int seed) {
+  int pos = node;
+  int r = seed;
+  int depth;
+  for (depth = 0; depth < 12; depth = depth + 1) {
+    r = (r * 1103515245 + 12345) % 2147483647;
+    if (r < 0) { r = 0 - r; }
+    pos = (pos + r % 7) % 256;
+  }
+  return pos % 2;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 256; i = i + 1) { visits[i] = 1; wins[i] = 0; }
+  int iter;
+  for (iter = 0; iter < 400; iter = iter + 1) {
+    int best = 0;
+    int bestScore = -1;
+    for (i = 0; i < 256; i = i + 1) {
+      int score = wins[i] * 100 / visits[i] + best % 3;
+      if (score > bestScore) { bestScore = score; best = i; }
+    }
+    int w = playout(best, iter);
+    visits[best] = visits[best] + 1;
+    wins[best] = wins[best] + w;
+  }
+  int s = 0;
+  for (i = 0; i < 256; i = i + 1) { s = s + wins[i]; }
+  print_i64(s);
+  return s % 256;
+}
+`
+
+const srcMcf = `
+// Min-cost flow: Bellman-Ford-style relaxation over adjacency lists; the
+// distance array is read and written across the sweep, and convergence
+// checks serialize sweeps.
+int head[128];
+int next[512];
+int dest[512];
+int cost[512];
+int dist[128];
+
+int unused_dual_price(int a) { return a / 3; }
+
+int main() {
+  int i;
+  for (i = 0; i < 128; i = i + 1) { head[i] = -1; dist[i] = 100000; }
+  for (i = 0; i < 512; i = i + 1) {
+    int from = (i * 13) % 128;
+    dest[i] = (i * 29 + 7) % 128;
+    cost[i] = (i * 17) % 50 + 1;
+    next[i] = head[from];
+    head[from] = i;
+  }
+  dist[0] = 0;
+  int round;
+  for (round = 0; round < 16; round = round + 1) {
+    for (i = 0; i < 128; i = i + 1) {
+      int e = head[i];
+      int walking = 1;
+      while (walking) {
+        if (e < 0) { walking = 0; }
+        else {
+          int nd = dist[i] + cost[e];
+          if (nd < dist[dest[e]]) { dist[dest[e]] = nd; }
+          e = next[e];
+        }
+      }
+    }
+  }
+  int s = 0;
+  for (i = 0; i < 128; i = i + 1) { s = s + dist[i] % 1000; }
+  print_i64(s);
+  return s % 256;
+}
+`
+
+const srcNab = `
+// Molecular mechanics: pairwise forces accumulate into both endpoints
+// (scatter), which may-alias across iterations.
+int fx[128];
+int px[128];
+int pairs_a[512];
+int pairs_b[512];
+
+int unused_pdb_header(int n) { return n + 4; }
+
+int main() {
+  int i;
+  for (i = 0; i < 128; i = i + 1) { px[i] = (i * 19) % 500; fx[i] = 0; }
+  for (i = 0; i < 512; i = i + 1) {
+    pairs_a[i] = (i * 7) % 128;
+    pairs_b[i] = (i * 11 + 3) % 128;
+  }
+  int step;
+  for (step = 0; step < 6; step = step + 1) {
+    for (i = 0; i < 512; i = i + 1) {
+      int a = pairs_a[i];
+      int b = pairs_b[i];
+      int d = px[a] - px[b];
+      if (d == 0) { d = 1; }
+      int f = 1000 / d;
+      fx[a] = fx[a] + f;
+      fx[b] = fx[b] - f;
+    }
+    for (i = 0; i < 128; i = i + 1) { px[i] = px[i] + fx[i] / 64; }
+  }
+  int s = 0;
+  for (i = 0; i < 128; i = i + 1) { s = s + px[i] % 97; }
+  print_i64(s);
+  return s % 256;
+}
+`
+
+const srcNamd = `
+// Short-range force kernel with neighbour-list gather/scatter: the
+// scatter into the force array defeats static disambiguation.
+float force[256];
+float pos[256];
+int nbr[1024];
+
+float unused_pme_grid(float q) { return q * 0.125; }
+
+int main() {
+  int i;
+  for (i = 0; i < 256; i = i + 1) {
+    pos[i] = (float)((i * 13) % 101) * 0.1;
+    force[i] = 0.0;
+  }
+  for (i = 0; i < 1024; i = i + 1) { nbr[i] = (i * 37 + 5) % 256; }
+  int step;
+  for (step = 0; step < 4; step = step + 1) {
+    for (i = 0; i < 1024; i = i + 1) {
+      int j = nbr[i];
+      int self = i % 256;
+      float d = pos[self] - pos[j] + 0.01;
+      float f = 1.0 / (d * d + 0.1);
+      force[self] = force[self] + f;
+      force[j] = force[j] - f * 0.5;
+    }
+    for (i = 0; i < 256; i = i + 1) { pos[i] = pos[i] + force[i] * 0.001; }
+  }
+  float s = 0.0;
+  for (i = 0; i < 256; i = i + 1) { s = s + pos[i]; }
+  print_f64(s);
+  return (int)s % 256;
+}
+`
+
+const srcOmnetpp = `
+// Discrete-event simulation: a priority queue of events dispatched
+// through function pointers (handlers), inherently serial.
+int queue_time[256];
+int queue_kind[256];
+int state[16];
+
+int handler_arrive(int t) { state[t % 16] = state[t % 16] + 1; return t + 3; }
+int handler_depart(int t) { state[t % 16] = state[t % 16] - 1; return t + 5; }
+int handler_timer(int t) { state[(t + 1) % 16] = state[t % 16]; return t + 7; }
+int unused_handler_drop(int t) { return t; }
+
+int main() {
+  int i;
+  for (i = 0; i < 256; i = i + 1) {
+    queue_time[i] = (i * 7) % 64;
+    queue_kind[i] = i % 3;
+  }
+  func(int) int handlers[4];
+  handlers[0] = handler_arrive;
+  handlers[1] = handler_depart;
+  handlers[2] = handler_timer;
+  handlers[3] = handler_timer;
+  // A diagnostic registry that is written but never consulted: the
+  // complete call graph proves unused_handler_drop cannot run, while a
+  // syntactic call graph must keep every address-taken function.
+  func(int) int registry[1];
+  registry[0] = unused_handler_drop;
+  int ev;
+  int clock = 0;
+  for (ev = 0; ev < 256; ev = ev + 1) {
+    func(int) int h = handlers[queue_kind[ev]];
+    clock = h(clock + queue_time[ev] % 5);
+  }
+  int s = clock;
+  for (i = 0; i < 16; i = i + 1) { s = s + state[i]; }
+  print_i64(s);
+  return s % 256;
+}
+`
+
+const srcParest = `
+// Finite-element solve: sparse matrix-vector products with indirect
+// column indices (gather), then a Gauss-Seidel smoothing sweep that
+// serializes.
+int val[1024];
+int col[1024];
+int rowstart[129];
+int x[128];
+int b[128];
+
+int unused_assemble_cell(int c) { return c * 4; }
+
+int main() {
+  int i;
+  for (i = 0; i < 1024; i = i + 1) {
+    val[i] = (i * 3) % 9 + 1;
+    col[i] = (i * 53) % 128;
+  }
+  for (i = 0; i <= 128; i = i + 1) { rowstart[i] = i * 8; }
+  for (i = 0; i < 128; i = i + 1) { b[i] = (i * 21) % 64; x[i] = 0; }
+  int sweep;
+  for (sweep = 0; sweep < 12; sweep = sweep + 1) {
+    for (i = 0; i < 128; i = i + 1) {
+      int acc = b[i];
+      int k;
+      for (k = rowstart[i]; k < rowstart[i + 1]; k = k + 1) {
+        acc = acc - val[k] * x[col[k]];
+      }
+      x[i] = (x[i] * 3 + acc / 16) / 4;
+    }
+  }
+  int s = 0;
+  for (i = 0; i < 128; i = i + 1) { s = s + x[i] % 101; }
+  print_i64(s);
+  return s % 256;
+}
+`
+
+const srcPerlbench = `
+// Bytecode interpreter: the dispatch loop carries the VM state and
+// dispatches through a handler table (indirect calls).
+int code[512];
+int stack[64];
+int sp = 0;
+
+int op_push(int pc) { stack[sp % 64] = pc % 7; sp = sp + 1; return pc + 1; }
+int op_add(int pc) {
+  if (sp >= 2) {
+    stack[(sp - 2) % 64] = stack[(sp - 2) % 64] + stack[(sp - 1) % 64];
+    sp = sp - 1;
+  }
+  return pc + 1;
+}
+int op_jump(int pc) { return pc + 2 + (pc % 3); }
+int unused_op_regex(int pc) { return pc + 9; }
+
+int main() {
+  int i;
+  for (i = 0; i < 512; i = i + 1) { code[i] = (i * 7 + 2) % 3; }
+  func(int) int ops[4];
+  ops[0] = op_push;
+  ops[1] = op_add;
+  ops[2] = op_jump;
+  ops[3] = op_push;
+  func(int) int debug_ops[1];
+  debug_ops[0] = unused_op_regex;  // written, never read
+  int steps = 0;
+  int round;
+  for (round = 0; round < 4; round = round + 1) {
+    int pc = 0;
+    while (pc < 512) {
+      func(int) int h = ops[code[pc]];
+      pc = h(pc);
+      steps = steps + 1;
+    }
+  }
+  int s = steps + sp;
+  for (i = 0; i < 64; i = i + 1) { s = s + stack[i] % 17; }
+  print_i64(s);
+  return s % 256;
+}
+`
+
+const srcX264r = `
+// Rate-controlled encoding: the QP adaptation couples consecutive
+// macroblocks (unlike the PARSEC ME kernel, which is per-candidate).
+int mb[1024];
+int bits[256];
+
+int unused_cabac_init(int c) { return c % 63; }
+
+int main() {
+  int i;
+  for (i = 0; i < 1024; i = i + 1) { mb[i] = (i * 19) % 256; }
+  int qp = 26;
+  int frame;
+  for (frame = 0; frame < 6; frame = frame + 1) {
+    int blk;
+    for (blk = 0; blk < 256; blk = blk + 1) {
+      int energy = 0;
+      int k;
+      for (k = 0; k < 4; k = k + 1) { energy = energy + mb[blk * 4 + k] + frame; }
+      int cost = energy / (qp + 1);
+      bits[blk] = bits[blk] + cost;
+      qp = qp + (cost - 20) / 16;
+      if (qp < 10) { qp = 10; }
+      if (qp > 51) { qp = 51; }
+    }
+  }
+  int s = 0;
+  for (i = 0; i < 256; i = i + 1) { s = s + bits[i]; }
+  print_i64(s);
+  return s % 256;
+}
+`
+
+const srcXalancbmk = `
+// XML tree transformation: recursive traversal of a pointer-linked tree.
+int left[256];
+int right[256];
+int tag[256];
+
+int unused_namespace_uri(int n) { return n * 31 % 97; }
+
+int walk(int node, int depth) {
+  if (node < 0) { return 0; }
+  if (depth > 24) { return tag[node]; }
+  int v = tag[node] % 7;
+  return v + walk(left[node], depth + 1) + walk(right[node], depth + 1);
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 256; i = i + 1) {
+    tag[i] = (i * 13) % 43;
+    left[i] = 2 * i + 1;
+    right[i] = 2 * i + 2;
+    if (left[i] >= 256) { left[i] = -1; }
+    if (right[i] >= 256) { right[i] = -1; }
+  }
+  int total = 0;
+  int pass;
+  for (pass = 0; pass < 12; pass = pass + 1) {
+    total = total + walk(0, 0);
+    tag[pass % 256] = tag[pass % 256] + 1;
+  }
+  print_i64(total);
+  return total % 256;
+}
+`
+
+const srcXz = `
+// LZ-style compression: match lengths depend on previously emitted
+// output, carrying the dependence through the window.
+int input[2048];
+int window[2048];
+int lens[2048];
+
+int unused_crc64_slice(int v) { return v * 2 + 1; }
+
+int main() {
+  int i;
+  for (i = 0; i < 2048; i = i + 1) { input[i] = (i * 7) % 16; }
+  int outpos = 0;
+  for (i = 0; i < 2048; i = i + 1) {
+    int bestlen = 0;
+    int look = outpos - 16;
+    if (look < 0) { look = 0; }
+    int j;
+    for (j = look; j < outpos; j = j + 1) {
+      int l = 0;
+      if (window[j] == input[i]) { l = 1 + (window[(j + 1) % 2048] == input[(i + 1) % 2048]); }
+      if (l > bestlen) { bestlen = l; }
+    }
+    lens[i] = bestlen;
+    window[outpos] = input[i];
+    outpos = outpos + 1;
+  }
+  int s = 0;
+  for (i = 0; i < 2048; i = i + 1) { s = s + lens[i]; }
+  print_i64(s);
+  return s % 256;
+}
+`

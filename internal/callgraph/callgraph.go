@@ -1,0 +1,179 @@
+// Package callgraph implements NOELLE's complete call graph (CG): unlike
+// a syntactic call graph, indirect calls are resolved to their possible
+// callees via points-to analysis, so the *absence* of an edge proves a
+// function cannot invoke another. Edges carry must/may flags and sub-edges
+// naming the call instructions that induce them, and the graph can compute
+// its disconnected islands (the paper's ISL abstraction).
+package callgraph
+
+import (
+	"sort"
+
+	"noelle/internal/alias"
+	"noelle/internal/graph"
+	"noelle/internal/ir"
+)
+
+// SubEdge records one call instruction inducing a caller->callee edge.
+type SubEdge struct {
+	Call *ir.Instr
+	// Must is true when the call provably targets the callee (direct
+	// calls, or indirect calls with a singleton points-to set).
+	Must bool
+}
+
+// Edge aggregates all call sites from one caller to one callee.
+type Edge struct {
+	Caller, Callee *ir.Function
+	// Must is true when at least one sub-edge is a must edge.
+	Must bool
+	Subs []SubEdge
+}
+
+// CallGraph is the complete call graph of a module.
+type CallGraph struct {
+	Mod   *ir.Module
+	PT    *alias.PointsTo
+	edges map[*ir.Function]map[*ir.Function]*Edge // caller -> callee
+	rev   map[*ir.Function]map[*ir.Function]*Edge
+}
+
+// New builds the complete call graph using pt for indirect-call targets.
+func New(m *ir.Module, pt *alias.PointsTo) *CallGraph {
+	cg := &CallGraph{
+		Mod:   m,
+		PT:    pt,
+		edges: map[*ir.Function]map[*ir.Function]*Edge{},
+		rev:   map[*ir.Function]map[*ir.Function]*Edge{},
+	}
+	for _, f := range m.Functions {
+		f.Instrs(func(in *ir.Instr) bool {
+			if in.Opcode != ir.OpCall {
+				return true
+			}
+			callees := pt.Callees(in)
+			must := in.CalledFunction() != nil || len(callees) == 1
+			for _, callee := range callees {
+				cg.addSub(f, callee, SubEdge{Call: in, Must: must})
+			}
+			return true
+		})
+	}
+	return cg
+}
+
+func (cg *CallGraph) addSub(caller, callee *ir.Function, sub SubEdge) {
+	m, ok := cg.edges[caller]
+	if !ok {
+		m = map[*ir.Function]*Edge{}
+		cg.edges[caller] = m
+	}
+	e, ok := m[callee]
+	if !ok {
+		e = &Edge{Caller: caller, Callee: callee}
+		m[callee] = e
+		rm, ok := cg.rev[callee]
+		if !ok {
+			rm = map[*ir.Function]*Edge{}
+			cg.rev[callee] = rm
+		}
+		rm[caller] = e
+	}
+	e.Subs = append(e.Subs, sub)
+	if sub.Must {
+		e.Must = true
+	}
+}
+
+// Callees returns the functions caller may invoke, sorted by name.
+func (cg *CallGraph) Callees(caller *ir.Function) []*ir.Function {
+	var out []*ir.Function
+	for callee := range cg.edges[caller] {
+		out = append(out, callee)
+	}
+	sortFns(out)
+	return out
+}
+
+// Callers returns the functions that may invoke callee, sorted by name.
+func (cg *CallGraph) Callers(callee *ir.Function) []*ir.Function {
+	var out []*ir.Function
+	for caller := range cg.rev[callee] {
+		out = append(out, caller)
+	}
+	sortFns(out)
+	return out
+}
+
+// EdgeBetween returns the edge caller->callee, or nil.
+func (cg *CallGraph) EdgeBetween(caller, callee *ir.Function) *Edge {
+	return cg.edges[caller][callee]
+}
+
+// Reachable returns every function reachable from the given roots
+// (inclusive). DeadFunctionElimination deletes everything else — legal
+// precisely because this call graph is complete.
+func (cg *CallGraph) Reachable(roots ...*ir.Function) map[*ir.Function]bool {
+	seen := map[*ir.Function]bool{}
+	var stack []*ir.Function
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for callee := range cg.edges[f] {
+			if !seen[callee] {
+				seen[callee] = true
+				stack = append(stack, callee)
+			}
+		}
+	}
+	return seen
+}
+
+// SCCs returns the strongly connected components of the call graph
+// (recursion groups), in reverse topological order.
+func (cg *CallGraph) SCCs() []*graph.SCC[*ir.Function] {
+	return cg.asDigraph().SCCs()
+}
+
+// Islands returns the weakly connected components of the call graph.
+func (cg *CallGraph) Islands() [][]*ir.Function {
+	return cg.asDigraph().Islands()
+}
+
+func (cg *CallGraph) asDigraph() *graph.Digraph[*ir.Function] {
+	g := graph.New[*ir.Function]()
+	for _, f := range cg.Mod.Functions {
+		g.AddNode(f)
+	}
+	for caller, m := range cg.edges {
+		var callees []*ir.Function
+		for callee := range m {
+			callees = append(callees, callee)
+		}
+		sortFns(callees)
+		for _, callee := range callees {
+			g.AddEdge(caller, callee)
+		}
+	}
+	return g
+}
+
+// IsRecursive reports whether f can (transitively) invoke itself.
+func (cg *CallGraph) IsRecursive(f *ir.Function) bool {
+	for _, c := range cg.SCCs() {
+		if c.Contains(f) {
+			return c.HasInternalEdge
+		}
+	}
+	return false
+}
+
+func sortFns(fns []*ir.Function) {
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Nam < fns[j].Nam })
+}

@@ -1,0 +1,108 @@
+package callgraph_test
+
+import (
+	"testing"
+
+	"noelle/internal/alias"
+	"noelle/internal/callgraph"
+	"noelle/internal/ir"
+	"noelle/internal/minic"
+	"noelle/internal/passes"
+)
+
+func build(t *testing.T, src string) (*ir.Module, *callgraph.CallGraph) {
+	t.Helper()
+	m, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	passes.Optimize(m)
+	return m, callgraph.New(m, alias.NewPointsTo(m))
+}
+
+func TestDirectEdges(t *testing.T) {
+	m, cg := build(t, `
+int helper(int x) { return x + 1; }
+int main() { return helper(1) + helper(2); }`)
+	main := m.FunctionByName("main")
+	helper := m.FunctionByName("helper")
+	e := cg.EdgeBetween(main, helper)
+	if e == nil || !e.Must {
+		t.Fatal("main->helper edge missing or not must")
+	}
+	if len(e.Subs) != 2 {
+		t.Errorf("sub-edges = %d, want 2 call sites", len(e.Subs))
+	}
+	if callers := cg.Callers(helper); len(callers) != 1 || callers[0] != main {
+		t.Errorf("callers of helper = %v", callers)
+	}
+}
+
+func TestIndirectCompleteness(t *testing.T) {
+	m, cg := build(t, `
+int inc(int x) { return x + 1; }
+int dec(int x) { return x - 1; }
+int never(int x) { return x * 2; }
+int main() {
+  func(int) int op = inc;
+  if (op(1) > 1) { op = dec; }
+  return op(5);
+}`)
+	main := m.FunctionByName("main")
+	if cg.EdgeBetween(main, m.FunctionByName("inc")) == nil {
+		t.Error("indirect edge to inc missing")
+	}
+	if cg.EdgeBetween(main, m.FunctionByName("dec")) == nil {
+		t.Error("indirect edge to dec missing")
+	}
+	// Completeness: never's address is never taken, so the ABSENCE of an
+	// edge is a proof — the property DeadFunctionElimination relies on.
+	if cg.EdgeBetween(main, m.FunctionByName("never")) != nil {
+		t.Error("spurious edge to never")
+	}
+	reach := cg.Reachable(main)
+	if reach[m.FunctionByName("never")] {
+		t.Error("never is reachable despite no call path")
+	}
+}
+
+func TestRecursionSCC(t *testing.T) {
+	m, cg := build(t, `
+int odd(int n) { if (n == 0) { return 0; } return even(n - 1); }
+int even(int n) { if (n == 0) { return 1; } return odd(n - 1); }
+int fact(int n) { if (n < 2) { return 1; } return n * fact(n - 1); }
+int main() { return even(4) + fact(3); }`)
+	if !cg.IsRecursive(m.FunctionByName("fact")) {
+		t.Error("fact not detected as recursive")
+	}
+	if !cg.IsRecursive(m.FunctionByName("even")) || !cg.IsRecursive(m.FunctionByName("odd")) {
+		t.Error("mutual recursion not detected")
+	}
+	if cg.IsRecursive(m.FunctionByName("main")) {
+		t.Error("main wrongly recursive")
+	}
+}
+
+func TestIslands(t *testing.T) {
+	m, cg := build(t, `
+int used(int x) { return x; }
+int island_a(int x) { return island_b(x) + 1; }
+int island_b(int x) { return x * 2; }
+int main() { return used(3); }`)
+	islands := cg.Islands()
+	// {main, used, print externs...} and {island_a, island_b} at least.
+	var found bool
+	for _, isl := range islands {
+		names := map[string]bool{}
+		for _, f := range isl {
+			names[f.Nam] = true
+		}
+		if names["island_a"] && names["island_b"] && !names["main"] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("disconnected island {island_a, island_b} not identified: %d islands", len(islands))
+	}
+	_ = m
+}

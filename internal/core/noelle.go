@@ -1,0 +1,307 @@
+// Package core implements the Noelle manager: the demand-driven entry
+// point to every abstraction the layer provides (paper Section 2.1,
+// "noelle-load"). Abstractions are constructed on first request and
+// cached, so custom tools only pay for what they use; every request is
+// recorded per abstraction, which is how the Table 4 usage matrix is
+// produced.
+package core
+
+import (
+	"sort"
+
+	"noelle/internal/alias"
+	"noelle/internal/analysis"
+	"noelle/internal/arch"
+	"noelle/internal/callgraph"
+	"noelle/internal/ir"
+	"noelle/internal/loops"
+	"noelle/internal/pdg"
+	"noelle/internal/profiler"
+	"noelle/internal/scheduler"
+)
+
+// Abstraction names the paper's Table 1 entries; used for request
+// tracking.
+type Abstraction string
+
+// The abstractions NOELLE provides (paper Table 1).
+const (
+	AbsPDG    Abstraction = "PDG"
+	AbsSCCDAG Abstraction = "aSCCDAG"
+	AbsCG     Abstraction = "CG"
+	AbsENV    Abstraction = "ENV"
+	AbsTask   Abstraction = "T"
+	AbsDFE    Abstraction = "DFE"
+	AbsLS     Abstraction = "LS"
+	AbsPRO    Abstraction = "PRO"
+	AbsSCD    Abstraction = "SCD"
+	AbsINV    Abstraction = "INV"
+	AbsIV     Abstraction = "IV"
+	AbsIVS    Abstraction = "IVS"
+	AbsRD     Abstraction = "RD"
+	AbsLoop   Abstraction = "L"
+	AbsForest Abstraction = "FR"
+	AbsLB     Abstraction = "LB"
+	AbsISL    Abstraction = "ISL"
+	AbsAR     Abstraction = "AR"
+)
+
+// Options configures the manager.
+type Options struct {
+	// BaselineAA restricts the PDG to the LLVM-like alias stack (used for
+	// the Figure 3/4 baselines and the alias-stack ablation).
+	BaselineAA bool
+	// MinHotness is the minimum loop hotness custom tools consider
+	// (noelle-rm-lc-dependences' "minimum hotness required to consider a
+	// loop").
+	MinHotness float64
+	// Cores is the worker count parallelizers target.
+	Cores int
+}
+
+// DefaultOptions mirrors the paper's evaluation setup.
+func DefaultOptions() Options {
+	return Options{MinHotness: 0.05, Cores: 12}
+}
+
+// Noelle is the compilation layer's manager.
+type Noelle struct {
+	Mod  *ir.Module
+	Opts Options
+
+	requests map[Abstraction]int
+
+	pt      *alias.PointsTo
+	builder *pdg.Builder
+	fpdgs   map[*ir.Function]*pdg.Graph
+	cg      *callgraph.CallGraph
+	forests map[*ir.Function]*loops.Forest
+	loopAbs map[*ir.Block]*loops.Loop // keyed by loop header
+	profile *profiler.Profile
+	archD   *arch.Description
+	scheds  map[*ir.Function]*scheduler.Scheduler
+}
+
+// New loads the NOELLE layer over m without computing anything
+// (noelle-load's semantics: abstractions materialize on demand).
+func New(m *ir.Module, opts Options) *Noelle {
+	return &Noelle{
+		Mod:      m,
+		Opts:     opts,
+		requests: map[Abstraction]int{},
+		fpdgs:    map[*ir.Function]*pdg.Graph{},
+		forests:  map[*ir.Function]*loops.Forest{},
+		loopAbs:  map[*ir.Block]*loops.Loop{},
+		scheds:   map[*ir.Function]*scheduler.Scheduler{},
+	}
+}
+
+// Use records a request for an abstraction without constructing anything
+// (mechanism abstractions like ENV/T/LB/IVS/DFE are provided by their own
+// packages; tools record their use through the manager).
+func (n *Noelle) Use(a Abstraction) { n.requests[a]++ }
+
+// Requested returns the distinct abstractions requested so far, sorted.
+func (n *Noelle) Requested() []Abstraction {
+	var out []Abstraction
+	for a := range n.requests {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ResetRequests clears the request log (used between tools when building
+// the Table 4 matrix).
+func (n *Noelle) ResetRequests() { n.requests = map[Abstraction]int{} }
+
+// PointsTo returns the whole-module points-to analysis.
+func (n *Noelle) PointsTo() *alias.PointsTo {
+	if n.pt == nil {
+		n.pt = alias.NewPointsTo(n.Mod)
+	}
+	return n.pt
+}
+
+// PDGBuilder returns the configured dependence-graph builder.
+func (n *Noelle) PDGBuilder() *pdg.Builder {
+	if n.builder == nil {
+		if n.Opts.BaselineAA {
+			n.builder = pdg.NewBaselineBuilder(n.Mod)
+		} else {
+			pt := n.PointsTo()
+			n.builder = &pdg.Builder{
+				Mod: n.Mod,
+				AA:  alias.NewCombined(alias.TypeBasicAA{}, alias.AndersenAA{PT: pt}),
+				PT:  pt,
+			}
+		}
+	}
+	return n.builder
+}
+
+// FunctionPDG returns (building on first request) the PDG of f. When the
+// module carries an embedded PDG (noelle-meta-pdg-embed ran earlier), it
+// is reloaded instead of recomputed.
+func (n *Noelle) FunctionPDG(f *ir.Function) *pdg.Graph {
+	n.Use(AbsPDG)
+	if g, ok := n.fpdgs[f]; ok {
+		return g
+	}
+	if pdg.HasEmbedded(n.Mod, f) {
+		if g, err := pdg.Reload(n.Mod, f); err == nil {
+			n.fpdgs[f] = g
+			return g
+		}
+	}
+	g := n.PDGBuilder().FunctionPDG(f)
+	n.fpdgs[f] = g
+	return g
+}
+
+// CallGraph returns the complete program call graph.
+func (n *Noelle) CallGraph() *callgraph.CallGraph {
+	n.Use(AbsCG)
+	if n.cg == nil {
+		n.cg = callgraph.New(n.Mod, n.PointsTo())
+	}
+	return n.cg
+}
+
+// Forest returns the loop forest of f.
+func (n *Noelle) Forest(f *ir.Function) *loops.Forest {
+	n.Use(AbsForest)
+	if fr, ok := n.forests[f]; ok {
+		return fr
+	}
+	fr := loops.NewForest(f)
+	n.forests[f] = fr
+	return fr
+}
+
+// LoopStructures returns the LS of every loop in f.
+func (n *Noelle) LoopStructures(f *ir.Function) []*loops.LS {
+	n.Use(AbsLS)
+	var out []*loops.LS
+	for _, node := range n.Forest(f).Nodes() {
+		out = append(out, node.LS)
+	}
+	return out
+}
+
+// Loop returns the full L abstraction for the loop with the given header,
+// including its refined dependence graph, aSCCDAG, IVs, invariants, and
+// reductions.
+func (n *Noelle) Loop(ls *loops.LS) *loops.Loop {
+	n.Use(AbsLoop)
+	n.Use(AbsSCCDAG)
+	n.Use(AbsIV)
+	n.Use(AbsINV)
+	n.Use(AbsRD)
+	if l, ok := n.loopAbs[ls.Header]; ok {
+		return l
+	}
+	fpdg := n.FunctionPDG(ls.Fn)
+	var impure func(*ir.Instr) bool
+	if !n.Opts.BaselineAA {
+		pt := n.PointsTo()
+		impure = func(call *ir.Instr) bool { return !pt.CallIsPure(call) }
+	}
+	l := loops.NewLoop(ls, fpdg, impure)
+	n.loopAbs[ls.Header] = l
+	return l
+}
+
+// Profile returns the embedded profile, or nil when the module was not
+// profiled (tools degrade gracefully to static heuristics).
+func (n *Noelle) Profile() *profiler.Profile {
+	n.Use(AbsPRO)
+	if n.profile == nil && profiler.HasEmbedded(n.Mod) {
+		if p, err := profiler.Reload(n.Mod); err == nil {
+			n.profile = p
+		}
+	}
+	return n.profile
+}
+
+// Arch returns the architecture description (measuring it on first use).
+func (n *Noelle) Arch() *arch.Description {
+	n.Use(AbsAR)
+	if n.archD == nil {
+		n.archD = arch.Default()
+	}
+	return n.archD
+}
+
+// SetArch installs an externally measured description (noelle-arch file).
+func (n *Noelle) SetArch(d *arch.Description) { n.archD = d }
+
+// Scheduler returns the PDG-guarded scheduler for f.
+func (n *Noelle) Scheduler(f *ir.Function) *scheduler.Scheduler {
+	n.Use(AbsSCD)
+	if s, ok := n.scheds[f]; ok {
+		return s
+	}
+	s := scheduler.New(f, n.FunctionPDG(f))
+	n.scheds[f] = s
+	return s
+}
+
+// HotLoops returns the top-level loop structures of every defined function
+// whose profile hotness meets the configured threshold, hottest first.
+// Without a profile every top-level loop qualifies.
+func (n *Noelle) HotLoops() []*loops.LS {
+	prof := n.Profile()
+	type scored struct {
+		ls  *loops.LS
+		hot float64
+	}
+	var all []scored
+	for _, f := range n.Mod.Functions {
+		if f.IsDeclaration() {
+			continue
+		}
+		li := analysis.NewLoopInfo(f)
+		for _, nat := range li.TopLevel {
+			ls := loops.NewLS(f, nat)
+			hot := 1.0
+			if prof != nil {
+				hot = prof.LoopStatsFor(nat).Hotness
+			}
+			if hot >= n.Opts.MinHotness {
+				all = append(all, scored{ls, hot})
+			}
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].hot > all[j].hot })
+	var out []*loops.LS
+	for _, s := range all {
+		out = append(out, s.ls)
+	}
+	return out
+}
+
+// InvalidateFunction drops cached analyses for f after a transformation.
+func (n *Noelle) InvalidateFunction(f *ir.Function) {
+	delete(n.fpdgs, f)
+	delete(n.forests, f)
+	delete(n.scheds, f)
+	for h, l := range n.loopAbs {
+		if l.LS.Fn == f {
+			delete(n.loopAbs, h)
+		}
+	}
+}
+
+// InvalidateModule drops every cached analysis (after linking or global
+// transformations).
+func (n *Noelle) InvalidateModule() {
+	n.pt = nil
+	n.builder = nil
+	n.cg = nil
+	n.profile = nil
+	n.fpdgs = map[*ir.Function]*pdg.Graph{}
+	n.forests = map[*ir.Function]*loops.Forest{}
+	n.loopAbs = map[*ir.Block]*loops.Loop{}
+	n.scheds = map[*ir.Function]*scheduler.Scheduler{}
+}

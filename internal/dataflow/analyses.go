@@ -1,0 +1,117 @@
+package dataflow
+
+import (
+	"noelle/internal/ir"
+)
+
+// ValueUniverse indexes the SSA values of a function (parameters and
+// instruction results) so analyses can use bit vectors over them.
+type ValueUniverse struct {
+	Values []ir.Value
+	Index  map[ir.Value]int
+}
+
+// NewValueUniverse enumerates f's parameters and instruction results.
+func NewValueUniverse(f *ir.Function) *ValueUniverse {
+	u := &ValueUniverse{Index: map[ir.Value]int{}}
+	add := func(v ir.Value) {
+		if _, ok := u.Index[v]; !ok {
+			u.Index[v] = len(u.Values)
+			u.Values = append(u.Values, v)
+		}
+	}
+	for _, p := range f.Params {
+		add(p)
+	}
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.HasResult() {
+			add(in)
+		}
+		return true
+	})
+	return u
+}
+
+// Liveness computes live SSA values per block using the DFE: a value is
+// live where it may still be used. Phi uses count at the end of the
+// corresponding predecessor (approximated here as a use in the phi's
+// block, which is sound for the liveness consumers in this repo).
+type Liveness struct {
+	Universe *ValueUniverse
+	Result   *Result
+}
+
+// NewLiveness runs the analysis over f.
+func NewLiveness(f *ir.Function) *Liveness {
+	u := NewValueUniverse(f)
+	p := &Problem{
+		Direction: Backward,
+		Meet:      Union,
+		NumBits:   len(u.Values),
+		Gen: func(in *ir.Instr, set BitVec) {
+			for _, op := range in.Ops {
+				if i, ok := u.Index[op]; ok {
+					set.Set(i)
+				}
+			}
+		},
+		Kill: func(in *ir.Instr, set BitVec) {
+			if i, ok := u.Index[ir.Value(in)]; ok && in.HasResult() {
+				set.Set(i)
+			}
+		},
+	}
+	return &Liveness{Universe: u, Result: Solve(f, p)}
+}
+
+// LiveIn reports whether v is live at the entry of b.
+func (lv *Liveness) LiveIn(v ir.Value, b *ir.Block) bool {
+	i, ok := lv.Universe.Index[v]
+	return ok && lv.Result.In[b].Get(i)
+}
+
+// LiveOut reports whether v is live at the exit of b.
+func (lv *Liveness) LiveOut(v ir.Value, b *ir.Block) bool {
+	i, ok := lv.Universe.Index[v]
+	return ok && lv.Result.Out[b].Get(i)
+}
+
+// ReachingStores computes, per block, which store instructions may reach
+// it (no kills across blocks: stores are only killed by provably-must-alias
+// stores, which the caller can refine). Used by baseline (LLVM-style)
+// tools that reason at the store level.
+type ReachingStores struct {
+	Stores []*ir.Instr
+	Index  map[*ir.Instr]int
+	Result *Result
+}
+
+// NewReachingStores runs the analysis over f.
+func NewReachingStores(f *ir.Function) *ReachingStores {
+	rs := &ReachingStores{Index: map[*ir.Instr]int{}}
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Opcode == ir.OpStore {
+			rs.Index[in] = len(rs.Stores)
+			rs.Stores = append(rs.Stores, in)
+		}
+		return true
+	})
+	p := &Problem{
+		Direction: Forward,
+		Meet:      Union,
+		NumBits:   len(rs.Stores),
+		Gen: func(in *ir.Instr, set BitVec) {
+			if i, ok := rs.Index[in]; ok {
+				set.Set(i)
+			}
+		},
+	}
+	rs.Result = Solve(f, p)
+	return rs
+}
+
+// ReachesBlock reports whether store st may reach the entry of b.
+func (rs *ReachingStores) ReachesBlock(st *ir.Instr, b *ir.Block) bool {
+	i, ok := rs.Index[st]
+	return ok && rs.Result.In[b].Get(i)
+}

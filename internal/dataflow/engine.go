@@ -1,0 +1,329 @@
+// Package dataflow is NOELLE's DFE abstraction: an optimized engine that
+// evaluates data-flow equations supplied by the user. It implements the
+// conventional optimizations the paper lists — bit vectors, basic-block
+// granularity transfer functions, a work-list algorithm, and loop-aware
+// priority ordering — plus a set of common analyses built on it.
+package dataflow
+
+import (
+	"math/bits"
+
+	"noelle/internal/analysis"
+	"noelle/internal/ir"
+)
+
+// BitVec is a fixed-width bit vector.
+type BitVec []uint64
+
+// NewBitVec returns an all-zero vector able to hold n bits.
+func NewBitVec(n int) BitVec { return make(BitVec, (n+63)/64) }
+
+// Set sets bit i.
+func (v BitVec) Set(i int) { v[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear clears bit i.
+func (v BitVec) Clear(i int) { v[i/64] &^= 1 << (uint(i) % 64) }
+
+// Get reports bit i.
+func (v BitVec) Get(i int) bool { return v[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// OrWith ors o into v, reporting whether v changed.
+func (v BitVec) OrWith(o BitVec) bool {
+	changed := false
+	for i := range v {
+		nv := v[i] | o[i]
+		if nv != v[i] {
+			v[i] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
+// AndWith ands o into v, reporting whether v changed.
+func (v BitVec) AndWith(o BitVec) bool {
+	changed := false
+	for i := range v {
+		nv := v[i] & o[i]
+		if nv != v[i] {
+			v[i] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
+// AndNotWith removes o's bits from v.
+func (v BitVec) AndNotWith(o BitVec) {
+	for i := range v {
+		v[i] &^= o[i]
+	}
+}
+
+// CopyFrom overwrites v with o.
+func (v BitVec) CopyFrom(o BitVec) { copy(v, o) }
+
+// Clone returns a copy.
+func (v BitVec) Clone() BitVec {
+	o := make(BitVec, len(v))
+	copy(o, v)
+	return o
+}
+
+// Equal reports bitwise equality.
+func (v BitVec) Equal(o BitVec) bool {
+	for i := range v {
+		if v[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the population count.
+func (v BitVec) Count() int {
+	n := 0
+	for _, w := range v {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ForEach calls fn for every set bit.
+func (v BitVec) ForEach(fn func(i int)) {
+	for wi, w := range v {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*64 + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Direction selects forward or backward propagation.
+type Direction int
+
+// Propagation directions.
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// Meet selects the confluence operator.
+type Meet int
+
+// Confluence operators.
+const (
+	Union Meet = iota
+	Intersect
+)
+
+// Problem describes a data-flow problem at instruction granularity. The
+// engine aggregates per-block transfer functions itself.
+type Problem struct {
+	Direction Direction
+	Meet      Meet
+	NumBits   int
+	// Gen and Kill populate the bits generated/killed by one instruction.
+	Gen  func(in *ir.Instr, set BitVec)
+	Kill func(in *ir.Instr, set BitVec)
+	// Boundary initializes the entry (forward) or exit (backward) value;
+	// nil means empty.
+	Boundary func(set BitVec)
+}
+
+// Result holds per-block IN/OUT sets and supports instruction-level
+// queries by replaying block transfer functions.
+type Result struct {
+	Problem *Problem
+	Fn      *ir.Function
+	In      map[*ir.Block]BitVec
+	Out     map[*ir.Block]BitVec
+}
+
+// Solve runs the work-list algorithm to a fixed point. Blocks are
+// prioritized in reverse postorder for forward problems and postorder for
+// backward problems, which converges quickly on loops (the paper's
+// "loop-based priority").
+func Solve(f *ir.Function, p *Problem) *Result {
+	cfg := analysis.NewCFG(f)
+	res := &Result{
+		Problem: p,
+		Fn:      f,
+		In:      make(map[*ir.Block]BitVec, len(f.Blocks)),
+		Out:     make(map[*ir.Block]BitVec, len(f.Blocks)),
+	}
+
+	// Per-block gen/kill.
+	gen := map[*ir.Block]BitVec{}
+	kill := map[*ir.Block]BitVec{}
+	for _, b := range cfg.RPO {
+		g, k := NewBitVec(p.NumBits), NewBitVec(p.NumBits)
+		instrs := b.Instrs
+		if p.Direction == Backward {
+			for i := len(instrs) - 1; i >= 0; i-- {
+				applyInstr(p, instrs[i], g, k)
+			}
+		} else {
+			for _, in := range instrs {
+				applyInstr(p, in, g, k)
+			}
+		}
+		gen[b], kill[b] = g, k
+	}
+
+	order := cfg.RPO
+	if p.Direction == Backward {
+		order = make([]*ir.Block, len(cfg.RPO))
+		for i, b := range cfg.RPO {
+			order[len(order)-1-i] = b
+		}
+	}
+
+	full := NewBitVec(p.NumBits)
+	for i := range full {
+		full[i] = ^uint64(0)
+	}
+	for _, b := range cfg.RPO {
+		res.In[b] = NewBitVec(p.NumBits)
+		res.Out[b] = NewBitVec(p.NumBits)
+		if p.Meet == Intersect {
+			// Start optimistic (all bits) except at boundaries.
+			res.In[b].CopyFrom(full)
+			res.Out[b].CopyFrom(full)
+		}
+	}
+
+	boundarySet := NewBitVec(p.NumBits)
+	if p.Boundary != nil {
+		p.Boundary(boundarySet)
+	}
+
+	inWork := map[*ir.Block]bool{}
+	var work []*ir.Block
+	for _, b := range order {
+		work = append(work, b)
+		inWork[b] = true
+	}
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+
+		var inputs []*ir.Block
+		if p.Direction == Forward {
+			inputs = cfg.Preds[b]
+		} else {
+			inputs = cfg.Succs[b]
+		}
+		cur := NewBitVec(p.NumBits)
+		isBoundary := len(inputs) == 0
+		if isBoundary {
+			cur.CopyFrom(boundarySet)
+		} else {
+			if p.Meet == Intersect {
+				cur.CopyFrom(full)
+			}
+			for _, nb := range inputs {
+				var edgeVal BitVec
+				if p.Direction == Forward {
+					edgeVal = res.Out[nb]
+				} else {
+					edgeVal = res.In[nb]
+				}
+				if p.Meet == Union {
+					cur.OrWith(edgeVal)
+				} else {
+					cur.AndWith(edgeVal)
+				}
+			}
+		}
+
+		var inSlot, outSlot BitVec
+		if p.Direction == Forward {
+			inSlot, outSlot = res.In[b], res.Out[b]
+		} else {
+			inSlot, outSlot = res.Out[b], res.In[b]
+		}
+		inSlot.CopyFrom(cur)
+
+		next := cur.Clone()
+		next.AndNotWith(kill[b])
+		next.OrWith(gen[b])
+		if next.Equal(outSlot) {
+			continue
+		}
+		outSlot.CopyFrom(next)
+
+		var dependents []*ir.Block
+		if p.Direction == Forward {
+			dependents = cfg.Succs[b]
+		} else {
+			dependents = cfg.Preds[b]
+		}
+		for _, d := range dependents {
+			if !inWork[d] {
+				inWork[d] = true
+				work = append(work, d)
+			}
+		}
+	}
+	return res
+}
+
+func applyInstr(p *Problem, in *ir.Instr, g, k BitVec) {
+	tmpG := NewBitVec(p.NumBits)
+	tmpK := NewBitVec(p.NumBits)
+	if p.Gen != nil {
+		p.Gen(in, tmpG)
+	}
+	if p.Kill != nil {
+		p.Kill(in, tmpK)
+	}
+	// Compose: block = instr ∘ block.
+	g.AndNotWith(tmpK)
+	g.OrWith(tmpG)
+	k.AndNotWith(tmpG)
+	k.OrWith(tmpK)
+}
+
+// InstrIn returns the data-flow value just before in executes (forward
+// problems) or just after (backward problems seen against program order),
+// by replaying the block's transfer functions.
+func (r *Result) InstrIn(in *ir.Instr) BitVec {
+	b := in.Parent
+	p := r.Problem
+	cur := r.In[b].Clone()
+	if p.Direction == Forward {
+		for _, x := range b.Instrs {
+			if x == in {
+				return cur
+			}
+			step(p, x, cur)
+		}
+		return cur
+	}
+	// Backward: walk from the block end towards in.
+	cur = r.Out[b].Clone()
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		if b.Instrs[i] == in {
+			return cur
+		}
+		step(p, b.Instrs[i], cur)
+	}
+	return cur
+}
+
+func step(p *Problem, in *ir.Instr, cur BitVec) {
+	tmpG := NewBitVec(p.NumBits)
+	tmpK := NewBitVec(p.NumBits)
+	if p.Gen != nil {
+		p.Gen(in, tmpG)
+	}
+	if p.Kill != nil {
+		p.Kill(in, tmpK)
+	}
+	cur.AndNotWith(tmpK)
+	cur.OrWith(tmpG)
+}

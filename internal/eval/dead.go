@@ -1,0 +1,70 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"noelle/internal/bench"
+	"noelle/internal/core"
+	"noelle/internal/tools/baseline"
+	"noelle/internal/tools/dead"
+)
+
+// DeadRow is one benchmark's binary-size result (IR instructions proxy).
+type DeadRow struct {
+	Benchmark     string
+	Before        int
+	AfterNoelle   int
+	AfterBaseline int
+}
+
+// NoellePct is the NOELLE tool's size reduction.
+func (r DeadRow) NoellePct() float64 {
+	return 100 * float64(r.Before-r.AfterNoelle) / float64(r.Before)
+}
+
+// BaselinePct is the low-level tool's size reduction.
+func (r DeadRow) BaselinePct() float64 {
+	return 100 * float64(r.Before-r.AfterBaseline) / float64(r.Before)
+}
+
+// DeadFunctionStudy reproduces Section 4.5: DeadFunctionElimination's
+// binary-size reduction over the already-optimized (-Oz-like) corpus,
+// with the syntactic-call-graph baseline for contrast.
+func DeadFunctionStudy() ([]DeadRow, error) {
+	var rows []DeadRow
+	for _, b := range bench.List() {
+		m1, err := b.Compile()
+		if err != nil {
+			return nil, err
+		}
+		m2, err := b.Compile()
+		if err != nil {
+			return nil, err
+		}
+		row := DeadRow{Benchmark: b.Name, Before: m1.NumInstrs()}
+		res := dead.Run(core.New(m1, core.DefaultOptions()))
+		row.AfterNoelle = res.InstrsAfter
+		resB := baseline.DeadFunctionEliminationLLVM(m2)
+		row.AfterBaseline = resB.InstrsAfter
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatDeadStudy renders the Section 4.5 table.
+func FormatDeadStudy(rows []DeadRow) string {
+	var b strings.Builder
+	b.WriteString("Section 4.5: DeadFunctionElimination binary-size reduction (IR instructions)\n")
+	fmt.Fprintf(&b, "  %-14s %8s %10s %10s %10s %10s\n", "benchmark", "before", "noelle", "red%", "llvm-cg", "red%")
+	var sumN, sumB float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-14s %8d %10d %9.1f%% %10d %9.1f%%\n",
+			r.Benchmark, r.Before, r.AfterNoelle, r.NoellePct(), r.AfterBaseline, r.BaselinePct())
+		sumN += r.NoellePct()
+		sumB += r.BaselinePct()
+	}
+	nf := float64(len(rows))
+	fmt.Fprintf(&b, "  AVERAGE reduction: NOELLE %.1f%% (paper: 6.3%%), syntactic-CG baseline %.1f%%\n", sumN/nf, sumB/nf)
+	return b.String()
+}

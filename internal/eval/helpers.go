@@ -1,0 +1,11 @@
+package eval
+
+import (
+	"noelle/internal/alias"
+	"noelle/internal/analysis"
+	"noelle/internal/ir"
+)
+
+func domTreeOf(f *ir.Function) *analysis.DomTree { return analysis.NewDomTree(f) }
+
+func baselineAA() alias.Analysis { return alias.TypeBasicAA{} }

@@ -1,0 +1,303 @@
+// Package graph provides the generic directed-graph machinery behind
+// NOELLE's dependence graph, SCCDAG, and call-graph abstractions: Tarjan's
+// strongly-connected components, condensation DAGs, topological orders, and
+// island (weakly-connected component) discovery.
+package graph
+
+import "sort"
+
+// Digraph is a directed graph over nodes of comparable type N. The zero
+// value is an empty graph ready to use.
+type Digraph[N comparable] struct {
+	nodes []N
+	index map[N]int
+	succs map[N][]N
+	preds map[N][]N
+}
+
+// New returns an empty directed graph.
+func New[N comparable]() *Digraph[N] {
+	return &Digraph[N]{
+		index: map[N]int{},
+		succs: map[N][]N{},
+		preds: map[N][]N{},
+	}
+}
+
+// AddNode inserts n if not already present.
+func (g *Digraph[N]) AddNode(n N) {
+	if _, ok := g.index[n]; ok {
+		return
+	}
+	g.index[n] = len(g.nodes)
+	g.nodes = append(g.nodes, n)
+}
+
+// AddEdge inserts the edge from -> to (and both endpoints). Duplicate edges
+// are kept out.
+func (g *Digraph[N]) AddEdge(from, to N) {
+	g.AddNode(from)
+	g.AddNode(to)
+	for _, s := range g.succs[from] {
+		if s == to {
+			return
+		}
+	}
+	g.succs[from] = append(g.succs[from], to)
+	g.preds[to] = append(g.preds[to], from)
+}
+
+// HasEdge reports whether from -> to exists.
+func (g *Digraph[N]) HasEdge(from, to N) bool {
+	for _, s := range g.succs[from] {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Nodes returns the nodes in insertion order.
+func (g *Digraph[N]) Nodes() []N { return g.nodes }
+
+// NumNodes returns the node count.
+func (g *Digraph[N]) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the edge count.
+func (g *Digraph[N]) NumEdges() int {
+	n := 0
+	for _, ss := range g.succs {
+		n += len(ss)
+	}
+	return n
+}
+
+// Succs returns the successors of n in insertion order.
+func (g *Digraph[N]) Succs(n N) []N { return g.succs[n] }
+
+// Preds returns the predecessors of n in insertion order.
+func (g *Digraph[N]) Preds(n N) []N { return g.preds[n] }
+
+// Has reports whether n is a node of the graph.
+func (g *Digraph[N]) Has(n N) bool {
+	_, ok := g.index[n]
+	return ok
+}
+
+// SCC is one strongly connected component, with nodes in insertion order.
+type SCC[N comparable] struct {
+	Nodes []N
+	// HasInternalEdge is true when the component contains an edge between
+	// its members (always true for size > 1; for singletons it indicates a
+	// self-loop).
+	HasInternalEdge bool
+}
+
+// Contains reports whether the component contains n.
+func (s *SCC[N]) Contains(n N) bool {
+	for _, x := range s.Nodes {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
+// SCCs computes the strongly connected components with Tarjan's algorithm
+// (iterative). Components are returned in reverse topological order of the
+// condensation (callees/later nodes first), which is Tarjan's natural
+// output order.
+func (g *Digraph[N]) SCCs() []*SCC[N] {
+	n := len(g.nodes)
+	indexOf := make([]int, n) // discovery index, 0 = unvisited
+	lowlink := make([]int, n)
+	onStack := make([]bool, n)
+	var stack []int
+	next := 1
+	var comps []*SCC[N]
+
+	type frame struct {
+		v  int
+		si int // successor cursor
+	}
+	for root := 0; root < n; root++ {
+		if indexOf[root] != 0 {
+			continue
+		}
+		var frames []frame
+		push := func(v int) {
+			indexOf[v] = next
+			lowlink[v] = next
+			next++
+			stack = append(stack, v)
+			onStack[v] = true
+			frames = append(frames, frame{v: v})
+		}
+		push(root)
+		for len(frames) > 0 {
+			fr := &frames[len(frames)-1]
+			v := fr.v
+			succs := g.succs[g.nodes[v]]
+			advanced := false
+			for fr.si < len(succs) {
+				w := g.index[succs[fr.si]]
+				fr.si++
+				if indexOf[w] == 0 {
+					push(w)
+					advanced = true
+					break
+				}
+				if onStack[w] && indexOf[w] < lowlink[v] {
+					lowlink[v] = indexOf[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is done.
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if lowlink[v] < lowlink[p] {
+					lowlink[p] = lowlink[v]
+				}
+			}
+			if lowlink[v] == indexOf[v] {
+				comp := &SCC[N]{}
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp.Nodes = append(comp.Nodes, g.nodes[w])
+					if w == v {
+						break
+					}
+				}
+				// Restore insertion order inside the component.
+				sort.Slice(comp.Nodes, func(i, j int) bool {
+					return g.index[comp.Nodes[i]] < g.index[comp.Nodes[j]]
+				})
+				comps = append(comps, comp)
+			}
+		}
+	}
+	// Mark internal edges.
+	for _, c := range comps {
+		if len(c.Nodes) > 1 {
+			c.HasInternalEdge = true
+			continue
+		}
+		v := c.Nodes[0]
+		c.HasInternalEdge = g.HasEdge(v, v)
+	}
+	return comps
+}
+
+// Condensation is the DAG of SCCs.
+type Condensation[N comparable] struct {
+	Comps  []*SCC[N]
+	CompOf map[N]*SCC[N]
+	Edges  map[*SCC[N]][]*SCC[N] // successor components
+	Rev    map[*SCC[N]][]*SCC[N] // predecessor components
+}
+
+// Condense computes the SCC condensation DAG of g.
+func (g *Digraph[N]) Condense() *Condensation[N] {
+	comps := g.SCCs()
+	c := &Condensation[N]{
+		Comps:  comps,
+		CompOf: map[N]*SCC[N]{},
+		Edges:  map[*SCC[N]][]*SCC[N]{},
+		Rev:    map[*SCC[N]][]*SCC[N]{},
+	}
+	for _, comp := range comps {
+		for _, n := range comp.Nodes {
+			c.CompOf[n] = comp
+		}
+	}
+	seen := map[[2]int]bool{}
+	compIdx := map[*SCC[N]]int{}
+	for i, comp := range comps {
+		compIdx[comp] = i
+	}
+	for _, from := range g.nodes {
+		cf := c.CompOf[from]
+		for _, to := range g.succs[from] {
+			ct := c.CompOf[to]
+			if cf == ct {
+				continue
+			}
+			key := [2]int{compIdx[cf], compIdx[ct]}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			c.Edges[cf] = append(c.Edges[cf], ct)
+			c.Rev[ct] = append(c.Rev[ct], cf)
+		}
+	}
+	return c
+}
+
+// Topo returns the components in topological order (sources first). The
+// condensation is acyclic by construction, so this always succeeds.
+func (c *Condensation[N]) Topo() []*SCC[N] {
+	inDeg := map[*SCC[N]]int{}
+	for _, comp := range c.Comps {
+		inDeg[comp] = len(c.Rev[comp])
+	}
+	var queue []*SCC[N]
+	for _, comp := range c.Comps {
+		if inDeg[comp] == 0 {
+			queue = append(queue, comp)
+		}
+	}
+	var out []*SCC[N]
+	for len(queue) > 0 {
+		comp := queue[0]
+		queue = queue[1:]
+		out = append(out, comp)
+		for _, s := range c.Edges[comp] {
+			inDeg[s]--
+			if inDeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	return out
+}
+
+// Islands returns the weakly connected components (the paper's ISL
+// abstraction), each as a list of nodes in insertion order.
+func (g *Digraph[N]) Islands() [][]N {
+	visited := map[N]bool{}
+	var islands [][]N
+	for _, start := range g.nodes {
+		if visited[start] {
+			continue
+		}
+		var isl []N
+		stack := []N{start}
+		visited[start] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			isl = append(isl, v)
+			for _, w := range g.succs[v] {
+				if !visited[w] {
+					visited[w] = true
+					stack = append(stack, w)
+				}
+			}
+			for _, w := range g.preds[v] {
+				if !visited[w] {
+					visited[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		sort.Slice(isl, func(i, j int) bool { return g.index[isl[i]] < g.index[isl[j]] })
+		islands = append(islands, isl)
+	}
+	return islands
+}

@@ -1,0 +1,164 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSCCsSimple(t *testing.T) {
+	g := New[int]()
+	// 1 -> 2 -> 3 -> 1 (cycle), 3 -> 4, 4 -> 5 -> 4 (cycle)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 1)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(5, 4)
+	comps := g.SCCs()
+	if len(comps) != 2 {
+		t.Fatalf("SCCs = %d, want 2", len(comps))
+	}
+	for _, c := range comps {
+		if !c.HasInternalEdge {
+			t.Errorf("component %v should have internal edges", c.Nodes)
+		}
+	}
+}
+
+func TestSelfLoopIsInternalEdge(t *testing.T) {
+	g := New[string]()
+	g.AddEdge("a", "a")
+	g.AddNode("b")
+	comps := g.SCCs()
+	if len(comps) != 2 {
+		t.Fatalf("SCCs = %d, want 2", len(comps))
+	}
+	for _, c := range comps {
+		switch c.Nodes[0] {
+		case "a":
+			if !c.HasInternalEdge {
+				t.Error("self-loop not detected")
+			}
+		case "b":
+			if c.HasInternalEdge {
+				t.Error("isolated node has no internal edge")
+			}
+		}
+	}
+}
+
+// randomGraph builds a deterministic pseudo-random digraph.
+func randomGraph(n int, edges int, seed int64) *Digraph[int] {
+	r := rand.New(rand.NewSource(seed))
+	g := New[int]()
+	for i := 0; i < n; i++ {
+		g.AddNode(i)
+	}
+	for i := 0; i < edges; i++ {
+		g.AddEdge(r.Intn(n), r.Intn(n))
+	}
+	return g
+}
+
+// TestSCCPartitionProperty: SCCs partition the nodes (quick-checked).
+func TestSCCPartitionProperty(t *testing.T) {
+	prop := func(seed int64, nRaw, eRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		e := int(eRaw % 60)
+		g := randomGraph(n, e, seed)
+		seen := map[int]int{}
+		for _, c := range g.SCCs() {
+			for _, v := range c.Nodes {
+				seen[v]++
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, count := range seen {
+			if count != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCondensationAcyclicProperty: the condensation is a DAG whose Topo
+// order covers every component exactly once.
+func TestCondensationAcyclicProperty(t *testing.T) {
+	prop := func(seed int64, nRaw, eRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		e := int(eRaw % 60)
+		g := randomGraph(n, e, seed)
+		cond := g.Condense()
+		topo := cond.Topo()
+		if len(topo) != len(cond.Comps) {
+			return false // cycle in condensation: topo cannot cover it
+		}
+		pos := map[*SCC[int]]int{}
+		for i, c := range topo {
+			pos[c] = i
+		}
+		for c, succs := range cond.Edges {
+			for _, s := range succs {
+				if pos[s] <= pos[c] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIslandsPartitionProperty: islands partition nodes, and any edge's
+// endpoints share an island.
+func TestIslandsPartitionProperty(t *testing.T) {
+	prop := func(seed int64, nRaw, eRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		e := int(eRaw % 40)
+		g := randomGraph(n, e, seed)
+		islandOf := map[int]int{}
+		for i, isl := range g.Islands() {
+			for _, v := range isl {
+				if _, dup := islandOf[v]; dup {
+					return false
+				}
+				islandOf[v] = i
+			}
+		}
+		if len(islandOf) != n {
+			return false
+		}
+		for _, v := range g.Nodes() {
+			for _, w := range g.Succs(v) {
+				if islandOf[v] != islandOf[w] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDedupEdges(t *testing.T) {
+	g := New[int]()
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 2)
+	if g.NumEdges() != 1 {
+		t.Errorf("duplicate edge stored: %d", g.NumEdges())
+	}
+	if !g.HasEdge(1, 2) || g.HasEdge(2, 1) {
+		t.Error("HasEdge wrong")
+	}
+}

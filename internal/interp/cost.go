@@ -1,0 +1,92 @@
+// Package interp executes IR modules in a flat memory model. It stands in
+// for the paper's native execution substrate: the profiler runs it to
+// collect hotness statistics, transformation tests run it to check semantic
+// equivalence, and the multicore timing simulator consumes the
+// per-instruction cost attribution it produces.
+package interp
+
+import "noelle/internal/ir"
+
+// CostModel assigns an abstract cycle cost to each executed instruction.
+// The defaults approximate a simple in-order core: they only need to be
+// *relatively* plausible, since every evaluation in this repo compares
+// configurations under the same model.
+type CostModel struct {
+	IntALU    int64 // add/sub/logic/shift/compare
+	IntMul    int64
+	IntDiv    int64
+	FloatALU  int64 // fadd/fsub
+	FloatMul  int64
+	FloatDiv  int64
+	Load      int64
+	Store     int64
+	Branch    int64
+	CallOver  int64 // call/return overhead
+	Cast      int64
+	Select    int64
+	Phi       int64
+	Alloca    int64
+	ExternFix int64 // fixed cost of runtime externs (print etc.)
+}
+
+// DefaultCostModel returns the cost model used throughout the evaluation.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		IntALU:    1,
+		IntMul:    3,
+		IntDiv:    24,
+		FloatALU:  3,
+		FloatMul:  5,
+		FloatDiv:  18,
+		Load:      4,
+		Store:     4,
+		Branch:    1,
+		CallOver:  6,
+		Cast:      1,
+		Select:    1,
+		Phi:       0,
+		Alloca:    1,
+		ExternFix: 10,
+	}
+}
+
+// Cost returns the cycle cost of executing in under the model.
+func (c CostModel) Cost(in *ir.Instr) int64 {
+	switch in.Opcode {
+	case ir.OpAdd, ir.OpSub, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr:
+		return c.IntALU
+	case ir.OpMul:
+		return c.IntMul
+	case ir.OpDiv, ir.OpRem:
+		return c.IntDiv
+	case ir.OpFAdd, ir.OpFSub:
+		return c.FloatALU
+	case ir.OpFMul:
+		return c.FloatMul
+	case ir.OpFDiv:
+		return c.FloatDiv
+	case ir.OpLoad:
+		return c.Load
+	case ir.OpStore:
+		return c.Store
+	case ir.OpBr, ir.OpCondBr, ir.OpRet:
+		return c.Branch
+	case ir.OpCall:
+		return c.CallOver
+	case ir.OpSIToFP, ir.OpFPToSI, ir.OpZExt, ir.OpTrunc:
+		return c.Cast
+	case ir.OpSelect:
+		return c.Select
+	case ir.OpPhi:
+		return c.Phi
+	case ir.OpAlloca:
+		return c.Alloca
+	case ir.OpPtrAdd:
+		return c.IntALU
+	default:
+		if in.Opcode.IsCompare() {
+			return c.IntALU
+		}
+		return 1
+	}
+}

@@ -1,0 +1,66 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Extern function names understood by the interpreter. Benchmarks declare
+// the print externs; custom tools inject the runtime hooks.
+const (
+	ExternPrintI64 = "print_i64"
+	ExternPrintF64 = "print_f64"
+	// ExternGuard is CARAT's runtime address check: guard(ptr) validates
+	// that ptr points into a live allocation.
+	ExternGuard = "carat_guard"
+	// ExternCallback is COOS's injected OS-routine call.
+	ExternCallback = "os_callback"
+	// ExternClockSet is Time-Squeezer's clock-period change instruction.
+	ExternClockSet = "clock_set"
+	// ExternDispatch is the parallel runtime's task dispatcher:
+	// dispatch(task, env, nworkers) runs task(env, w, nworkers) for every
+	// worker w. The interpreter executes workers sequentially in worker
+	// order — semantically equivalent for correctly-parallelized tasks,
+	// while the machine package models the parallel timing.
+	ExternDispatch = "noelle_dispatch"
+)
+
+func registerDefaultExterns(it *Interp) {
+	it.RegisterExtern(ExternPrintI64, func(it *Interp, args []uint64) (uint64, error) {
+		fmt.Fprintf(&it.Output, "%d\n", int64(args[0]))
+		return 0, nil
+	})
+	it.RegisterExtern(ExternPrintF64, func(it *Interp, args []uint64) (uint64, error) {
+		fmt.Fprintf(&it.Output, "%g\n", math.Float64frombits(args[0]))
+		return 0, nil
+	})
+	it.RegisterExtern(ExternGuard, func(it *Interp, args []uint64) (uint64, error) {
+		it.GuardCalls++
+		if !it.ValidAddress(int64(args[0])) {
+			it.GuardFailures++
+		}
+		return 0, nil
+	})
+	it.RegisterExtern(ExternCallback, func(it *Interp, args []uint64) (uint64, error) {
+		it.Callbacks++
+		return 0, nil
+	})
+	it.RegisterExtern(ExternClockSet, func(it *Interp, args []uint64) (uint64, error) {
+		it.ClockSets++
+		return 0, nil
+	})
+	it.RegisterExtern(ExternDispatch, func(it *Interp, args []uint64) (uint64, error) {
+		idx := int64(args[0])
+		if idx < 0 || idx >= int64(len(it.fnTable)) {
+			return 0, fmt.Errorf("interp: dispatch of invalid function id %d", idx)
+		}
+		task := it.fnTable[idx]
+		nworkers := int64(args[2])
+		for w := int64(0); w < nworkers; w++ {
+			if _, err := it.Call(task, []uint64{args[1], uint64(w), args[2]}); err != nil {
+				return 0, err
+			}
+		}
+		return 0, nil
+	})
+}

@@ -1,0 +1,506 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"noelle/internal/ir"
+)
+
+// ErrStepLimit is returned when execution exceeds the configured budget.
+var ErrStepLimit = errors.New("interp: step limit exceeded")
+
+const pageCells = 1024 // 8 KiB pages
+
+// Interp executes one module. Create with New, run with Run or Call.
+type Interp struct {
+	Mod   *ir.Module
+	Cost  CostModel
+	Steps int64 // executed instruction count
+	// Cycles is the accumulated cost-model time.
+	Cycles int64
+	// MaxSteps bounds execution (0 means the default of 200M).
+	MaxSteps int64
+
+	// InstrHook, when set, observes every executed instruction after its
+	// effects are applied. Profilers and the timing harness hook here.
+	InstrHook func(in *ir.Instr)
+	// BlockHook observes every basic-block entry.
+	BlockHook func(b *ir.Block)
+	// EdgeHook observes every taken intra-function CFG edge.
+	EdgeHook func(from, to *ir.Block)
+
+	// Output accumulates the text produced by print externs.
+	Output strings.Builder
+
+	pages   map[int64][]uint64
+	nextPtr int64
+	allocs  map[int64]int64 // start -> size (live allocations)
+
+	globalAddr map[*ir.Global]int64
+	fnTable    []*ir.Function
+	fnIndex    map[*ir.Function]int64
+
+	externs map[string]Extern
+
+	// Extern counters (used by CARAT, COOS, TIME evaluations).
+	GuardCalls    int64
+	GuardFailures int64
+	Callbacks     int64
+	ClockSets     int64
+}
+
+// Extern is a host implementation of a declared function.
+type Extern func(it *Interp, args []uint64) (uint64, error)
+
+// New prepares an interpreter for m: assigns IDs, lays out globals, and
+// registers the default externs.
+func New(m *ir.Module) *Interp {
+	it := &Interp{
+		Mod:        m,
+		Cost:       DefaultCostModel(),
+		MaxSteps:   200_000_000,
+		pages:      map[int64][]uint64{},
+		nextPtr:    8, // keep 0 as a null page
+		allocs:     map[int64]int64{},
+		globalAddr: map[*ir.Global]int64{},
+		fnIndex:    map[*ir.Function]int64{},
+		externs:    map[string]Extern{},
+	}
+	for _, f := range m.Functions {
+		it.fnIndex[f] = int64(len(it.fnTable))
+		it.fnTable = append(it.fnTable, f)
+	}
+	for _, g := range m.Globals {
+		addr := it.alloc(int64(g.Elem.Size()))
+		it.globalAddr[g] = addr
+		scalar := g.ScalarElem()
+		if scalar.IsFloat() {
+			for i, v := range g.FInit {
+				it.writeCell(addr+int64(i)*8, math.Float64bits(v))
+			}
+		} else {
+			for i, v := range g.Init {
+				it.writeCell(addr+int64(i)*8, uint64(v))
+			}
+		}
+	}
+	registerDefaultExterns(it)
+	return it
+}
+
+// RegisterExtern installs (or replaces) a host function for declarations
+// named name.
+func (it *Interp) RegisterExtern(name string, fn Extern) { it.externs[name] = fn }
+
+// GlobalAddr returns the address of g's storage.
+func (it *Interp) GlobalAddr(g *ir.Global) int64 { return it.globalAddr[g] }
+
+// alloc reserves size bytes (rounded up to cells) and tracks the range.
+func (it *Interp) alloc(size int64) int64 {
+	if size < 8 {
+		size = 8
+	}
+	size = (size + 7) &^ 7
+	addr := it.nextPtr
+	it.nextPtr += size
+	it.allocs[addr] = size
+	return addr
+}
+
+func (it *Interp) free(addr int64) { delete(it.allocs, addr) }
+
+// ValidAddress reports whether addr falls inside a live allocation.
+func (it *Interp) ValidAddress(addr int64) bool {
+	for start, size := range it.allocs {
+		if addr >= start && addr < start+size {
+			return true
+		}
+	}
+	return false
+}
+
+func (it *Interp) writeCell(addr int64, v uint64) {
+	cell := addr >> 3
+	page := cell / pageCells
+	p, ok := it.pages[page]
+	if !ok {
+		p = make([]uint64, pageCells)
+		it.pages[page] = p
+	}
+	p[cell%pageCells] = v
+}
+
+func (it *Interp) readCell(addr int64) uint64 {
+	cell := addr >> 3
+	if p, ok := it.pages[cell/pageCells]; ok {
+		return p[cell%pageCells]
+	}
+	return 0
+}
+
+// MemoryFingerprint hashes the contents of all global storage; semantic
+// equivalence tests compare fingerprints of original vs transformed runs.
+func (it *Interp) MemoryFingerprint() uint64 {
+	type ga struct {
+		name string
+		addr int64
+		size int64
+	}
+	var gs []ga
+	for g, a := range it.globalAddr {
+		gs = append(gs, ga{g.Nam, a, int64(g.Elem.Size())})
+	}
+	sort.Slice(gs, func(i, j int) bool { return gs[i].name < gs[j].name })
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	for _, g := range gs {
+		for off := int64(0); off < g.size; off += 8 {
+			mix(it.readCell(g.addr + off))
+		}
+	}
+	return h
+}
+
+// Run executes @main with no arguments and returns its integer result.
+func (it *Interp) Run() (int64, error) {
+	main := it.Mod.FunctionByName("main")
+	if main == nil {
+		return 0, errors.New("interp: no @main")
+	}
+	r, err := it.Call(main, nil)
+	return int64(r), err
+}
+
+// Call executes f with raw argument bits and returns the raw result bits.
+func (it *Interp) Call(f *ir.Function, args []uint64) (uint64, error) {
+	if f.IsDeclaration() {
+		ext, ok := it.externs[f.Nam]
+		if !ok {
+			return 0, fmt.Errorf("interp: call to undefined extern @%s", f.Nam)
+		}
+		it.Cycles += it.Cost.ExternFix
+		return ext(it, args)
+	}
+	if len(args) != len(f.Params) {
+		return 0, fmt.Errorf("interp: @%s: %d args, want %d", f.Nam, len(args), len(f.Params))
+	}
+	frame := map[ir.Value]uint64{}
+	for i, p := range f.Params {
+		frame[p] = args[i]
+	}
+	var frameAllocs []int64
+	defer func() {
+		for _, a := range frameAllocs {
+			it.free(a)
+		}
+	}()
+
+	maxSteps := it.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 200_000_000
+	}
+
+	block := f.Entry()
+	var prev *ir.Block
+	for {
+		if it.BlockHook != nil {
+			it.BlockHook(block)
+		}
+		// Resolve phis as a parallel assignment from the incoming edge.
+		phis := block.Phis()
+		if len(phis) > 0 {
+			vals := make([]uint64, len(phis))
+			for i, phi := range phis {
+				inc := phi.PhiIncoming(prev)
+				if inc == nil {
+					return 0, fmt.Errorf("interp: @%s/%s: phi %s has no incoming for %s", f.Nam, block.Nam, phi.Ident(), prev.Nam)
+				}
+				v, err := it.value(frame, inc)
+				if err != nil {
+					return 0, err
+				}
+				vals[i] = v
+			}
+			for i, phi := range phis {
+				frame[phi] = vals[i]
+				it.Steps++
+				it.Cycles += it.Cost.Cost(phi)
+				if it.InstrHook != nil {
+					it.InstrHook(phi)
+				}
+			}
+		}
+
+		for _, in := range block.Instrs[block.FirstNonPhi():] {
+			if it.Steps >= maxSteps {
+				return 0, ErrStepLimit
+			}
+			it.Steps++
+			it.Cycles += it.Cost.Cost(in)
+
+			switch in.Opcode {
+			case ir.OpAlloca:
+				addr := it.alloc(int64(in.AllocaElem.Size() * in.AllocaCount))
+				frameAllocs = append(frameAllocs, addr)
+				frame[in] = uint64(addr)
+
+			case ir.OpLoad:
+				p, err := it.value(frame, in.Ops[0])
+				if err != nil {
+					return 0, err
+				}
+				frame[in] = it.readCell(int64(p))
+
+			case ir.OpStore:
+				v, err := it.value(frame, in.Ops[0])
+				if err != nil {
+					return 0, err
+				}
+				p, err := it.value(frame, in.Ops[1])
+				if err != nil {
+					return 0, err
+				}
+				it.writeCell(int64(p), v)
+
+			case ir.OpPtrAdd:
+				p, err := it.value(frame, in.Ops[0])
+				if err != nil {
+					return 0, err
+				}
+				idx, err := it.value(frame, in.Ops[1])
+				if err != nil {
+					return 0, err
+				}
+				elem := in.Ty.Elem
+				frame[in] = uint64(int64(p) + int64(idx)*int64(elem.Size()))
+
+			case ir.OpCall:
+				callee, err := it.callee(frame, in)
+				if err != nil {
+					return 0, err
+				}
+				args := make([]uint64, 0, len(in.Ops)-1)
+				for _, a := range in.Ops[1:] {
+					v, err := it.value(frame, a)
+					if err != nil {
+						return 0, err
+					}
+					args = append(args, v)
+				}
+				if it.InstrHook != nil {
+					it.InstrHook(in)
+				}
+				r, err := it.Call(callee, args)
+				if err != nil {
+					return 0, err
+				}
+				if in.HasResult() {
+					frame[in] = r
+				}
+				continue // hook already ran (before the callee body)
+
+			case ir.OpBr:
+				if it.InstrHook != nil {
+					it.InstrHook(in)
+				}
+				prev, block = block, in.Blocks[0]
+				if it.EdgeHook != nil {
+					it.EdgeHook(prev, block)
+				}
+				goto nextBlock
+
+			case ir.OpCondBr:
+				c, err := it.value(frame, in.Ops[0])
+				if err != nil {
+					return 0, err
+				}
+				if it.InstrHook != nil {
+					it.InstrHook(in)
+				}
+				prev = block
+				if c != 0 {
+					block = in.Blocks[0]
+				} else {
+					block = in.Blocks[1]
+				}
+				if it.EdgeHook != nil {
+					it.EdgeHook(prev, block)
+				}
+				goto nextBlock
+
+			case ir.OpRet:
+				if it.InstrHook != nil {
+					it.InstrHook(in)
+				}
+				if len(in.Ops) == 0 {
+					return 0, nil
+				}
+				return it.value(frame, in.Ops[0])
+
+			case ir.OpSelect:
+				c, err := it.value(frame, in.Ops[0])
+				if err != nil {
+					return 0, err
+				}
+				pick := in.Ops[2]
+				if c != 0 {
+					pick = in.Ops[1]
+				}
+				v, err := it.value(frame, pick)
+				if err != nil {
+					return 0, err
+				}
+				frame[in] = v
+
+			default:
+				v, err := it.evalSimple(frame, in)
+				if err != nil {
+					return 0, err
+				}
+				frame[in] = v
+			}
+			if it.InstrHook != nil {
+				it.InstrHook(in)
+			}
+		}
+		return 0, fmt.Errorf("interp: @%s/%s: fell off block end", f.Nam, block.Nam)
+	nextBlock:
+	}
+}
+
+// callee resolves the target function of a call instruction.
+func (it *Interp) callee(frame map[ir.Value]uint64, in *ir.Instr) (*ir.Function, error) {
+	if f := in.CalledFunction(); f != nil {
+		return f, nil
+	}
+	bits, err := it.value(frame, in.Ops[0])
+	if err != nil {
+		return nil, err
+	}
+	idx := int64(bits)
+	if idx < 0 || idx >= int64(len(it.fnTable)) {
+		return nil, fmt.Errorf("interp: indirect call to invalid function id %d", idx)
+	}
+	return it.fnTable[idx], nil
+}
+
+// value resolves an operand to its raw bits.
+func (it *Interp) value(frame map[ir.Value]uint64, v ir.Value) (uint64, error) {
+	switch x := v.(type) {
+	case *ir.Const:
+		if x.Ty.IsFloat() {
+			return math.Float64bits(x.Flt), nil
+		}
+		return uint64(x.Int), nil
+	case *ir.Global:
+		return uint64(it.globalAddr[x]), nil
+	case *ir.Function:
+		return uint64(it.fnIndex[x]), nil
+	default:
+		bits, ok := frame[v]
+		if !ok {
+			return 0, fmt.Errorf("interp: use of undefined value %s", v.Ident())
+		}
+		return bits, nil
+	}
+}
+
+func (it *Interp) evalSimple(frame map[ir.Value]uint64, in *ir.Instr) (uint64, error) {
+	a, err := it.value(frame, in.Ops[0])
+	if err != nil {
+		return 0, err
+	}
+	var b uint64
+	if len(in.Ops) > 1 {
+		b, err = it.value(frame, in.Ops[1])
+		if err != nil {
+			return 0, err
+		}
+	}
+	ai, bi := int64(a), int64(b)
+	af, bf := math.Float64frombits(a), math.Float64frombits(b)
+	boolBits := func(c bool) uint64 {
+		if c {
+			return 1
+		}
+		return 0
+	}
+	switch in.Opcode {
+	case ir.OpAdd:
+		return uint64(ai + bi), nil
+	case ir.OpSub:
+		return uint64(ai - bi), nil
+	case ir.OpMul:
+		return uint64(ai * bi), nil
+	case ir.OpDiv:
+		if bi == 0 {
+			return 0, errors.New("interp: integer division by zero")
+		}
+		return uint64(ai / bi), nil
+	case ir.OpRem:
+		if bi == 0 {
+			return 0, errors.New("interp: integer remainder by zero")
+		}
+		return uint64(ai % bi), nil
+	case ir.OpAnd:
+		return a & b, nil
+	case ir.OpOr:
+		return a | b, nil
+	case ir.OpXor:
+		return a ^ b, nil
+	case ir.OpShl:
+		return uint64(ai << (uint64(bi) & 63)), nil
+	case ir.OpShr:
+		return uint64(ai >> (uint64(bi) & 63)), nil
+	case ir.OpFAdd:
+		return math.Float64bits(af + bf), nil
+	case ir.OpFSub:
+		return math.Float64bits(af - bf), nil
+	case ir.OpFMul:
+		return math.Float64bits(af * bf), nil
+	case ir.OpFDiv:
+		return math.Float64bits(af / bf), nil
+	case ir.OpEq:
+		return boolBits(ai == bi), nil
+	case ir.OpNe:
+		return boolBits(ai != bi), nil
+	case ir.OpLt:
+		return boolBits(ai < bi), nil
+	case ir.OpLe:
+		return boolBits(ai <= bi), nil
+	case ir.OpGt:
+		return boolBits(ai > bi), nil
+	case ir.OpGe:
+		return boolBits(ai >= bi), nil
+	case ir.OpFEq:
+		return boolBits(af == bf), nil
+	case ir.OpFNe:
+		return boolBits(af != bf), nil
+	case ir.OpFLt:
+		return boolBits(af < bf), nil
+	case ir.OpFLe:
+		return boolBits(af <= bf), nil
+	case ir.OpFGt:
+		return boolBits(af > bf), nil
+	case ir.OpFGe:
+		return boolBits(af >= bf), nil
+	case ir.OpSIToFP:
+		return math.Float64bits(float64(ai)), nil
+	case ir.OpFPToSI:
+		return uint64(int64(af)), nil
+	case ir.OpZExt:
+		return a & 1, nil
+	case ir.OpTrunc:
+		return a & 1, nil
+	case ir.OpFBits, ir.OpBitsF, ir.OpP2I, ir.OpI2P:
+		return a, nil // raw bit/address reinterpretation
+	}
+	return 0, fmt.Errorf("interp: cannot execute %s", in.Opcode)
+}

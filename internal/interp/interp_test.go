@@ -1,0 +1,194 @@
+package interp_test
+
+import (
+	"testing"
+
+	"noelle/internal/interp"
+	"noelle/internal/ir"
+	"noelle/internal/irtext"
+)
+
+func parse(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := irtext.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return m
+}
+
+func TestArithmeticSemantics(t *testing.T) {
+	m := parse(t, `module "m"
+func @main() i64 {
+entry:
+  %a = add 7, 5
+  %b = sub %a, 2
+  %c = mul %b, 3
+  %d = div %c, 4
+  %e = rem %d, 5
+  %f = shl %e, 2
+  %g = shr %f, 1
+  %h = xor %g, 3
+  ret %h
+}`)
+	it := interp.New(m)
+	r, err := it.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a=12 b=10 c=30 d=7 e=2 f=8 g=4 h=7
+	if r != 7 {
+		t.Errorf("result = %d, want 7", r)
+	}
+}
+
+func TestDivisionByZeroTraps(t *testing.T) {
+	m := parse(t, `module "m"
+func @main() i64 {
+entry:
+  %z = sub 1, 1
+  %d = div 4, %z
+  ret %d
+}`)
+	if _, err := interp.New(m).Run(); err == nil {
+		t.Error("division by zero did not trap")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	m := parse(t, `module "m"
+func @main() i64 {
+entry:
+  br spin
+spin:
+  br spin
+}`)
+	it := interp.New(m)
+	it.MaxSteps = 1000
+	if _, err := it.Run(); err != interp.ErrStepLimit {
+		t.Errorf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestMemoryFingerprintSensitivity(t *testing.T) {
+	src := `module "m"
+global @g : [4 x i64] zeroinit
+func @main() i64 {
+entry:
+  %p = ptradd @g, 2
+  store i64 %v, %p
+  ret 0
+}`
+	run := func(v string) uint64 {
+		m := parse(t, `module "m"
+global @g : [4 x i64] zeroinit
+func @main() i64 {
+entry:
+  %p = ptradd @g, 2
+  store i64 `+v+`, %p
+  ret 0
+}`)
+		it := interp.New(m)
+		if _, err := it.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return it.MemoryFingerprint()
+	}
+	_ = src
+	if run("5") == run("6") {
+		t.Error("fingerprint insensitive to stored value")
+	}
+	if run("5") != run("5") {
+		t.Error("fingerprint not deterministic")
+	}
+}
+
+func TestGuardExtern(t *testing.T) {
+	m := parse(t, `module "m"
+global @g : i64 zeroinit
+declare @carat_guard : fn(i64) void
+func @main() i64 {
+entry:
+  %addr = p2i @g
+  call void @carat_guard(%addr)
+  %bogus = add %addr, 65536
+  call void @carat_guard(%bogus)
+  ret 0
+}`)
+	it := interp.New(m)
+	if _, err := it.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if it.GuardCalls != 2 {
+		t.Errorf("guard calls = %d, want 2", it.GuardCalls)
+	}
+	if it.GuardFailures != 1 {
+		t.Errorf("guard failures = %d, want 1 (the out-of-bounds address)", it.GuardFailures)
+	}
+}
+
+func TestDispatchExtern(t *testing.T) {
+	m := parse(t, `module "m"
+declare @noelle_dispatch : fn(fn(ptr<i64>, i64, i64) void, ptr<i64>, i64) void
+func @task(%env: ptr<i64>, %w: i64, %nw: i64) void {
+entry:
+  %cell = ptradd %env, %w
+  store i64 %w, %cell
+  ret void
+}
+func @main() i64 {
+entry:
+  %env = alloca i64, 4
+  call void @noelle_dispatch(@task, %env, 4)
+  %p3 = ptradd %env, 3
+  %v = load i64, %p3
+  ret %v
+}`)
+	it := interp.New(m)
+	r, err := it.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 3 {
+		t.Errorf("dispatch result = %d, want 3 (worker 3 wrote its id)", r)
+	}
+}
+
+func TestCostModelAccumulates(t *testing.T) {
+	m := parse(t, `module "m"
+func @main() i64 {
+entry:
+  %a = mul 3, 4
+  %b = add %a, 1
+  ret %b
+}`)
+	it := interp.New(m)
+	if _, err := it.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cm := interp.DefaultCostModel()
+	want := cm.IntMul + cm.IntALU + cm.Branch // mul + add + ret
+	if it.Cycles != want {
+		t.Errorf("cycles = %d, want %d", it.Cycles, want)
+	}
+}
+
+func TestFloatBitsRoundTrip(t *testing.T) {
+	m := parse(t, `module "m"
+func @main() i64 {
+entry:
+  %f = fadd 1.5, 2.25
+  %bits = fbits %f
+  %back = bitsf %bits
+  %ok = feq %back, 3.75
+  %r = zext %ok
+  ret %r
+}`)
+	r, err := interp.New(m).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Error("fbits/bitsf round trip lost the value")
+	}
+}

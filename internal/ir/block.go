@@ -1,0 +1,154 @@
+package ir
+
+import "fmt"
+
+// Block is a basic block: a straight-line sequence of instructions ending
+// with exactly one terminator.
+type Block struct {
+	Nam    string
+	Instrs []*Instr
+	Parent *Function
+	ID     int // deterministic ID; -1 if unassigned
+	MD     Metadata
+}
+
+// Ident returns the block's label identifier.
+func (b *Block) Ident() string { return b.Nam }
+
+// Terminator returns the block's terminator instruction, or nil if the
+// block is still under construction.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if !last.IsTerminator() {
+		return nil
+	}
+	return last
+}
+
+// Successors returns the CFG successors of the block.
+func (b *Block) Successors() []*Block {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	return t.Successors()
+}
+
+// Preds returns the CFG predecessors of the block, in deterministic
+// function order. This walks the whole function; analyses that need
+// repeated predecessor queries should build a CFG map once.
+func (b *Block) Preds() []*Block {
+	var preds []*Block
+	if b.Parent == nil {
+		return nil
+	}
+	for _, p := range b.Parent.Blocks {
+		for _, s := range p.Successors() {
+			if s == b {
+				preds = append(preds, p)
+				break
+			}
+		}
+	}
+	return preds
+}
+
+// Phis returns the leading phi instructions of the block.
+func (b *Block) Phis() []*Instr {
+	var phis []*Instr
+	for _, in := range b.Instrs {
+		if in.Opcode != OpPhi {
+			break
+		}
+		phis = append(phis, in)
+	}
+	return phis
+}
+
+// FirstNonPhi returns the index of the first non-phi instruction.
+func (b *Block) FirstNonPhi() int {
+	for i, in := range b.Instrs {
+		if in.Opcode != OpPhi {
+			return i
+		}
+	}
+	return len(b.Instrs)
+}
+
+// Append adds an instruction to the end of the block and sets its parent.
+func (b *Block) Append(in *Instr) *Instr {
+	in.Parent = b
+	b.Instrs = append(b.Instrs, in)
+	return in
+}
+
+// InsertBefore inserts in immediately before pos. If pos is not found the
+// instruction is appended.
+func (b *Block) InsertBefore(in, pos *Instr) {
+	in.Parent = b
+	for i, x := range b.Instrs {
+		if x == pos {
+			b.Instrs = append(b.Instrs, nil)
+			copy(b.Instrs[i+1:], b.Instrs[i:])
+			b.Instrs[i] = in
+			return
+		}
+	}
+	b.Instrs = append(b.Instrs, in)
+}
+
+// InsertAfter inserts in immediately after pos. If pos is not found the
+// instruction is appended.
+func (b *Block) InsertAfter(in, pos *Instr) {
+	in.Parent = b
+	for i, x := range b.Instrs {
+		if x == pos {
+			b.Instrs = append(b.Instrs, nil)
+			copy(b.Instrs[i+2:], b.Instrs[i+1:])
+			b.Instrs[i+1] = in
+			return
+		}
+	}
+	b.Instrs = append(b.Instrs, in)
+}
+
+// Remove deletes the instruction from the block. It does not patch uses.
+func (b *Block) Remove(in *Instr) {
+	for i, x := range b.Instrs {
+		if x == in {
+			b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
+			in.Parent = nil
+			return
+		}
+	}
+}
+
+// IndexOf returns the position of in within the block, or -1.
+func (b *Block) IndexOf(in *Instr) int {
+	for i, x := range b.Instrs {
+		if x == in {
+			return i
+		}
+	}
+	return -1
+}
+
+// ReplaceSuccessor rewrites the terminator (and is a no-op on phis; callers
+// must fix phi incoming blocks separately) so that edges to old point to new.
+func (b *Block) ReplaceSuccessor(old, new *Block) {
+	t := b.Terminator()
+	if t == nil {
+		return
+	}
+	for i, s := range t.Blocks {
+		if s == old {
+			t.Blocks[i] = new
+		}
+	}
+}
+
+// String returns "label(nInstrs)" for debugging.
+func (b *Block) String() string { return fmt.Sprintf("%s(%d)", b.Nam, len(b.Instrs)) }

@@ -1,0 +1,229 @@
+package ir
+
+import "fmt"
+
+// Builder constructs instructions at an insertion point, in the spirit of
+// LLVM's IRBuilder. All Create* helpers type-check their operands and panic
+// on misuse: builder bugs are programming errors, not runtime conditions.
+type Builder struct {
+	fn    *Function
+	block *Block
+	// pos, when non-nil, is the instruction before which new instructions
+	// are inserted; otherwise instructions are appended to block.
+	pos *Instr
+}
+
+// NewBuilder returns a builder with no insertion point.
+func NewBuilder() *Builder { return &Builder{} }
+
+// SetInsertionBlock appends subsequent instructions to the end of b.
+func (bld *Builder) SetInsertionBlock(b *Block) {
+	bld.block = b
+	bld.fn = b.Parent
+	bld.pos = nil
+}
+
+// SetInsertionBefore inserts subsequent instructions before in.
+func (bld *Builder) SetInsertionBefore(in *Instr) {
+	bld.block = in.Parent
+	bld.fn = in.Parent.Parent
+	bld.pos = in
+}
+
+// Block returns the current insertion block.
+func (bld *Builder) Block() *Block { return bld.block }
+
+func (bld *Builder) insert(in *Instr) *Instr {
+	if bld.block == nil {
+		panic("ir.Builder: no insertion point")
+	}
+	if in.HasResult() && in.Nam == "" {
+		in.Nam = bld.fn.FreshName("t")
+	}
+	if bld.pos != nil {
+		bld.block.InsertBefore(in, bld.pos)
+	} else {
+		bld.block.Append(in)
+	}
+	in.ID = -1
+	return in
+}
+
+func wantType(v Value, t *Type, what string) {
+	if !v.Type().Equal(t) {
+		panic(fmt.Sprintf("ir.Builder: %s: have %s, want %s", what, v.Type(), t))
+	}
+}
+
+// CreateAlloca allocates count elements of type elem on the frame and
+// returns the pointer.
+func (bld *Builder) CreateAlloca(elem *Type, count int, name string) *Instr {
+	if count < 1 {
+		panic("ir.Builder: alloca count must be >= 1")
+	}
+	return bld.insert(&Instr{Opcode: OpAlloca, Ty: PointerTo(elem), Nam: name,
+		AllocaElem: elem, AllocaCount: count})
+}
+
+// CreateLoad loads the value pointed to by ptr.
+func (bld *Builder) CreateLoad(ptr Value, name string) *Instr {
+	if !ptr.Type().IsPtr() {
+		panic("ir.Builder: load from non-pointer " + ptr.Type().String())
+	}
+	return bld.insert(&Instr{Opcode: OpLoad, Ty: ptr.Type().Elem, Nam: name, Ops: []Value{ptr}})
+}
+
+// CreateStore stores val through ptr.
+func (bld *Builder) CreateStore(val, ptr Value) *Instr {
+	if !ptr.Type().IsPtr() {
+		panic("ir.Builder: store to non-pointer " + ptr.Type().String())
+	}
+	wantType(val, ptr.Type().Elem, "store value")
+	return bld.insert(&Instr{Opcode: OpStore, Ty: VoidType, Ops: []Value{val, ptr}})
+}
+
+// CreatePtrAdd returns ptr advanced by idx elements. When the pointee is an
+// array the result decays to a pointer to the array's element type, so
+// indexing a [N x T] pointer yields ptr<T> (matching C array semantics).
+func (bld *Builder) CreatePtrAdd(ptr, idx Value, name string) *Instr {
+	if !ptr.Type().IsPtr() {
+		panic("ir.Builder: ptradd on non-pointer " + ptr.Type().String())
+	}
+	wantType(idx, I64Type, "ptradd index")
+	rt := ptr.Type()
+	if rt.Elem.Kind == ArrayKind {
+		rt = PointerTo(rt.Elem.Elem)
+	}
+	return bld.insert(&Instr{Opcode: OpPtrAdd, Ty: rt, Nam: name, Ops: []Value{ptr, idx}})
+}
+
+// CreateBinOp creates an arithmetic/logical binary operation.
+func (bld *Builder) CreateBinOp(op Op, lhs, rhs Value, name string) *Instr {
+	if !op.IsBinaryOp() {
+		panic("ir.Builder: not a binary op: " + op.String())
+	}
+	want := I64Type
+	if op >= OpFAdd {
+		want = F64Type
+	}
+	wantType(lhs, want, op.String()+" lhs")
+	wantType(rhs, want, op.String()+" rhs")
+	return bld.insert(&Instr{Opcode: op, Ty: want, Nam: name, Ops: []Value{lhs, rhs}})
+}
+
+// CreateCmp creates a comparison producing an i1.
+func (bld *Builder) CreateCmp(op Op, lhs, rhs Value, name string) *Instr {
+	if !op.IsCompare() {
+		panic("ir.Builder: not a comparison: " + op.String())
+	}
+	want := I64Type
+	if op >= OpFEq {
+		want = F64Type
+	}
+	wantType(lhs, want, op.String()+" lhs")
+	wantType(rhs, want, op.String()+" rhs")
+	return bld.insert(&Instr{Opcode: op, Ty: I1Type, Nam: name, Ops: []Value{lhs, rhs}})
+}
+
+// CreateCast creates a conversion instruction.
+func (bld *Builder) CreateCast(op Op, v Value, name string) *Instr {
+	var ty *Type
+	switch op {
+	case OpSIToFP:
+		wantType(v, I64Type, "sitofp")
+		ty = F64Type
+	case OpFPToSI:
+		wantType(v, F64Type, "fptosi")
+		ty = I64Type
+	case OpZExt:
+		wantType(v, I1Type, "zext")
+		ty = I64Type
+	case OpTrunc:
+		wantType(v, I64Type, "trunc")
+		ty = I1Type
+	case OpFBits:
+		wantType(v, F64Type, "fbits")
+		ty = I64Type
+	case OpBitsF:
+		wantType(v, I64Type, "bitsf")
+		ty = F64Type
+	case OpP2I:
+		if !v.Type().IsPtr() {
+			panic("ir.Builder: p2i of non-pointer")
+		}
+		ty = I64Type
+	default:
+		panic("ir.Builder: not a cast: " + op.String())
+	}
+	return bld.insert(&Instr{Opcode: op, Ty: ty, Nam: name, Ops: []Value{v}})
+}
+
+// CreateIntToPtr reinterprets an i64 address as a pointer to elem.
+func (bld *Builder) CreateIntToPtr(v Value, elem *Type, name string) *Instr {
+	wantType(v, I64Type, "i2p")
+	return bld.insert(&Instr{Opcode: OpI2P, Ty: PointerTo(elem), Nam: name, Ops: []Value{v}})
+}
+
+// CreateSelect creates a select between a and b on cond.
+func (bld *Builder) CreateSelect(cond, a, b Value, name string) *Instr {
+	wantType(cond, I1Type, "select cond")
+	wantType(b, a.Type(), "select arms")
+	return bld.insert(&Instr{Opcode: OpSelect, Ty: a.Type(), Nam: name, Ops: []Value{cond, a, b}})
+}
+
+// CreatePhi creates an (initially empty) phi of type ty; incomings are
+// added with SetPhiIncoming. Phis are placed at the block's phi prefix.
+func (bld *Builder) CreatePhi(ty *Type, name string) *Instr {
+	in := &Instr{Opcode: OpPhi, Ty: ty, Nam: name, ID: -1}
+	if in.Nam == "" {
+		in.Nam = bld.fn.FreshName("phi")
+	}
+	b := bld.block
+	idx := b.FirstNonPhi()
+	in.Parent = b
+	b.Instrs = append(b.Instrs, nil)
+	copy(b.Instrs[idx+1:], b.Instrs[idx:])
+	b.Instrs[idx] = in
+	return in
+}
+
+// CreateCall creates a call to callee (a *Function or a function-pointer
+// value) with the given arguments.
+func (bld *Builder) CreateCall(callee Value, args []Value, name string) *Instr {
+	sig := callee.Type()
+	if sig.Kind != FuncKind {
+		panic("ir.Builder: call of non-function " + sig.String())
+	}
+	if len(args) != len(sig.Params) {
+		panic(fmt.Sprintf("ir.Builder: call %s: %d args, want %d", fmtIdent(callee), len(args), len(sig.Params)))
+	}
+	for i, a := range args {
+		wantType(a, sig.Params[i], fmt.Sprintf("call arg %d", i))
+	}
+	ops := append([]Value{callee}, args...)
+	nam := name
+	if sig.Ret.Kind == VoidKind {
+		nam = ""
+	}
+	return bld.insert(&Instr{Opcode: OpCall, Ty: sig.Ret, Nam: nam, Ops: ops})
+}
+
+// CreateBr creates an unconditional branch to dst.
+func (bld *Builder) CreateBr(dst *Block) *Instr {
+	return bld.insert(&Instr{Opcode: OpBr, Ty: VoidType, Blocks: []*Block{dst}})
+}
+
+// CreateCondBr branches to ifTrue when cond is 1, else to ifFalse.
+func (bld *Builder) CreateCondBr(cond Value, ifTrue, ifFalse *Block) *Instr {
+	wantType(cond, I1Type, "condbr cond")
+	return bld.insert(&Instr{Opcode: OpCondBr, Ty: VoidType, Ops: []Value{cond}, Blocks: []*Block{ifTrue, ifFalse}})
+}
+
+// CreateRet returns v (or void when v is nil).
+func (bld *Builder) CreateRet(v Value) *Instr {
+	in := &Instr{Opcode: OpRet, Ty: VoidType}
+	if v != nil {
+		in.Ops = []Value{v}
+	}
+	return bld.insert(in)
+}

@@ -1,0 +1,202 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildSumFunc builds: func sum(n) { s=0; for i=0..n { s+=i }; return s }
+func buildSumFunc(t *testing.T) (*Module, *Function) {
+	t.Helper()
+	m := NewModule("test")
+	f := NewFunction("sum", FuncOf(I64Type, I64Type), "n")
+	m.AddFunction(f)
+
+	entry := f.NewBlock("entry")
+	header := f.NewBlock("header")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+
+	b := NewBuilder()
+	b.SetInsertionBlock(entry)
+	b.CreateBr(header)
+
+	b.SetInsertionBlock(header)
+	i := b.CreatePhi(I64Type, "i")
+	s := b.CreatePhi(I64Type, "s")
+	cmp := b.CreateCmp(OpLt, i, f.Params[0], "cmp")
+	b.CreateCondBr(cmp, body, exit)
+
+	b.SetInsertionBlock(body)
+	s2 := b.CreateBinOp(OpAdd, s, i, "s2")
+	i2 := b.CreateBinOp(OpAdd, i, ConstInt(1), "i2")
+	b.CreateBr(header)
+
+	i.SetPhiIncoming(entry, ConstInt(0))
+	i.SetPhiIncoming(body, i2)
+	s.SetPhiIncoming(entry, ConstInt(0))
+	s.SetPhiIncoming(body, s2)
+
+	b.SetInsertionBlock(exit)
+	b.CreateRet(s)
+	return m, f
+}
+
+func TestBuilderAndVerify(t *testing.T) {
+	m, f := buildSumFunc(t)
+	if err := Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if f.NumInstrs() != 9 {
+		t.Errorf("NumInstrs = %d, want 9", f.NumInstrs())
+	}
+	if got := f.Entry().Nam; got != "entry" {
+		t.Errorf("entry block = %q", got)
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	m := NewModule("bad")
+	f := NewFunction("f", FuncOf(VoidType))
+	m.AddFunction(f)
+	blk := f.NewBlock("entry")
+	b := NewBuilder()
+	b.SetInsertionBlock(blk)
+	b.CreateAlloca(I64Type, 1, "x")
+	if err := Verify(m); err == nil {
+		t.Fatal("expected verification error for missing terminator")
+	}
+}
+
+func TestVerifyCatchesPhiMismatch(t *testing.T) {
+	m, f := buildSumFunc(t)
+	// Remove an incoming edge from a phi: should fail verification.
+	f.BlockByName("header").Phis()[0].RemovePhiIncoming(f.BlockByName("body"))
+	if err := Verify(m); err == nil {
+		t.Fatal("expected verification error for phi/pred mismatch")
+	}
+}
+
+func TestCloneModuleIndependence(t *testing.T) {
+	m, f := buildSumFunc(t)
+	clone := CloneModule(m)
+	cf := clone.FunctionByName("sum")
+	if cf == nil || cf == f {
+		t.Fatal("clone did not produce a distinct function")
+	}
+	if err := Verify(clone); err != nil {
+		t.Fatalf("clone verify: %v", err)
+	}
+	if cf.NumInstrs() != f.NumInstrs() {
+		t.Fatalf("clone instr count %d != %d", cf.NumInstrs(), f.NumInstrs())
+	}
+	// Mutating the clone must not affect the original.
+	cf.Blocks[0].Instrs = nil
+	if f.NumInstrs() != 9 {
+		t.Error("mutating clone changed original")
+	}
+	// Operands in the clone must reference cloned values, not originals.
+	cf2 := clone.FunctionByName("sum")
+	cf2.Instrs(func(in *Instr) bool {
+		for _, op := range in.Ops {
+			if oi, ok := op.(*Instr); ok && oi.Parent != nil && oi.Parent.Parent == f {
+				t.Errorf("clone instruction %s references original value %s", in, oi.Ident())
+			}
+		}
+		return true
+	})
+}
+
+func TestAssignIDs(t *testing.T) {
+	m, _ := buildSumFunc(t)
+	m.AssignIDs()
+	seen := map[int]bool{}
+	m.Instrs(func(_ *Function, in *Instr) bool {
+		if in.ID < 0 {
+			t.Errorf("instruction %s has unassigned ID", in)
+		}
+		if seen[in.ID] {
+			t.Errorf("duplicate ID %d", in.ID)
+		}
+		seen[in.ID] = true
+		return true
+	})
+	if in := m.InstrByID(0); in == nil {
+		t.Error("InstrByID(0) = nil")
+	}
+}
+
+func TestMetadataRendering(t *testing.T) {
+	m, f := buildSumFunc(t)
+	f.SetMD("noelle.id", "7")
+	f.Blocks[0].Instrs[0].SetMD("prof.count", "42")
+	out := Print(m)
+	if !strings.Contains(out, `!{noelle.id="7"}`) {
+		t.Errorf("function metadata missing:\n%s", out)
+	}
+	if !strings.Contains(out, `!{prof.count="42"}`) {
+		t.Errorf("instruction metadata missing:\n%s", out)
+	}
+}
+
+func TestSwappedCompare(t *testing.T) {
+	cases := []struct{ in, want Op }{
+		{OpLt, OpGt}, {OpLe, OpGe}, {OpGt, OpLt}, {OpGe, OpLe},
+		{OpEq, OpEq}, {OpNe, OpNe}, {OpFLt, OpFGt}, {OpFGe, OpFLe},
+	}
+	for _, c := range cases {
+		got, ok := c.in.SwappedCompare()
+		if !ok || got != c.want {
+			t.Errorf("SwappedCompare(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+	if _, ok := OpAdd.SwappedCompare(); ok {
+		t.Error("OpAdd should not have a swapped compare")
+	}
+}
+
+func TestTypeEqualAndSize(t *testing.T) {
+	a := ArrayOf(I64Type, 10)
+	b := ArrayOf(I64Type, 10)
+	if !a.Equal(b) {
+		t.Error("structurally equal arrays not Equal")
+	}
+	if a.Equal(ArrayOf(I64Type, 11)) {
+		t.Error("arrays of different length Equal")
+	}
+	if a.Size() != 80 {
+		t.Errorf("array size = %d, want 80", a.Size())
+	}
+	p := PointerTo(F64Type)
+	if !p.Equal(PointerTo(F64Type)) || p.Equal(PointerTo(I64Type)) {
+		t.Error("pointer equality wrong")
+	}
+	fn := FuncOf(I64Type, I64Type, F64Type)
+	if !fn.Equal(FuncOf(I64Type, I64Type, F64Type)) {
+		t.Error("function type equality wrong")
+	}
+	if fn.Equal(FuncOf(I64Type, I64Type)) {
+		t.Error("function types with different params Equal")
+	}
+}
+
+func TestBlockInsertion(t *testing.T) {
+	_, f := buildSumFunc(t)
+	body := f.BlockByName("body")
+	first := body.Instrs[0]
+	in := &Instr{Opcode: OpAdd, Ty: I64Type, Nam: "z", Ops: []Value{ConstInt(1), ConstInt(2)}}
+	body.InsertBefore(in, first)
+	if body.Instrs[0] != in {
+		t.Error("InsertBefore did not place instruction first")
+	}
+	in2 := &Instr{Opcode: OpAdd, Ty: I64Type, Nam: "z2", Ops: []Value{ConstInt(1), ConstInt(2)}}
+	body.InsertAfter(in2, in)
+	if body.Instrs[1] != in2 {
+		t.Error("InsertAfter did not place instruction second")
+	}
+	body.Remove(in)
+	body.Remove(in2)
+	if body.IndexOf(in) != -1 {
+		t.Error("Remove left instruction behind")
+	}
+}

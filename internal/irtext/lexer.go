@@ -1,0 +1,165 @@
+// Package irtext parses the textual IR format produced by ir.Print. The
+// noelle-* command line tools exchange whole-program IR files in this
+// format, mirroring how the paper's tools exchange LLVM bitcode.
+package irtext
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokLocal  // %name
+	tokGlobal // @name
+	tokInt    // 123, -4
+	tokFloat  // 1.5, -2e3
+	tokString // "..."
+	tokPunct  // single punctuation rune
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "<eof>"
+	default:
+		return t.text
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+func isIdentRune(r byte) bool {
+	return r == '_' || r == '.' ||
+		(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+}
+
+// lex tokenizes the whole input. Comments run from ';' to end of line.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == ';':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '"':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '%' || c == '@':
+			kind := tokLocal
+			if c == '@' {
+				kind = tokGlobal
+			}
+			start := l.pos + 1
+			l.pos++
+			for l.pos < len(l.src) && isIdentRune(l.src[l.pos]) {
+				l.pos++
+			}
+			if l.pos == start {
+				return nil, fmt.Errorf("line %d: empty %c-identifier", l.line, c)
+			}
+			l.emit(kind, l.src[start:l.pos])
+		case c == '-' || (c >= '0' && c <= '9'):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case isIdentRune(c) && !unicode.IsDigit(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentRune(l.src[l.pos]) {
+				l.pos++
+			}
+			l.emit(tokIdent, l.src[start:l.pos])
+		case strings.ContainsRune("(){}[]<>,:=!", rune(c)):
+			l.emit(tokPunct, string(c))
+			l.pos++
+		default:
+			return nil, fmt.Errorf("line %d: unexpected character %q", l.line, c)
+		}
+	}
+	l.emit(tokEOF, "")
+	return l.toks, nil
+}
+
+func (l *lexer) emit(kind tokKind, text string) {
+	l.toks = append(l.toks, token{kind: kind, text: text, line: l.line})
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case '\\':
+			l.pos += 2
+		case '"':
+			l.pos++
+			l.emit(tokString, l.src[start:l.pos])
+			return nil
+		case '\n':
+			return fmt.Errorf("line %d: newline in string", l.line)
+		default:
+			l.pos++
+		}
+	}
+	return fmt.Errorf("line %d: unterminated string", l.line)
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	isFloat := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			l.pos++
+		case c == '.':
+			isFloat = true
+			l.pos++
+		case c == 'e' || c == 'E':
+			isFloat = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := l.src[start:l.pos]
+	if text == "-" {
+		return fmt.Errorf("line %d: lone '-'", l.line)
+	}
+	if isFloat {
+		l.emit(tokFloat, text)
+	} else {
+		l.emit(tokInt, text)
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+// Package linker merges IR modules into one whole-program module, the job
+// of noelle-whole-ir and noelle-linker. Function declarations resolve to
+// definitions from other modules, duplicate definitions are an error, and
+// NOELLE metadata (link options, profiles, embedded PDGs) is carried over.
+package linker
+
+import (
+	"fmt"
+
+	"noelle/internal/ir"
+)
+
+// Link merges the given modules into a fresh module named name.
+func Link(name string, mods ...*ir.Module) (*ir.Module, error) {
+	out := ir.NewModule(name)
+
+	// Pass 1: create globals and function shells, detecting clashes.
+	gmap := map[*ir.Global]*ir.Global{}
+	fmap := map[*ir.Function]*ir.Function{}
+	defined := map[string]bool{} // names with a body among the inputs
+	for _, m := range mods {
+		out.LinkOptions = append(out.LinkOptions, m.LinkOptions...)
+		for k, v := range m.MD {
+			out.SetMD(k, v)
+		}
+		for _, g := range m.Globals {
+			if exist := out.GlobalByName(g.Nam); exist != nil {
+				return nil, fmt.Errorf("link: duplicate global @%s", g.Nam)
+			}
+			ng := &ir.Global{
+				Nam:   g.Nam,
+				Elem:  g.Elem,
+				Init:  append([]int64(nil), g.Init...),
+				FInit: append([]float64(nil), g.FInit...),
+				MD:    g.MD.Clone(),
+			}
+			out.AddGlobal(ng)
+			gmap[g] = ng
+		}
+		for _, f := range m.Functions {
+			if !f.IsDeclaration() {
+				if defined[f.Nam] {
+					return nil, fmt.Errorf("link: duplicate definition of @%s", f.Nam)
+				}
+				defined[f.Nam] = true
+			}
+			exist := out.FunctionByName(f.Nam)
+			switch {
+			case exist == nil:
+				nf := ir.NewFunction(f.Nam, f.Sig)
+				for i, p := range f.Params {
+					nf.Params[i].Nam = p.Nam
+				}
+				nf.MD = f.MD.Clone()
+				out.AddFunction(nf)
+				fmap[f] = nf
+			case !exist.Sig.Equal(f.Sig):
+				return nil, fmt.Errorf("link: @%s declared with conflicting signatures", f.Nam)
+			default:
+				fmap[f] = exist // declarations resolve to the single definition
+			}
+		}
+	}
+
+	// Pass 2: clone bodies with cross-module resolution.
+	for _, m := range mods {
+		for _, f := range m.Functions {
+			if f.IsDeclaration() {
+				continue
+			}
+			dst := fmap[f]
+			if !dst.IsDeclaration() && dst.Nam == f.Nam && len(dst.Blocks) > 0 && dst != fmap[f] {
+				continue
+			}
+			cloneLinkedBody(f, dst, m, out, gmap, fmap)
+		}
+	}
+	if err := ir.Verify(out); err != nil {
+		return nil, fmt.Errorf("link: result malformed: %w", err)
+	}
+	return out, nil
+}
+
+func cloneLinkedBody(src, dst *ir.Function, srcMod, outMod *ir.Module, gmap map[*ir.Global]*ir.Global, fmap map[*ir.Function]*ir.Function) {
+	bmap := map[*ir.Block]*ir.Block{}
+	for _, b := range src.Blocks {
+		nb := dst.NewBlock(b.Nam)
+		nb.MD = b.MD.Clone()
+		bmap[b] = nb
+	}
+	imap := map[*ir.Instr]*ir.Instr{}
+	for _, b := range src.Blocks {
+		for _, in := range b.Instrs {
+			ni := &ir.Instr{
+				Opcode:      in.Opcode,
+				Ty:          in.Ty,
+				Nam:         in.Nam,
+				AllocaElem:  in.AllocaElem,
+				AllocaCount: in.AllocaCount,
+				Parent:      bmap[b],
+				ID:          -1,
+				MD:          in.MD.Clone(),
+			}
+			bmap[b].Instrs = append(bmap[b].Instrs, ni)
+			imap[in] = ni
+		}
+	}
+	remap := func(v ir.Value) ir.Value {
+		switch x := v.(type) {
+		case *ir.Instr:
+			return imap[x]
+		case *ir.Param:
+			return dst.Params[x.Index]
+		case *ir.Global:
+			if ng, ok := gmap[x]; ok {
+				return ng
+			}
+			return outMod.GlobalByName(x.Nam)
+		case *ir.Function:
+			if nf, ok := fmap[x]; ok {
+				return nf
+			}
+			return outMod.FunctionByName(x.Nam)
+		default:
+			return v
+		}
+	}
+	for _, b := range src.Blocks {
+		for _, in := range b.Instrs {
+			ni := imap[in]
+			for _, op := range in.Ops {
+				ni.Ops = append(ni.Ops, remap(op))
+			}
+			for _, tb := range in.Blocks {
+				ni.Blocks = append(ni.Blocks, bmap[tb])
+			}
+		}
+	}
+}

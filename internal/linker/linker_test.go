@@ -1,0 +1,81 @@
+package linker_test
+
+import (
+	"strings"
+	"testing"
+
+	"noelle/internal/interp"
+	"noelle/internal/linker"
+	"noelle/internal/minic"
+	"noelle/internal/passes"
+)
+
+func TestCrossModuleLink(t *testing.T) {
+	lib, err := minic.Compile("lib", `
+int shared[4] = {10, 20, 30, 40};
+int lib_sum(int n) {
+  int s = 0;
+  int i;
+  for (i = 0; i < n; i = i + 1) { s = s + shared[i]; }
+  return s;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := minic.Compile("app", `
+extern int lib_sum(int n);
+int main() {
+  int r = lib_sum(4);
+  print_i64(r);
+  return r % 256;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := linker.Link("whole", app, lib)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	passes.Optimize(whole)
+	it := interp.New(whole)
+	r, err := it.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if r != 100 {
+		t.Errorf("linked program returned %d, want 100", r)
+	}
+	if !strings.Contains(it.Output.String(), "100") {
+		t.Errorf("output = %q", it.Output.String())
+	}
+}
+
+func TestLinkRejectsDuplicates(t *testing.T) {
+	a, _ := minic.Compile("a", `int f(int x) { return x; } int main() { return f(1); }`)
+	b, _ := minic.Compile("b", `int f(int x) { return x + 1; }`)
+	if _, err := linker.Link("w", a, b); err == nil {
+		t.Error("duplicate definition of f not rejected")
+	}
+	c, _ := minic.Compile("c", `int g = 3;`)
+	d, _ := minic.Compile("d", `int g = 4;`)
+	if _, err := linker.Link("w", c, d); err == nil {
+		t.Error("duplicate global g not rejected")
+	}
+}
+
+func TestLinkPreservesMetadata(t *testing.T) {
+	a, _ := minic.Compile("a", `int main() { return 0; }`)
+	a.SetMD("noelle.custom", "kept")
+	a.LinkOptions = append(a.LinkOptions, "-lm")
+	b, _ := minic.Compile("b", `int helper(int x) { return x; }`)
+	whole, err := linker.Link("w", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.MD.Get("noelle.custom") != "kept" {
+		t.Error("module metadata lost")
+	}
+	if len(whole.LinkOptions) != 1 || whole.LinkOptions[0] != "-lm" {
+		t.Errorf("link options = %v", whole.LinkOptions)
+	}
+}

@@ -1,0 +1,141 @@
+// Package loopbuilder implements NOELLE's Loop Builder (LB) abstraction:
+// loop-level transformations analogous to what IRBuilder is for
+// instructions (paper Section 2.2). It provides pre-header creation,
+// invariant hoisting (the mechanism behind LICM), the induction-variable
+// stepper IVS (changing IV step values, e.g. for DOALL chunking), scalar
+// promotion of memory accumulators (the workhorse of
+// noelle-rm-lc-dependences), and while/do-while shape conversion.
+package loopbuilder
+
+import (
+	"noelle/internal/ir"
+	"noelle/internal/loops"
+)
+
+// EnsurePreheader guarantees the loop has a dedicated pre-header block,
+// creating one when the header's out-of-loop predecessors are unsuitable.
+// Returns the pre-header.
+func EnsurePreheader(ls *loops.LS) *ir.Block {
+	if ls.Preheader != nil {
+		return ls.Preheader
+	}
+	f := ls.Fn
+	header := ls.Header
+	pre := f.NewBlock(header.Nam + ".pre")
+	bld := ir.NewBuilder()
+	bld.SetInsertionBlock(pre)
+	bld.CreateBr(header)
+
+	var outside []*ir.Block
+	for _, p := range header.Preds() {
+		if !ls.Contains(p) && p != pre {
+			outside = append(outside, p)
+		}
+	}
+	for _, p := range outside {
+		p.ReplaceSuccessor(header, pre)
+	}
+	// Re-route phi incomings from the outside predecessors through the
+	// pre-header. With several outside predecessors a new phi in the
+	// pre-header merges them.
+	for _, phi := range header.Phis() {
+		var vals []ir.Value
+		for _, p := range outside {
+			if v := phi.PhiIncoming(p); v != nil {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		var merged ir.Value
+		if len(vals) == 1 {
+			merged = vals[0]
+		} else {
+			m := &ir.Instr{Opcode: ir.OpPhi, Ty: phi.Ty, Nam: f.FreshName(phi.Nam + ".pre"), Parent: pre, ID: -1}
+			for i, p := range outside {
+				m.Blocks = append(m.Blocks, p)
+				m.Ops = append(m.Ops, vals[i])
+			}
+			pre.Instrs = append([]*ir.Instr{m}, pre.Instrs...)
+			merged = m
+		}
+		for _, p := range outside {
+			phi.RemovePhiIncoming(p)
+		}
+		phi.SetPhiIncoming(pre, merged)
+	}
+	ls.Preheader = pre
+	return pre
+}
+
+// Hoist moves instruction in to the end of the loop's pre-header (before
+// its terminator). The caller is responsible for having proven in loop
+// invariant; Hoist refuses instructions that can never move (phis,
+// terminators, stores, allocas).
+func Hoist(ls *loops.LS, in *ir.Instr) bool {
+	switch in.Opcode {
+	case ir.OpPhi, ir.OpStore, ir.OpAlloca, ir.OpBr, ir.OpCondBr, ir.OpRet:
+		return false
+	}
+	pre := EnsurePreheader(ls)
+	in.Parent.Remove(in)
+	pre.InsertBefore(in, pre.Terminator())
+	return true
+}
+
+// SetStepFactor is the IVS abstraction: it multiplies the constant step of
+// iv by factor by rewriting the update instructions' addends. Users only
+// specify the new step; the loop is modified accordingly (used by DOALL
+// chunking and loop reversal). Returns false when the IV's step is not a
+// compile-time constant.
+func SetStepFactor(iv *loops.IV, factor int64) bool {
+	if iv.StepConst == nil {
+		return false
+	}
+	for _, in := range iv.SCC {
+		if in.Opcode != ir.OpAdd && in.Opcode != ir.OpSub {
+			continue
+		}
+		for i, op := range in.Ops {
+			if c, ok := op.(*ir.Const); ok {
+				in.Ops[i] = ir.ConstInt(c.Int * factor)
+			}
+		}
+	}
+	ns := *iv.StepConst * factor
+	iv.StepConst = &ns
+	iv.Step = ir.ConstInt(ns)
+	return true
+}
+
+// SetStepValue rewrites a single-update IV to advance by the given value
+// each iteration (which may be a loop-invariant SSA value). Returns false
+// for multi-update IVs.
+func SetStepValue(iv *loops.IV, step ir.Value) bool {
+	var update *ir.Instr
+	for _, in := range iv.SCC {
+		if in.Opcode == ir.OpAdd || in.Opcode == ir.OpSub {
+			if update != nil {
+				return false
+			}
+			update = in
+		}
+	}
+	if update == nil {
+		return false
+	}
+	for i, op := range update.Ops {
+		if _, ok := op.(*ir.Const); ok {
+			update.Ops[i] = step
+			iv.StepConst = nil
+			if c, isC := step.(*ir.Const); isC {
+				v := c.Int
+				iv.StepConst = &v
+			}
+			iv.Step = step
+			return true
+		}
+	}
+	return false
+}

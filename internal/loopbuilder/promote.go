@@ -1,0 +1,201 @@
+package loopbuilder
+
+import (
+	"noelle/internal/alias"
+	"noelle/internal/analysis"
+	"noelle/internal/ir"
+	"noelle/internal/loops"
+)
+
+// PromoteAccumulators performs scalar promotion of loop-invariant memory
+// cells: a cell that the loop repeatedly loads and stores (a global
+// accumulator like `total = total + a[i]`) is lifted into a register with
+// a header phi, and written back once at the loop exit. This removes the
+// loop-carried memory dependence, exposing a register reduction the RD
+// abstraction recognizes — the core rewrite of noelle-rm-lc-dependences.
+// Returns the number of cells promoted.
+func PromoteAccumulators(ls *loops.LS, aa alias.Analysis) int {
+	promoted := 0
+	for {
+		ptr := findPromotableCell(ls, aa)
+		if ptr == nil {
+			return promoted
+		}
+		if !promoteCell(ls, ptr) {
+			return promoted
+		}
+		promoted++
+	}
+}
+
+// findPromotableCell looks for a loop-invariant address whose in-loop
+// accesses are all direct loads/stores, with stores present (otherwise
+// hoisting the load suffices), where:
+//   - every other in-loop memory access provably does not alias it,
+//   - no in-loop call may touch memory,
+//   - every access executes on every iteration (its block dominates all
+//     latches), and
+//   - the loop has one exit block with a single exiting edge (where the
+//     write-back store goes).
+func findPromotableCell(ls *loops.LS, aa alias.Analysis) ir.Value {
+	if len(ls.Exits) != 1 || len(ls.ExitingBlocks) != 1 {
+		return nil
+	}
+	// Dedicated exit: the exit block must not merge out-of-loop paths.
+	exit := ls.Exits[0]
+	for _, p := range exit.Preds() {
+		if !ls.Contains(p) {
+			return nil
+		}
+	}
+	dt := analysis.NewDomTree(ls.Fn)
+
+	type cellAccesses struct {
+		loads, stores []*ir.Instr
+	}
+	cells := map[ir.Value]*cellAccesses{}
+	var order []ir.Value
+	bad := map[ir.Value]bool{}
+	anyCall := false
+
+	ls.Instrs(func(in *ir.Instr) bool {
+		switch in.Opcode {
+		case ir.OpCall:
+			anyCall = true
+		case ir.OpLoad, ir.OpStore:
+			ptr := in.Ops[0]
+			if in.Opcode == ir.OpStore {
+				ptr = in.Ops[1]
+			}
+			if !ls.DefinedOutside(ptr) {
+				return true // varying address: not this cell's access
+			}
+			if _, ok := cells[ptr]; !ok {
+				cells[ptr] = &cellAccesses{}
+				order = append(order, ptr)
+			}
+			c := cells[ptr]
+			if in.Opcode == ir.OpLoad {
+				c.loads = append(c.loads, in)
+			} else {
+				c.stores = append(c.stores, in)
+			}
+			// Guaranteed execution: block dominates every latch.
+			for _, l := range ls.Latches {
+				if !dt.Dominates(in.Parent, l) {
+					bad[ptr] = true
+				}
+			}
+		}
+		return true
+	})
+	if anyCall {
+		return nil // calls may touch the cell; stay conservative
+	}
+
+	for _, ptr := range order {
+		c := cells[ptr]
+		if bad[ptr] || len(c.stores) == 0 || len(c.loads) == 0 {
+			continue
+		}
+		// All other memory accesses in the loop must not alias ptr.
+		conflict := false
+		ls.Instrs(func(in *ir.Instr) bool {
+			var other ir.Value
+			switch in.Opcode {
+			case ir.OpLoad:
+				other = in.Ops[0]
+			case ir.OpStore:
+				other = in.Ops[1]
+			default:
+				return true
+			}
+			if other == ptr {
+				return true
+			}
+			if aa.Alias(ptr, other) != alias.NoAlias {
+				conflict = true
+				return false
+			}
+			return true
+		})
+		if !conflict {
+			return ptr
+		}
+	}
+	return nil
+}
+
+// promoteCell rewrites the loop so the cell at ptr lives in a register.
+func promoteCell(ls *loops.LS, ptr ir.Value) bool {
+	f := ls.Fn
+	pre := EnsurePreheader(ls)
+	exit := ls.Exits[0]
+	exiting := ls.ExitingBlocks[0]
+
+	elemTy := ptr.Type().Elem
+
+	// Initial load in the pre-header.
+	init := &ir.Instr{Opcode: ir.OpLoad, Ty: elemTy, Nam: f.FreshName("prom.init"), Ops: []ir.Value{ptr}, ID: -1}
+	pre.InsertBefore(init, pre.Terminator())
+
+	// Header phi carrying the promoted value.
+	phi := &ir.Instr{Opcode: ir.OpPhi, Ty: elemTy, Nam: f.FreshName("prom.phi"), Parent: ls.Header, ID: -1}
+	ls.Header.Instrs = append([]*ir.Instr{phi}, ls.Header.Instrs...)
+
+	// Rename loads/stores of ptr across the loop body in dominator-tree
+	// order, tracking the current value per block.
+	dt := analysis.NewDomTree(f)
+	cur := map[*ir.Block]ir.Value{}
+	var walk func(b *ir.Block, val ir.Value)
+	walk = func(b *ir.Block, val ir.Value) {
+		if !ls.Contains(b) {
+			return
+		}
+		if b == ls.Header {
+			val = phi
+		}
+		var dead []*ir.Instr
+		for _, in := range b.Instrs {
+			switch {
+			case in.Opcode == ir.OpLoad && in.Ops[0] == ptr:
+				f.ReplaceAllUses(in, val)
+				dead = append(dead, in)
+			case in.Opcode == ir.OpStore && in.Ops[1] == ptr:
+				val = in.Ops[0]
+				dead = append(dead, in)
+			}
+		}
+		for _, in := range dead {
+			b.Remove(in)
+		}
+		cur[b] = val
+		for _, ch := range dt.Children[b] {
+			walk(ch, val)
+		}
+	}
+	walk(ls.Header, init)
+
+	// Close the phi: entry from pre-header, back edges from latches.
+	phi.SetPhiIncoming(pre, init)
+	for _, l := range ls.Latches {
+		v := cur[l]
+		if v == nil {
+			v = phi
+		}
+		phi.SetPhiIncoming(l, v)
+	}
+
+	// Write the final value back at the loop exit.
+	final := cur[exiting]
+	if final == nil {
+		final = phi
+	}
+	st := &ir.Instr{Opcode: ir.OpStore, Ty: ir.VoidType, Ops: []ir.Value{final, ptr}, ID: -1}
+	idx := exit.FirstNonPhi()
+	st.Parent = exit
+	exit.Instrs = append(exit.Instrs, nil)
+	copy(exit.Instrs[idx+1:], exit.Instrs[idx:])
+	exit.Instrs[idx] = st
+	return true
+}

@@ -1,0 +1,157 @@
+package loops
+
+import "noelle/internal/ir"
+
+// AffineAddr describes a pointer as base + Coeff*iv + Offset (bytes),
+// where iv is the value of an induction variable's phi. It powers
+// loop-carried dependence refinement: two same-base accesses with equal
+// coefficients and equal offsets touch the same address only within one
+// iteration.
+type AffineAddr struct {
+	Base   ir.Value // the non-ptradd root of the address computation
+	IV     *IV      // nil when the address is loop-invariant
+	Coeff  int64    // bytes per unit of IV value (0 when IV == nil)
+	Offset int64    // constant byte displacement
+	// OffsetKnown is false when a loop-invariant but non-constant index
+	// contributes to the address (Offset is then meaningless).
+	OffsetKnown bool
+}
+
+// affineInt describes an integer as a*iv + b.
+type affineInt struct {
+	iv     *IV
+	a, b   int64
+	bKnown bool
+}
+
+// AnalyzeAddr decomposes ptr into affine form relative to ls's IVs.
+// ok=false when the address is not affine (e.g. loaded pointers, phi'd
+// pointers, products of two variant values).
+func AnalyzeAddr(ls *LS, ivs *IVAnalysis, ptr ir.Value) (AffineAddr, bool) {
+	out := AffineAddr{OffsetKnown: true}
+	v := ptr
+	for {
+		in, isInstr := v.(*ir.Instr)
+		if !isInstr || !ls.ContainsInstr(in) || in.Opcode != ir.OpPtrAdd {
+			break
+		}
+		elemSize := int64(8)
+		if in.Ty.IsPtr() {
+			elemSize = int64(in.Ty.Elem.Size())
+		}
+		idx, ok := analyzeInt(ls, ivs, in.Ops[1])
+		if !ok {
+			return AffineAddr{}, false
+		}
+		if idx.iv != nil {
+			if out.IV != nil && out.IV != idx.iv {
+				return AffineAddr{}, false // mixed IVs
+			}
+			out.IV = idx.iv
+			out.Coeff += idx.a * elemSize
+		}
+		if idx.bKnown {
+			out.Offset += idx.b * elemSize
+		} else {
+			out.OffsetKnown = false
+		}
+		v = in.Ops[0]
+	}
+	if !ls.DefinedOutside(v) {
+		// The base itself varies inside the loop (loaded pointer, phi):
+		// not affine.
+		if in, ok := v.(*ir.Instr); !ok || ls.ContainsInstr(in) {
+			return AffineAddr{}, false
+		}
+	}
+	out.Base = v
+	return out, true
+}
+
+// analyzeInt decomposes an integer value into a*iv + b relative to the
+// loop's IVs. Loop-invariant non-constant values yield bKnown=false.
+func analyzeInt(ls *LS, ivs *IVAnalysis, v ir.Value) (affineInt, bool) {
+	switch x := v.(type) {
+	case *ir.Const:
+		return affineInt{a: 0, b: x.Int, bKnown: true}, true
+	case *ir.Instr:
+		if !ls.ContainsInstr(x) {
+			return affineInt{bKnown: false}, true // invariant, unknown value
+		}
+		if iv := ivs.IVForPhi(x); iv != nil {
+			return affineInt{iv: iv, a: 1, b: 0, bKnown: true}, true
+		}
+		switch x.Opcode {
+		case ir.OpAdd, ir.OpSub:
+			l, ok1 := analyzeInt(ls, ivs, x.Ops[0])
+			r, ok2 := analyzeInt(ls, ivs, x.Ops[1])
+			if !ok1 || !ok2 {
+				return affineInt{}, false
+			}
+			if l.iv != nil && r.iv != nil && l.iv != r.iv {
+				return affineInt{}, false
+			}
+			out := affineInt{bKnown: l.bKnown && r.bKnown}
+			if x.Opcode == ir.OpAdd {
+				out.a, out.b = l.a+r.a, l.b+r.b
+			} else {
+				out.a, out.b = l.a-r.a, l.b-r.b
+			}
+			out.iv = l.iv
+			if out.iv == nil {
+				out.iv = r.iv
+			}
+			if x.Opcode == ir.OpSub && r.iv != nil {
+				// a was already negated via l.a-r.a above; keep iv.
+				out.iv = firstIV(l.iv, r.iv)
+			}
+			return out, true
+		case ir.OpMul, ir.OpShl:
+			l, ok1 := analyzeInt(ls, ivs, x.Ops[0])
+			r, ok2 := analyzeInt(ls, ivs, x.Ops[1])
+			if !ok1 || !ok2 {
+				return affineInt{}, false
+			}
+			// One side must be a known constant.
+			var k int64
+			var varSide affineInt
+			switch {
+			case l.iv == nil && l.a == 0 && l.bKnown:
+				k, varSide = l.b, r
+			case r.iv == nil && r.a == 0 && r.bKnown:
+				k, varSide = r.b, l
+			default:
+				return affineInt{}, false
+			}
+			if x.Opcode == ir.OpShl {
+				if varSide.iv == nil && varSide.a == 0 && varSide.bKnown {
+					// const << const handled as plain constant
+					return affineInt{b: varSide.b << uint64(k), bKnown: true}, true
+				}
+				k = 1 << uint64(k)
+				// shl's shift amount is Ops[1]: only support value << const.
+				if _, isConst := x.Ops[1].(*ir.Const); !isConst {
+					return affineInt{}, false
+				}
+			}
+			if !varSide.bKnown {
+				return affineInt{iv: varSide.iv, a: varSide.a * k, bKnown: false}, true
+			}
+			return affineInt{iv: varSide.iv, a: varSide.a * k, b: varSide.b * k, bKnown: true}, true
+		case ir.OpPhi:
+			return affineInt{}, false // non-IV phi: not affine
+		default:
+			return affineInt{}, false
+		}
+	default:
+		// Parameters and globals are loop-invariant with unknown value.
+		return affineInt{bKnown: false}, true
+	}
+}
+
+func firstIV(a, b *IV) *IV {
+	if a != nil {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,129 @@
+package loops
+
+import (
+	"noelle/internal/ir"
+	"noelle/internal/pdg"
+)
+
+// Invariants is NOELLE's INV abstraction: the set of instructions of a
+// loop whose value is the same on every iteration. It is computed with the
+// paper's Algorithm 2: an instruction is invariant when everything it
+// (transitively) data-depends on inside the loop is invariant. The
+// recursion runs over the PDG, so the precision of the underlying alias
+// analyses flows directly into invariant detection — the reason Figure 4
+// shows NOELLE finding more invariants than the low-level algorithm.
+type Invariants struct {
+	LS  *LS
+	PDG *pdg.Graph
+	// impureCall reports whether a call instruction may have externally
+	// visible effects (I/O or memory writes) and therefore cannot be
+	// invariant. A nil oracle treats every call as impure.
+	impureCall func(*ir.Instr) bool
+	inv        map[*ir.Instr]bool
+}
+
+// NewInvariants runs invariant detection for the loop described by ls,
+// using the loop's (or enclosing function's) dependence graph g.
+// impureCall may be nil (all calls impure).
+func NewInvariants(ls *LS, g *pdg.Graph, impureCall func(*ir.Instr) bool) *Invariants {
+	iv := &Invariants{LS: ls, PDG: g, impureCall: impureCall, inv: map[*ir.Instr]bool{}}
+	ls.Instrs(func(in *ir.Instr) bool {
+		iv.isInvariant(in, map[*ir.Instr]bool{})
+		return true
+	})
+	return iv
+}
+
+// IsInvariant reports whether in is a loop invariant.
+func (iv *Invariants) IsInvariant(in *ir.Instr) bool { return iv.inv[in] }
+
+// List returns the invariant instructions in loop layout order.
+func (iv *Invariants) List() []*ir.Instr {
+	var out []*ir.Instr
+	iv.LS.Instrs(func(in *ir.Instr) bool {
+		if iv.inv[in] {
+			out = append(out, in)
+		}
+		return true
+	})
+	return out
+}
+
+// Count returns the number of invariant instructions.
+func (iv *Invariants) Count() int { return len(iv.List()) }
+
+// isInvariant is the paper's Algorithm 2: cycle detection via the stack s,
+// then recursion over incoming PDG data dependences.
+func (iv *Invariants) isInvariant(in *ir.Instr, s map[*ir.Instr]bool) bool {
+	if done, ok := iv.inv[in]; ok {
+		return done
+	}
+	if s[in] {
+		return false // dependence cycle => varies across iterations
+	}
+	if !eligibleInvariant(in) {
+		iv.inv[in] = false
+		return false
+	}
+	if in.Opcode == ir.OpCall && (iv.impureCall == nil || iv.impureCall(in)) {
+		iv.inv[in] = false
+		return false
+	}
+	s[in] = true
+	defer delete(s, in)
+
+	for _, e := range iv.PDG.InEdges(in) {
+		if e.Control {
+			// Control dependence on the loop's own branches does not make
+			// a value vary; LICM-style invariance is about data.
+			continue
+		}
+		j := e.From
+		if !iv.LS.ContainsInstr(j) {
+			continue // defined outside the loop
+		}
+		if e.Memory && mayWriteMemory(j) {
+			// A store (or writing call) inside the loop may change what
+			// this instruction reads.
+			iv.inv[in] = false
+			return false
+		}
+		if !iv.isInvariant(j, s) {
+			iv.inv[in] = false
+			return false
+		}
+	}
+	// Memory conflicts are recorded once per pair, directed by layout
+	// order: a store *after* this load in the body still clobbers it on
+	// the next iteration, so outgoing memory edges to in-loop writers
+	// disqualify too.
+	for _, e := range iv.PDG.OutEdges(in) {
+		if !e.Memory {
+			continue
+		}
+		if iv.LS.ContainsInstr(e.To) && mayWriteMemory(e.To) {
+			iv.inv[in] = false
+			return false
+		}
+	}
+	iv.inv[in] = true
+	return true
+}
+
+func mayWriteMemory(in *ir.Instr) bool {
+	return in.Opcode == ir.OpStore || in.Opcode == ir.OpCall
+}
+
+// eligibleInvariant excludes instructions that can never be hoisted or
+// whose "value" is not a per-iteration computation.
+func eligibleInvariant(in *ir.Instr) bool {
+	switch in.Opcode {
+	case ir.OpPhi, ir.OpStore, ir.OpAlloca, ir.OpBr, ir.OpCondBr, ir.OpRet:
+		return false
+	case ir.OpCall:
+		// A call is eligible; memory dependences (if its callees touch
+		// memory written in the loop) are what disqualify it, via the PDG.
+		return true
+	}
+	return true
+}

@@ -1,0 +1,132 @@
+package loops
+
+import (
+	"noelle/internal/ir"
+	"noelle/internal/pdg"
+	"noelle/internal/sccdag"
+)
+
+// Loop is NOELLE's L abstraction: the canonical loop bundling its
+// structure (LS), its refined dependence graph, its SCCDAG, its induction
+// variables, its invariants, and its reductions (paper Table 1, "Loop").
+type Loop struct {
+	LS         *LS
+	DG         *pdg.Graph // loop dependence graph with carried refinement
+	IVs        *IVAnalysis
+	Invariants *Invariants
+	Reductions *ReductionAnalysis
+	SCCDAG     *sccdag.SCCDAG
+	// LiveIn values flow into the loop; LiveOut instructions are consumed
+	// after it (the Environment abstraction allocates one slot per entry).
+	LiveIn  []ir.Value
+	LiveOut []*ir.Instr
+}
+
+// NewLoop builds the full loop abstraction from a function PDG. impureCall
+// is the oracle used for invariant calls (nil = all calls impure).
+func NewLoop(ls *LS, fpdg *pdg.Graph, impureCall func(*ir.Instr) bool) *Loop {
+	inv := NewInvariants(ls, fpdg, impureCall)
+	ivs := NewIVAnalysis(ls, inv)
+	ldg := NewLoopDG(ls, fpdg, ivs)
+	rd := NewReductionAnalysis(ls, ivs)
+	clonable := clonableControl(ls, ivs, inv)
+	dag := sccdag.Build(ldg, sccdag.Classifiers{
+		IsReductionPhi: func(phi *ir.Instr) bool { return rd.ForPhi(phi) != nil },
+		IsIVInstr:      func(in *ir.Instr) bool { return clonable[in] },
+	})
+	return &Loop{
+		LS:         ls,
+		DG:         ldg,
+		IVs:        ivs,
+		Invariants: inv,
+		Reductions: rd,
+		SCCDAG:     dag,
+		LiveIn:     LiveIns(ls),
+		LiveOut:    LiveOuts(ls),
+	}
+}
+
+// clonableControl computes the set of "loop control" instructions a
+// parallelizer can replicate per worker: IV update cycles, derived-IV
+// arithmetic, comparisons over IVs and invariants, and branches driven by
+// such comparisons. These join the IV SCC through the control-dependence
+// cycle at the loop header, and must not force the loop to be sequential.
+func clonableControl(ls *LS, ivs *IVAnalysis, inv *Invariants) map[*ir.Instr]bool {
+	set := map[*ir.Instr]bool{}
+	for _, iv := range ivs.IVs {
+		for _, in := range iv.SCC {
+			set[in] = true
+		}
+		for _, in := range iv.Derived {
+			set[in] = true
+		}
+	}
+	okOperand := func(v ir.Value) bool {
+		if ls.DefinedOutside(v) {
+			return true
+		}
+		in, ok := v.(*ir.Instr)
+		if !ok {
+			return true
+		}
+		return set[in] || inv.IsInvariant(in)
+	}
+	// Fixed point: comparisons over clonable values, then branches over
+	// clonable comparisons.
+	changed := true
+	for changed {
+		changed = false
+		ls.Instrs(func(in *ir.Instr) bool {
+			if set[in] {
+				return true
+			}
+			switch {
+			case in.Opcode.IsCompare() || in.Opcode.IsBinaryOp():
+				if okOperand(in.Ops[0]) && okOperand(in.Ops[1]) {
+					set[in] = true
+					changed = true
+				}
+			case in.Opcode == ir.OpCondBr:
+				if okOperand(in.Ops[0]) {
+					set[in] = true
+					changed = true
+				}
+			case in.Opcode == ir.OpBr:
+				set[in] = true
+				changed = true
+			}
+			return true
+		})
+	}
+	return set
+}
+
+// CarriedDataDeps returns the loop-carried data dependence edges that are
+// neither IV updates nor recognized reductions — the dependences that
+// serialize the loop.
+func (l *Loop) CarriedDataDeps() []*pdg.Edge {
+	var out []*pdg.Edge
+	l.DG.Edges(func(e *pdg.Edge) bool {
+		if !e.LoopCarried || e.Control {
+			return true
+		}
+		n := l.SCCDAG.NodeOf[e.From]
+		if n != nil && (n.IsIV || n.Kind == sccdag.Reducible) && n == l.SCCDAG.NodeOf[e.To] {
+			return true
+		}
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// IsDOALL reports whether every SCC is Independent, an IV cycle, or a
+// reduction — the DOALL legality condition.
+func (l *Loop) IsDOALL() bool {
+	for _, n := range l.SCCDAG.Nodes {
+		if n.Kind == sccdag.Sequential && !n.IsIV {
+			return false
+		}
+	}
+	return l.IVs.GoverningIV() != nil
+}

@@ -1,0 +1,133 @@
+package machine
+
+import (
+	"fmt"
+
+	"noelle/internal/analysis"
+	"noelle/internal/interp"
+	"noelle/internal/ir"
+)
+
+// AttributeLoopCosts runs the program under the interpreter and measures,
+// for every dynamic invocation of the given loop, the per-iteration cost
+// of each segment. segmentOf maps the loop's instructions to segment
+// indices [0, numSegs); instructions outside the map are charged to
+// segment numSegs-1 (the parallel/default segment). Cycles spent inside
+// calls made by the loop are charged to the calling instruction's segment.
+func AttributeLoopCosts(m *ir.Module, nat *analysis.NaturalLoop, segmentOf map[*ir.Instr]int, numSegs int) ([]*Invocation, error) {
+	it := interp.New(m)
+	cm := it.Cost
+
+	inLoop := map[*ir.Block]bool{}
+	for b := range nat.Blocks {
+		inLoop[b] = true
+	}
+	header := nat.Header
+
+	var invocations []*Invocation
+	var cur *Invocation
+	var curIter []int64
+	// callDepth > 0 while executing code called from inside the loop; the
+	// segment of the call instruction accumulates those cycles.
+	callDepth := 0
+	callSeg := 0
+	loopFn := header.Parent
+	// fnDepth tracks recursive re-entry of the loop's own function so a
+	// nested invocation doesn't corrupt the outer one; we only profile
+	// top-level invocations.
+	active := false
+
+	flushIter := func() {
+		if curIter != nil {
+			cur.IterSegCosts = append(cur.IterSegCosts, curIter)
+			curIter = nil
+		}
+	}
+	endInvocation := func() {
+		if cur != nil {
+			flushIter()
+			invocations = append(invocations, cur)
+			cur = nil
+		}
+		active = false
+		callDepth = 0
+	}
+
+	it.BlockHook = func(b *ir.Block) {
+		if callDepth > 0 {
+			return
+		}
+		if b == header {
+			if !active {
+				cur = &Invocation{}
+				active = true
+			} else {
+				flushIter()
+			}
+			curIter = make([]int64, numSegs)
+			return
+		}
+		if active && b.Parent == loopFn && !inLoop[b] {
+			endInvocation()
+		}
+	}
+	it.InstrHook = func(in *ir.Instr) {
+		if !active {
+			return
+		}
+		if callDepth > 0 {
+			// Inside a callee: charge everything to the calling segment.
+			if curIter != nil {
+				curIter[callSeg] += cm.Cost(in)
+			}
+			if in.Opcode == ir.OpCall {
+				callDepth++
+			}
+			if in.Opcode == ir.OpRet {
+				callDepth--
+			}
+			return
+		}
+		if in.Parent == nil || !inLoop[in.Parent] {
+			if in.Opcode == ir.OpRet && in.Parent != nil && in.Parent.Parent == loopFn {
+				endInvocation()
+			}
+			return
+		}
+		seg, ok := segmentOf[in]
+		if !ok {
+			seg = numSegs - 1
+		}
+		if curIter != nil {
+			curIter[seg] += cm.Cost(in)
+		}
+		if in.Opcode == ir.OpCall {
+			callDepth = 1
+			callSeg = seg
+		}
+	}
+
+	if _, err := it.Run(); err != nil {
+		return nil, fmt.Errorf("machine: attribution run failed: %w", err)
+	}
+	endInvocation()
+	return invocations, nil
+}
+
+// SequentialCycles sums the sequential time over all invocations.
+func SequentialCycles(invs []*Invocation) int64 {
+	var t int64
+	for _, inv := range invs {
+		t += inv.TotalCycles()
+	}
+	return t
+}
+
+// SimulateAll applies sim to every invocation and sums the results.
+func SimulateAll(invs []*Invocation, sim func(*Invocation) int64) int64 {
+	var t int64
+	for _, inv := range invs {
+		t += sim(inv)
+	}
+	return t
+}

@@ -1,0 +1,135 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"noelle/internal/arch"
+)
+
+func uniformInvocation(iters int, segs []int64) *Invocation {
+	inv := &Invocation{}
+	for i := 0; i < iters; i++ {
+		row := make([]int64, len(segs))
+		copy(row, segs)
+		inv.IterSegCosts = append(inv.IterSegCosts, row)
+	}
+	return inv
+}
+
+func cfg(cores int) Config {
+	return DefaultConfig(arch.Default(), cores)
+}
+
+func TestDOALLPerfectScaling(t *testing.T) {
+	inv := uniformInvocation(1200, []int64{100})
+	seq := inv.TotalCycles()
+	t1 := SimulateDOALL(inv, cfg(1), 8)
+	t12 := SimulateDOALL(inv, cfg(12), 8)
+	if t12 >= t1 {
+		t.Fatalf("12 cores (%d) not faster than 1 (%d)", t12, t1)
+	}
+	sp := float64(seq) / float64(t12)
+	if sp < 8 || sp > 12 {
+		t.Errorf("12-core DOALL speedup = %.2f, want near-linear", sp)
+	}
+}
+
+func TestHELIXSequentialSegmentLimits(t *testing.T) {
+	// One sequential segment taking half the iteration: speedup must cap
+	// near 2 regardless of cores (Amdahl within the loop).
+	inv := uniformInvocation(600, []int64{500, 500})
+	seq := inv.TotalCycles()
+	par := SimulateHELIX(inv, cfg(12))
+	sp := float64(seq) / float64(par)
+	if sp > 2.1 {
+		t.Errorf("HELIX speedup %.2f exceeds the sequential-segment bound of 2", sp)
+	}
+	if sp < 1.2 {
+		t.Errorf("HELIX speedup %.2f too low: parallel portion not overlapped", sp)
+	}
+}
+
+func TestHELIXPureParallelScales(t *testing.T) {
+	inv := uniformInvocation(600, []int64{1000}) // only the parallel segment
+	seq := inv.TotalCycles()
+	par := SimulateHELIX(inv, cfg(12))
+	if sp := float64(seq) / float64(par); sp < 10 {
+		t.Errorf("segment-free HELIX speedup = %.2f, want ~12", sp)
+	}
+}
+
+func TestDSWPPipelineThroughput(t *testing.T) {
+	// Three balanced stages: throughput approaches one iteration per
+	// stage-time => ~3x.
+	inv := uniformInvocation(900, []int64{300, 300, 300})
+	seq := inv.TotalCycles()
+	par := SimulateDSWP(inv, cfg(3))
+	sp := float64(seq) / float64(par)
+	if sp < 2.5 || sp > 3.05 {
+		t.Errorf("3-stage DSWP speedup = %.2f, want ~3", sp)
+	}
+	// An unbalanced pipeline is bottlenecked by its slowest stage.
+	inv2 := uniformInvocation(900, []int64{100, 700, 100})
+	par2 := SimulateDSWP(inv2, cfg(3))
+	sp2 := float64(inv2.TotalCycles()) / float64(par2)
+	if sp2 > 1.4 {
+		t.Errorf("unbalanced DSWP speedup = %.2f, want bottlenecked ~1.3", sp2)
+	}
+}
+
+// Property: with per-worker overheads removed, more cores never slows the
+// DOALL schedule down. (With overheads included, extra workers cost extra
+// reduction folds — modeled deliberately, so excluded here.)
+func TestScheduleMonotonicity(t *testing.T) {
+	prop := func(itersRaw, costRaw uint8) bool {
+		iters := int(itersRaw%100) + 10
+		cost := int64(costRaw%200) + 10
+		inv := uniformInvocation(iters, []int64{cost})
+		bare := func(cores int) Config {
+			c := cfg(cores)
+			c.DispatchOverhead = 0
+			c.ReduceOverhead = 0
+			return c
+		}
+		prev := SimulateDOALL(inv, bare(1), 4)
+		for _, c := range []int{2, 4, 8, 16} {
+			cur := SimulateDOALL(inv, bare(c), 4)
+			if cur > prev+1 { // +1 absorbs integer rounding
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a parallel schedule never beats seq/cores (work conservation).
+func TestNoSuperlinearSpeedup(t *testing.T) {
+	prop := func(itersRaw, costRaw, coresRaw uint8) bool {
+		iters := int(itersRaw%200) + 1
+		cost := int64(costRaw%100) + 1
+		cores := int(coresRaw%15) + 1
+		inv := uniformInvocation(iters, []int64{cost})
+		seq := inv.TotalCycles()
+		par := SimulateDOALL(inv, cfg(cores), 8)
+		return float64(seq)/float64(par) <= float64(cores)+0.01
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedupComposition(t *testing.T) {
+	total := int64(1000)
+	sp := Speedup(total, []int64{500}, []int64{100})
+	if sp < 1.6 || sp > 1.7 { // 1000/600
+		t.Errorf("speedup = %.3f, want 1000/600", sp)
+	}
+	if Speedup(total, nil, nil) != 1 {
+		t.Error("no loops must give 1.0x")
+	}
+}

@@ -1,0 +1,258 @@
+package minic
+
+// CType is a source-level type: int, float, void, pointers, arrays, and
+// function types (used both for declarations and function-pointer values).
+type CType struct {
+	Kind   CKind
+	Elem   *CType // pointer/array element
+	Len    int    // array length
+	Params []*CType
+	Ret    *CType
+}
+
+// CKind discriminates source types.
+type CKind int
+
+// Source type kinds.
+const (
+	CInt CKind = iota
+	CFloat
+	CVoid
+	CPtr
+	CArray
+	CFunc
+)
+
+// Pre-built scalar types.
+var (
+	TInt   = &CType{Kind: CInt}
+	TFloat = &CType{Kind: CFloat}
+	TVoid  = &CType{Kind: CVoid}
+)
+
+func cPtr(elem *CType) *CType          { return &CType{Kind: CPtr, Elem: elem} }
+func cArray(elem *CType, n int) *CType { return &CType{Kind: CArray, Elem: elem, Len: n} }
+
+func (t *CType) equal(u *CType) bool {
+	if t == u {
+		return true
+	}
+	if t == nil || u == nil || t.Kind != u.Kind {
+		return false
+	}
+	switch t.Kind {
+	case CPtr:
+		return t.Elem.equal(u.Elem)
+	case CArray:
+		return t.Len == u.Len && t.Elem.equal(u.Elem)
+	case CFunc:
+		if !t.Ret.equal(u.Ret) || len(t.Params) != len(u.Params) {
+			return false
+		}
+		for i := range t.Params {
+			if !t.Params[i].equal(u.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+func (t *CType) String() string {
+	switch t.Kind {
+	case CInt:
+		return "int"
+	case CFloat:
+		return "float"
+	case CVoid:
+		return "void"
+	case CPtr:
+		return t.Elem.String() + "*"
+	case CArray:
+		return t.Elem.String() + "[]"
+	case CFunc:
+		s := "func("
+		for i, p := range t.Params {
+			if i > 0 {
+				s += ","
+			}
+			s += p.String()
+		}
+		return s + ") " + t.Ret.String()
+	}
+	return "?"
+}
+
+// Program is a parsed translation unit.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+	Externs []*FuncDecl // extern declarations (no body)
+}
+
+// GlobalDecl declares a module-level variable, optionally initialized with
+// constant scalars.
+type GlobalDecl struct {
+	Name  string
+	Type  *CType
+	Init  []int64
+	FInit []float64
+	Line  int
+}
+
+// FuncDecl is a function definition or extern declaration.
+type FuncDecl struct {
+	Name   string
+	Params []ParamDecl
+	Ret    *CType
+	Body   *BlockStmt // nil for externs
+	Line   int
+}
+
+// ParamDecl is a formal parameter.
+type ParamDecl struct {
+	Name string
+	Type *CType
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is { ... }.
+type BlockStmt struct{ Stmts []Stmt }
+
+// DeclStmt declares a local variable with an optional initializer.
+type DeclStmt struct {
+	Name string
+	Type *CType
+	Init Expr // nil when absent
+	Line int
+}
+
+// AssignStmt is lhs = rhs.
+type AssignStmt struct {
+	LHS  Expr // must be an lvalue
+	RHS  Expr
+	Line int
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// IfStmt is if (cond) then else.
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else *BlockStmt // may be nil
+	Line int
+}
+
+// WhileStmt is while (cond) body, or do body while (cond) when DoWhile.
+type WhileStmt struct {
+	Cond    Expr
+	Body    *BlockStmt
+	DoWhile bool
+	Line    int
+}
+
+// ForStmt is for (init; cond; post) body.
+type ForStmt struct {
+	Init Stmt // may be nil
+	Cond Expr // may be nil (infinite)
+	Post Stmt // may be nil
+	Body *BlockStmt
+	Line int
+}
+
+// ReturnStmt returns a value (or nothing).
+type ReturnStmt struct {
+	X    Expr // may be nil
+	Line int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt jumps to the innermost loop's continuation point.
+type ContinueStmt struct{ Line int }
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val  int64
+	Line int
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	Val  float64
+	Line int
+}
+
+// Ident references a variable or function by name.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// Unary is op X, with op one of - ! * & ~.
+type Unary struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// Binary is X op Y.
+type Binary struct {
+	Op   string
+	X, Y Expr
+	Line int
+}
+
+// Index is X[I].
+type Index struct {
+	X    Expr
+	I    Expr
+	Line int
+}
+
+// CallExpr is Fn(Args...). Fn may be an Ident naming a function or any
+// expression of function type (a function pointer).
+type CallExpr struct {
+	Fn   Expr
+	Args []Expr
+	Line int
+}
+
+// Cast converts X to a scalar type: (int)x or (float)x.
+type Cast struct {
+	To   *CType
+	X    Expr
+	Line int
+}
+
+func (*IntLit) exprNode()   {}
+func (*FloatLit) exprNode() {}
+func (*Ident) exprNode()    {}
+func (*Unary) exprNode()    {}
+func (*Binary) exprNode()   {}
+func (*Index) exprNode()    {}
+func (*CallExpr) exprNode() {}
+func (*Cast) exprNode()     {}

@@ -1,0 +1,354 @@
+package minic
+
+import (
+	"fmt"
+
+	"noelle/internal/ir"
+)
+
+// genExpr evaluates e for its value; void-typed expressions are an error.
+func (g *codegen) genExpr(e Expr) (ir.Value, *CType, error) {
+	v, vt, err := g.genExprAllowVoid(e)
+	if err != nil {
+		return nil, nil, err
+	}
+	if vt.Kind == CVoid {
+		return nil, nil, fmt.Errorf("void value used in expression")
+	}
+	return v, vt, nil
+}
+
+func (g *codegen) genExprAllowVoid(e Expr) (ir.Value, *CType, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return ir.ConstInt(x.Val), TInt, nil
+	case *FloatLit:
+		return ir.ConstFloat(x.Val), TFloat, nil
+
+	case *Ident:
+		if li, ok := g.lookup(x.Name); ok {
+			return g.loadVar(li)
+		}
+		if gi, ok := g.glbls[x.Name]; ok {
+			return g.loadVar(localInfo{addr: gi.g, ctype: gi.ctype})
+		}
+		if fi, ok := g.funcs[x.Name]; ok {
+			// A function name used as a value is a function pointer.
+			return fi.fn, fi.ctype, nil
+		}
+		return nil, nil, fmt.Errorf("line %d: undefined name %q", x.Line, x.Name)
+
+	case *Unary:
+		return g.genUnary(x)
+
+	case *Binary:
+		return g.genBinary(x)
+
+	case *Index:
+		addr, et, err := g.genAddr(x)
+		if err != nil {
+			return nil, nil, err
+		}
+		return g.bld.CreateLoad(addr, ""), et, nil
+
+	case *CallExpr:
+		return g.genCall(x)
+
+	case *Cast:
+		v, vt, err := g.genExpr(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch {
+		case x.To.Kind == CInt && vt.Kind == CFloat:
+			return g.bld.CreateCast(ir.OpFPToSI, v, ""), TInt, nil
+		case x.To.Kind == CFloat && vt.Kind == CInt:
+			return g.bld.CreateCast(ir.OpSIToFP, v, ""), TFloat, nil
+		case x.To.equal(vt):
+			return v, vt, nil
+		}
+		return nil, nil, fmt.Errorf("line %d: cannot cast %s to %s", x.Line, vt, x.To)
+	}
+	return nil, nil, fmt.Errorf("minic: unhandled expression %T", e)
+}
+
+// loadVar produces the rvalue of a variable; arrays decay to element
+// pointers instead of being loaded.
+func (g *codegen) loadVar(li localInfo) (ir.Value, *CType, error) {
+	if li.ctype.Kind == CArray {
+		p := g.bld.CreatePtrAdd(li.addr, ir.ConstInt(0), "decay")
+		return p, cPtr(li.ctype.Elem), nil
+	}
+	return g.bld.CreateLoad(li.addr, ""), li.ctype, nil
+}
+
+func (g *codegen) genUnary(x *Unary) (ir.Value, *CType, error) {
+	switch x.Op {
+	case "-":
+		v, vt, err := g.genExpr(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch vt.Kind {
+		case CInt:
+			return g.bld.CreateBinOp(ir.OpSub, ir.ConstInt(0), v, ""), TInt, nil
+		case CFloat:
+			return g.bld.CreateBinOp(ir.OpFSub, ir.ConstFloat(0), v, ""), TFloat, nil
+		}
+		return nil, nil, fmt.Errorf("line %d: cannot negate %s", x.Line, vt)
+	case "!":
+		v, vt, err := g.genExpr(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		if vt.Kind != CInt {
+			return nil, nil, fmt.Errorf("line %d: ! needs int, got %s", x.Line, vt)
+		}
+		c := g.bld.CreateCmp(ir.OpEq, v, ir.ConstInt(0), "")
+		return g.bld.CreateCast(ir.OpZExt, c, ""), TInt, nil
+	case "~":
+		v, vt, err := g.genExpr(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		if vt.Kind != CInt {
+			return nil, nil, fmt.Errorf("line %d: ~ needs int, got %s", x.Line, vt)
+		}
+		return g.bld.CreateBinOp(ir.OpXor, v, ir.ConstInt(-1), ""), TInt, nil
+	case "*":
+		v, vt, err := g.genExpr(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		if vt.Kind != CPtr {
+			return nil, nil, fmt.Errorf("line %d: dereferencing non-pointer %s", x.Line, vt)
+		}
+		return g.bld.CreateLoad(v, ""), vt.Elem, nil
+	case "&":
+		addr, et, err := g.genAddr(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		return addr, cPtr(et), nil
+	}
+	return nil, nil, fmt.Errorf("line %d: unhandled unary %q", x.Line, x.Op)
+}
+
+var intBinOps = map[string]ir.Op{
+	"+": ir.OpAdd, "-": ir.OpSub, "*": ir.OpMul, "/": ir.OpDiv, "%": ir.OpRem,
+	"&": ir.OpAnd, "|": ir.OpOr, "^": ir.OpXor, "<<": ir.OpShl, ">>": ir.OpShr,
+}
+var fltBinOps = map[string]ir.Op{
+	"+": ir.OpFAdd, "-": ir.OpFSub, "*": ir.OpFMul, "/": ir.OpFDiv,
+}
+var intCmpOps = map[string]ir.Op{
+	"==": ir.OpEq, "!=": ir.OpNe, "<": ir.OpLt, "<=": ir.OpLe, ">": ir.OpGt, ">=": ir.OpGe,
+}
+var fltCmpOps = map[string]ir.Op{
+	"==": ir.OpFEq, "!=": ir.OpFNe, "<": ir.OpFLt, "<=": ir.OpFLe, ">": ir.OpFGt, ">=": ir.OpFGe,
+}
+
+func (g *codegen) genBinary(x *Binary) (ir.Value, *CType, error) {
+	// Short-circuit logical operators lower to control flow through a
+	// stack slot (mem2reg rebuilds the phi).
+	if x.Op == "&&" || x.Op == "||" {
+		return g.genShortCircuit(x)
+	}
+
+	a, at, err := g.genExpr(x.X)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, bt, err := g.genExpr(x.Y)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Pointer arithmetic: ptr + int, ptr - int.
+	if at.Kind == CPtr && bt.Kind == CInt && (x.Op == "+" || x.Op == "-") {
+		idx := b
+		if x.Op == "-" {
+			idx = g.bld.CreateBinOp(ir.OpSub, ir.ConstInt(0), b, "")
+		}
+		return g.bld.CreatePtrAdd(a, idx, ""), at, nil
+	}
+	if !at.equal(bt) {
+		return nil, nil, fmt.Errorf("line %d: operator %q on %s and %s", x.Line, x.Op, at, bt)
+	}
+	switch at.Kind {
+	case CInt:
+		if op, ok := intBinOps[x.Op]; ok {
+			return g.bld.CreateBinOp(op, a, b, ""), TInt, nil
+		}
+		if op, ok := intCmpOps[x.Op]; ok {
+			c := g.bld.CreateCmp(op, a, b, "")
+			return g.bld.CreateCast(ir.OpZExt, c, ""), TInt, nil
+		}
+	case CFloat:
+		if op, ok := fltBinOps[x.Op]; ok {
+			return g.bld.CreateBinOp(op, a, b, ""), TFloat, nil
+		}
+		if op, ok := fltCmpOps[x.Op]; ok {
+			c := g.bld.CreateCmp(op, a, b, "")
+			return g.bld.CreateCast(ir.OpZExt, c, ""), TInt, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("line %d: operator %q not defined on %s", x.Line, x.Op, at)
+}
+
+func (g *codegen) genShortCircuit(x *Binary) (ir.Value, *CType, error) {
+	tmp := g.bld.CreateAlloca(ir.I64Type, 1, "sc.tmp")
+	rhsB := g.fn.NewBlock("sc.rhs")
+	endB := g.fn.NewBlock("sc.end")
+	shortB := g.fn.NewBlock("sc.short")
+
+	ca, err := g.genCond(x.X)
+	if err != nil {
+		return nil, nil, err
+	}
+	if x.Op == "&&" {
+		g.bld.CreateCondBr(ca, rhsB, shortB)
+	} else {
+		g.bld.CreateCondBr(ca, shortB, rhsB)
+	}
+
+	g.bld.SetInsertionBlock(shortB)
+	if x.Op == "&&" {
+		g.bld.CreateStore(ir.ConstInt(0), tmp)
+	} else {
+		g.bld.CreateStore(ir.ConstInt(1), tmp)
+	}
+	g.bld.CreateBr(endB)
+
+	g.bld.SetInsertionBlock(rhsB)
+	cb, err := g.genCond(x.Y)
+	if err != nil {
+		return nil, nil, err
+	}
+	z := g.bld.CreateCast(ir.OpZExt, cb, "")
+	g.bld.CreateStore(z, tmp)
+	g.bld.CreateBr(endB)
+
+	g.bld.SetInsertionBlock(endB)
+	return g.bld.CreateLoad(tmp, ""), TInt, nil
+}
+
+func (g *codegen) genCall(x *CallExpr) (ir.Value, *CType, error) {
+	var callee ir.Value
+	var ct *CType
+
+	if id, ok := x.Fn.(*Ident); ok {
+		// Local variables shadow function names.
+		if li, found := g.lookup(id.Name); found {
+			v, vt, err := g.loadVar(li)
+			if err != nil {
+				return nil, nil, err
+			}
+			if vt.Kind != CFunc {
+				return nil, nil, fmt.Errorf("line %d: calling non-function %q", x.Line, id.Name)
+			}
+			callee, ct = v, vt
+		} else if fi, found := g.funcs[id.Name]; found {
+			callee, ct = fi.fn, fi.ctype
+		} else {
+			return nil, nil, fmt.Errorf("line %d: call to undefined function %q", x.Line, id.Name)
+		}
+	} else {
+		v, vt, err := g.genExpr(x.Fn)
+		if err != nil {
+			return nil, nil, err
+		}
+		if vt.Kind != CFunc {
+			return nil, nil, fmt.Errorf("line %d: calling non-function value of type %s", x.Line, vt)
+		}
+		callee, ct = v, vt
+	}
+
+	if len(x.Args) != len(ct.Params) {
+		return nil, nil, fmt.Errorf("line %d: call has %d args, want %d", x.Line, len(x.Args), len(ct.Params))
+	}
+	var args []ir.Value
+	for i, ae := range x.Args {
+		av, at, err := g.genExpr(ae)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !at.equal(ct.Params[i]) {
+			return nil, nil, fmt.Errorf("line %d: arg %d has type %s, want %s", x.Line, i, at, ct.Params[i])
+		}
+		args = append(args, av)
+	}
+	call := g.bld.CreateCall(callee, args, "")
+	return call, ct.Ret, nil
+}
+
+// genAddr evaluates e as an lvalue, returning the address and element type.
+func (g *codegen) genAddr(e Expr) (ir.Value, *CType, error) {
+	switch x := e.(type) {
+	case *Ident:
+		if li, ok := g.lookup(x.Name); ok {
+			if li.ctype.Kind == CArray {
+				return nil, nil, fmt.Errorf("line %d: array %q is not assignable", x.Line, x.Name)
+			}
+			return li.addr, li.ctype, nil
+		}
+		if gi, ok := g.glbls[x.Name]; ok {
+			if gi.ctype.Kind == CArray {
+				return nil, nil, fmt.Errorf("line %d: array %q is not assignable", x.Line, x.Name)
+			}
+			return gi.g, gi.ctype, nil
+		}
+		return nil, nil, fmt.Errorf("line %d: undefined name %q", x.Line, x.Name)
+
+	case *Unary:
+		if x.Op != "*" {
+			return nil, nil, fmt.Errorf("line %d: %q is not an lvalue", x.Line, x.Op)
+		}
+		v, vt, err := g.genExpr(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		if vt.Kind != CPtr {
+			return nil, nil, fmt.Errorf("line %d: dereferencing non-pointer %s", x.Line, vt)
+		}
+		return v, vt.Elem, nil
+
+	case *Index:
+		base, bt, err := g.genIndexBase(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		iv, it, err := g.genExpr(x.I)
+		if err != nil {
+			return nil, nil, err
+		}
+		if it.Kind != CInt {
+			return nil, nil, fmt.Errorf("line %d: array index must be int", x.Line)
+		}
+		return g.bld.CreatePtrAdd(base, iv, ""), bt.Elem, nil
+	}
+	return nil, nil, fmt.Errorf("expression is not an lvalue (%T)", e)
+}
+
+// genIndexBase evaluates the base of an indexing expression to a pointer;
+// arrays are used in place (their address) rather than decayed via a load.
+func (g *codegen) genIndexBase(e Expr) (ir.Value, *CType, error) {
+	if id, ok := e.(*Ident); ok {
+		if li, found := g.lookup(id.Name); found && li.ctype.Kind == CArray {
+			p := g.bld.CreatePtrAdd(li.addr, ir.ConstInt(0), "")
+			return p, cPtr(li.ctype.Elem), nil
+		}
+		if gi, found := g.glbls[id.Name]; found && gi.ctype.Kind == CArray {
+			p := g.bld.CreatePtrAdd(gi.g, ir.ConstInt(0), "")
+			return p, cPtr(gi.ctype.Elem), nil
+		}
+	}
+	v, vt, err := g.genExpr(e)
+	if err != nil {
+		return nil, nil, err
+	}
+	if vt.Kind != CPtr {
+		return nil, nil, fmt.Errorf("indexing non-pointer %s", vt)
+	}
+	return v, vt, nil
+}

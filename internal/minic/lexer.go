@@ -1,0 +1,132 @@
+// Package minic implements a small C-like frontend that compiles to the IR.
+// It stands in for clang in the paper's pipeline: the 41-benchmark corpus is
+// written in this language, lowered to SSA, and consumed by the noelle-*
+// tools. The language has 64-bit ints, 64-bit floats, pointers, fixed-size
+// arrays, function pointers, and the usual C control flow (if/while/do/for,
+// break/continue, short-circuit && and ||).
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokPunct   // operators and punctuation
+	TokKeyword // reserved words
+)
+
+var keywords = map[string]bool{
+	"int": true, "float": true, "void": true, "func": true,
+	"if": true, "else": true, "while": true, "do": true, "for": true,
+	"return": true, "break": true, "continue": true, "extern": true,
+}
+
+// Tok is a lexical token.
+type Tok struct {
+	Kind TokKind
+	Text string
+	Line int
+}
+
+func (t Tok) String() string {
+	if t.Kind == TokEOF {
+		return "<eof>"
+	}
+	return t.Text
+}
+
+// Lex tokenizes src. Comments are // to end of line and /* */.
+func Lex(src string) ([]Tok, error) {
+	var toks []Tok
+	line := 1
+	i := 0
+	emit := func(kind TokKind, text string) { toks = append(toks, Tok{kind, text, line}) }
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			i += 2
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= len(src) {
+				return nil, fmt.Errorf("line %d: unterminated comment", line)
+			}
+			i += 2
+		case isAlpha(c):
+			start := i
+			for i < len(src) && (isAlpha(src[i]) || isDigit(src[i])) {
+				i++
+			}
+			word := src[start:i]
+			if keywords[word] {
+				emit(TokKeyword, word)
+			} else {
+				emit(TokIdent, word)
+			}
+		case isDigit(c):
+			start := i
+			isFloat := false
+			for i < len(src) && (isDigit(src[i]) || src[i] == '.' || src[i] == 'e' || src[i] == 'E') {
+				if src[i] == '.' || src[i] == 'e' || src[i] == 'E' {
+					isFloat = true
+					if (src[i] == 'e' || src[i] == 'E') && i+1 < len(src) && (src[i+1] == '+' || src[i+1] == '-') {
+						i++
+					}
+				}
+				i++
+			}
+			if isFloat {
+				emit(TokFloat, src[start:i])
+			} else {
+				emit(TokInt, src[start:i])
+			}
+		default:
+			// Multi-char operators first.
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->":
+				emit(TokPunct, two)
+				i += 2
+				continue
+			}
+			if strings.ContainsRune("+-*/%<>=!&|^~(){}[];,.", rune(c)) {
+				emit(TokPunct, string(c))
+				i++
+				continue
+			}
+			return nil, fmt.Errorf("line %d: unexpected character %q", line, c)
+		}
+	}
+	emit(TokEOF, "")
+	return toks, nil
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,188 @@
+// Package passes implements the classic IR-to-IR passes the substrate
+// needs: SSA promotion (mem2reg), dead code elimination, constant folding,
+// and CFG simplification. They correspond to the LLVM pipeline NOELLE's
+// input IR has already been through.
+package passes
+
+import (
+	"noelle/internal/analysis"
+	"noelle/internal/ir"
+)
+
+// Mem2Reg promotes promotable allocas to SSA registers using phi placement
+// on the iterated dominance frontier (Cytron et al.) followed by renaming.
+// It returns the number of promoted allocas.
+func Mem2Reg(f *ir.Function) int {
+	if f.IsDeclaration() {
+		return 0
+	}
+	var candidates []*ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Opcode == ir.OpAlloca && promotable(f, in) {
+				candidates = append(candidates, in)
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return 0
+	}
+
+	cfg := analysis.NewCFG(f)
+	dt := analysis.NewDomTree(f)
+	df := dt.Frontier(cfg)
+
+	phiFor := map[*ir.Instr]map[*ir.Block]*ir.Instr{} // alloca -> block -> phi
+	for _, a := range candidates {
+		phiFor[a] = map[*ir.Block]*ir.Instr{}
+		// Blocks containing a store to a: definition sites.
+		work := []*ir.Block{}
+		seen := map[*ir.Block]bool{}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Opcode == ir.OpStore && in.Ops[1] == a {
+					if !seen[b] {
+						seen[b] = true
+						work = append(work, b)
+					}
+					break
+				}
+			}
+		}
+		// Iterated dominance frontier.
+		placed := map[*ir.Block]bool{}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, fb := range df[b] {
+				if placed[fb] || !cfg.Reachable(fb) {
+					continue
+				}
+				placed[fb] = true
+				phi := &ir.Instr{
+					Opcode: ir.OpPhi,
+					Ty:     a.AllocaElem,
+					Nam:    f.FreshName(a.Nam + ".phi"),
+					Parent: fb,
+					ID:     -1,
+				}
+				fb.Instrs = append([]*ir.Instr{phi}, fb.Instrs...)
+				phiFor[a][fb] = phi
+				if !seen[fb] {
+					seen[fb] = true
+					work = append(work, fb)
+				}
+			}
+		}
+	}
+
+	// Renaming: walk the dominator tree carrying the current value of each
+	// alloca; loads are replaced, stores removed.
+	type frame struct {
+		vals map[*ir.Instr]ir.Value
+	}
+	isCand := map[*ir.Instr]bool{}
+	for _, a := range candidates {
+		isCand[a] = true
+	}
+	zeroOf := func(t *ir.Type) ir.Value {
+		if t.IsFloat() {
+			return ir.ConstFloat(0)
+		}
+		if t.Kind == ir.I1Kind {
+			return ir.ConstBool(false)
+		}
+		return ir.ConstInt(0)
+	}
+
+	var rename func(b *ir.Block, vals map[*ir.Instr]ir.Value)
+	rename = func(b *ir.Block, vals map[*ir.Instr]ir.Value) {
+		local := make(map[*ir.Instr]ir.Value, len(vals))
+		for k, v := range vals {
+			local[k] = v
+		}
+		for _, a := range candidates {
+			if phi, ok := phiFor[a][b]; ok {
+				local[a] = phi
+			}
+		}
+		var dead []*ir.Instr
+		for _, in := range b.Instrs {
+			switch in.Opcode {
+			case ir.OpLoad:
+				if a, ok := in.Ops[0].(*ir.Instr); ok && isCand[a] {
+					cur, have := local[a]
+					if !have {
+						cur = zeroOf(a.AllocaElem)
+					}
+					replaceAllUsesInFunc(f, in, cur)
+					dead = append(dead, in)
+				}
+			case ir.OpStore:
+				if a, ok := in.Ops[1].(*ir.Instr); ok && isCand[a] {
+					local[a] = in.Ops[0]
+					dead = append(dead, in)
+				}
+			}
+		}
+		for _, in := range dead {
+			b.Remove(in)
+		}
+		// Fill phi incomings of successors.
+		for _, s := range b.Successors() {
+			for _, a := range candidates {
+				if phi, ok := phiFor[a][s]; ok {
+					cur, have := local[a]
+					if !have {
+						cur = zeroOf(a.AllocaElem)
+					}
+					phi.SetPhiIncoming(b, cur)
+				}
+			}
+		}
+		for _, ch := range dt.Children[b] {
+			rename(ch, local)
+		}
+	}
+	rename(f.Entry(), map[*ir.Instr]ir.Value{})
+
+	// Remove the allocas themselves.
+	for _, a := range candidates {
+		a.Parent.Remove(a)
+	}
+	return len(candidates)
+}
+
+// promotable reports whether the alloca can live in a register: a single
+// scalar cell whose address is only used directly by loads and by stores
+// (as the target, not the stored value).
+func promotable(f *ir.Function, a *ir.Instr) bool {
+	if a.AllocaCount != 1 {
+		return false
+	}
+	switch a.AllocaElem.Kind {
+	case ir.ArrayKind, ir.VoidKind:
+		return false
+	}
+	ok := true
+	f.Instrs(func(in *ir.Instr) bool {
+		for i, op := range in.Ops {
+			if op != ir.Value(a) {
+				continue
+			}
+			switch {
+			case in.Opcode == ir.OpLoad:
+			case in.Opcode == ir.OpStore && i == 1:
+			default:
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+func replaceAllUsesInFunc(f *ir.Function, old, new ir.Value) {
+	f.ReplaceAllUses(old, new)
+}

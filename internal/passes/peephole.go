@@ -1,0 +1,121 @@
+package passes
+
+import (
+	"noelle/internal/ir"
+)
+
+// invertedCompare maps each comparison to its negation.
+var invertedCompare = map[ir.Op]ir.Op{
+	ir.OpEq: ir.OpNe, ir.OpNe: ir.OpEq,
+	ir.OpLt: ir.OpGe, ir.OpGe: ir.OpLt,
+	ir.OpLe: ir.OpGt, ir.OpGt: ir.OpLe,
+	ir.OpFEq: ir.OpFNe, ir.OpFNe: ir.OpFEq,
+	ir.OpFLt: ir.OpFGe, ir.OpFGe: ir.OpFLt,
+	ir.OpFLe: ir.OpFGt, ir.OpFGt: ir.OpFLe,
+}
+
+// Peephole performs local instruction combining, most importantly
+// collapsing the frontend's boolean round-trips (`ne (zext cmp), 0` =>
+// cmp) that would otherwise hide comparisons from the loop analyses.
+// Returns the number of rewrites.
+func Peephole(f *ir.Function) int {
+	if f.IsDeclaration() {
+		return 0
+	}
+	rewrites := 0
+	for {
+		changed := false
+		f.Instrs(func(in *ir.Instr) bool {
+			if n := combine(f, in); n > 0 {
+				rewrites += n
+				changed = true
+				return false // def-use changed; rescan
+			}
+			return true
+		})
+		if !changed {
+			return rewrites
+		}
+	}
+}
+
+func combine(f *ir.Function, in *ir.Instr) int {
+	switch in.Opcode {
+	case ir.OpNe, ir.OpEq:
+		// (ne (zext c), 0) => c ; (eq (zext c), 0) => !c
+		z, ok := in.Ops[0].(*ir.Instr)
+		if !ok || z.Opcode != ir.OpZExt {
+			return 0
+		}
+		zero, ok := in.Ops[1].(*ir.Const)
+		if !ok || zero.Int != 0 {
+			return 0
+		}
+		cmp, ok := z.Ops[0].(*ir.Instr)
+		if !ok || !cmp.Opcode.IsCompare() {
+			return 0
+		}
+		if in.Opcode == ir.OpNe {
+			f.ReplaceAllUses(in, cmp)
+			in.Parent.Remove(in)
+			return 1
+		}
+		// eq: materialize the inverted comparison right before in.
+		inv := &ir.Instr{
+			Opcode: invertedCompare[cmp.Opcode],
+			Ty:     ir.I1Type,
+			Nam:    f.FreshName("notc"),
+			Ops:    []ir.Value{cmp.Ops[0], cmp.Ops[1]},
+			ID:     -1,
+		}
+		in.Parent.InsertBefore(inv, in)
+		f.ReplaceAllUses(in, inv)
+		in.Parent.Remove(in)
+		return 1
+
+	case ir.OpTrunc:
+		// trunc(zext x) => x
+		z, ok := in.Ops[0].(*ir.Instr)
+		if !ok || z.Opcode != ir.OpZExt {
+			return 0
+		}
+		f.ReplaceAllUses(in, z.Ops[0])
+		in.Parent.Remove(in)
+		return 1
+
+	case ir.OpAdd:
+		// x + 0 => x (either side)
+		if c, ok := in.Ops[1].(*ir.Const); ok && c.Int == 0 {
+			f.ReplaceAllUses(in, in.Ops[0])
+			in.Parent.Remove(in)
+			return 1
+		}
+		if c, ok := in.Ops[0].(*ir.Const); ok && c.Int == 0 {
+			f.ReplaceAllUses(in, in.Ops[1])
+			in.Parent.Remove(in)
+			return 1
+		}
+
+	case ir.OpSub:
+		// x - 0 => x
+		if c, ok := in.Ops[1].(*ir.Const); ok && c.Int == 0 {
+			f.ReplaceAllUses(in, in.Ops[0])
+			in.Parent.Remove(in)
+			return 1
+		}
+
+	case ir.OpMul:
+		// x * 1 => x
+		if c, ok := in.Ops[1].(*ir.Const); ok && c.Int == 1 {
+			f.ReplaceAllUses(in, in.Ops[0])
+			in.Parent.Remove(in)
+			return 1
+		}
+		if c, ok := in.Ops[0].(*ir.Const); ok && c.Int == 1 {
+			f.ReplaceAllUses(in, in.Ops[1])
+			in.Parent.Remove(in)
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,147 @@
+package pdg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"noelle/internal/ir"
+)
+
+// Metadata key used by noelle-meta-pdg-embed: one entry per function,
+// holding the function's dependence edges keyed by deterministic
+// instruction IDs.
+const mdKeyPrefix = "noelle.pdg."
+
+// Embed serializes per-function PDGs into module metadata so later tool
+// invocations can reconstruct them without re-running the alias analyses
+// (the paper's noelle-meta-pdg-embed). IDs must be assigned first.
+func Embed(m *ir.Module, graphs map[*ir.Function]*Graph) {
+	for f, g := range graphs {
+		var sb strings.Builder
+		for _, e := range g.SortedEdges() {
+			if e.From.ID < 0 || e.To.ID < 0 {
+				continue
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte(';')
+			}
+			sb.WriteString(strconv.Itoa(e.From.ID))
+			sb.WriteByte('>')
+			sb.WriteString(strconv.Itoa(e.To.ID))
+			sb.WriteByte(':')
+			sb.WriteString(encodeFlags(e))
+		}
+		m.SetMD(mdKeyPrefix+f.Nam, sb.String())
+	}
+}
+
+func encodeFlags(e *Edge) string {
+	var b strings.Builder
+	if e.Control {
+		b.WriteByte('c')
+	}
+	if e.Memory {
+		b.WriteByte('m')
+	}
+	b.WriteByte('0' + byte(e.Class))
+	if e.Must {
+		b.WriteByte('M')
+	}
+	if e.LoopCarried {
+		b.WriteByte('L')
+	}
+	return b.String()
+}
+
+// HasEmbedded reports whether m carries an embedded PDG for f.
+func HasEmbedded(m *ir.Module, f *ir.Function) bool {
+	return m.MD.Has(mdKeyPrefix + f.Nam)
+}
+
+// Reload reconstructs f's PDG from embedded metadata. IDs must match the
+// current module numbering (tools re-assign IDs only before embedding).
+func Reload(m *ir.Module, f *ir.Function) (*Graph, error) {
+	data := m.MD.Get(mdKeyPrefix + f.Nam)
+	byID := map[int]*ir.Instr{}
+	f.Instrs(func(in *ir.Instr) bool {
+		byID[in.ID] = in
+		return true
+	})
+	g := NewGraph()
+	f.Instrs(func(in *ir.Instr) bool {
+		g.AddInternal(in)
+		return true
+	})
+	if data == "" {
+		return g, nil
+	}
+	for _, part := range strings.Split(data, ";") {
+		arrow := strings.IndexByte(part, '>')
+		colon := strings.IndexByte(part, ':')
+		if arrow < 0 || colon < arrow {
+			return nil, fmt.Errorf("pdg: malformed edge %q", part)
+		}
+		fromID, err := strconv.Atoi(part[:arrow])
+		if err != nil {
+			return nil, fmt.Errorf("pdg: bad from id in %q", part)
+		}
+		toID, err := strconv.Atoi(part[arrow+1 : colon])
+		if err != nil {
+			return nil, fmt.Errorf("pdg: bad to id in %q", part)
+		}
+		from, to := byID[fromID], byID[toID]
+		if from == nil || to == nil {
+			return nil, fmt.Errorf("pdg: edge %q references unknown instruction", part)
+		}
+		e := &Edge{From: from, To: to}
+		for _, c := range part[colon+1:] {
+			switch c {
+			case 'c':
+				e.Control = true
+			case 'm':
+				e.Memory = true
+			case '0', '1', '2':
+				e.Class = DepClass(c - '0')
+			case 'M':
+				e.Must = true
+			case 'L':
+				e.LoopCarried = true
+			default:
+				return nil, fmt.Errorf("pdg: unknown flag %q in %q", c, part)
+			}
+		}
+		g.AddEdge(e)
+	}
+	return g, nil
+}
+
+// Clean removes all embedded NOELLE metadata from the module (profiles and
+// PDGs), implementing noelle-meta-clean.
+func Clean(m *ir.Module) {
+	for k := range m.MD {
+		if strings.HasPrefix(k, "noelle.") {
+			delete(m.MD, k)
+		}
+	}
+	for _, f := range m.Functions {
+		cleanMD(f.MD)
+		for _, b := range f.Blocks {
+			cleanMD(b.MD)
+			for _, in := range b.Instrs {
+				cleanMD(in.MD)
+			}
+		}
+	}
+	for _, g := range m.Globals {
+		cleanMD(g.MD)
+	}
+}
+
+func cleanMD(md ir.Metadata) {
+	for k := range md {
+		if strings.HasPrefix(k, "noelle.") {
+			delete(md, k)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+// Package pdg implements NOELLE's Program Dependence Graph abstraction
+// (paper Section 2.2, "PDG"): all control and data dependences between the
+// instructions of a program. Data dependences are classified
+// (RAW/WAW/WAR), flagged register vs memory, may vs must ("apparent" vs
+// "actual"), and — once refined against a loop — loop-carried or not.
+// Sub-graphs for loops and functions expose internal and external nodes so
+// clients can read off live-ins and live-outs.
+package pdg
+
+import (
+	"fmt"
+	"sort"
+
+	"noelle/internal/ir"
+)
+
+// DepClass classifies a data dependence.
+type DepClass int
+
+// Dependence classes.
+const (
+	RAW DepClass = iota // read after write (true/flow)
+	WAW                 // write after write (output)
+	WAR                 // write after read (anti)
+)
+
+// String renders the class.
+func (c DepClass) String() string {
+	switch c {
+	case RAW:
+		return "RAW"
+	case WAW:
+		return "WAW"
+	case WAR:
+		return "WAR"
+	default:
+		return "?"
+	}
+}
+
+// Edge is a directed dependence: To depends on From.
+type Edge struct {
+	From, To *ir.Instr
+	// Control is true for control dependences; data fields below are
+	// meaningful only when Control is false.
+	Control bool
+	// Memory is true for memory dependences, false for register (SSA)
+	// dependences.
+	Memory bool
+	Class  DepClass
+	// Must is true when the dependence provably occurs on every execution
+	// that reaches both endpoints (the paper's "actual" vs "apparent").
+	Must bool
+	// LoopCarried marks dependences that cross loop iterations. It is set
+	// by loop-dependence refinement and only meaningful for edges between
+	// instructions of that loop.
+	LoopCarried bool
+}
+
+func (e *Edge) String() string {
+	kind := "reg"
+	if e.Control {
+		kind = "ctrl"
+	} else if e.Memory {
+		kind = "mem-" + e.Class.String()
+	}
+	lc := ""
+	if e.LoopCarried {
+		lc = " carried"
+	}
+	return fmt.Sprintf("%s -> %s [%s%s]", e.From.Ident(), e.To.Ident(), kind, lc)
+}
+
+// Graph is a dependence graph over instructions. It distinguishes internal
+// nodes (the code region of interest) from external ones (producers of
+// live-ins and consumers of live-outs), as the paper's templated
+// dependence-graph class does.
+type Graph struct {
+	nodes     []*ir.Instr
+	internal  map[*ir.Instr]bool
+	external  map[*ir.Instr]bool
+	out       map[*ir.Instr][]*Edge
+	in        map[*ir.Instr][]*Edge
+	edgeCount int
+}
+
+// NewGraph returns an empty dependence graph.
+func NewGraph() *Graph {
+	return &Graph{
+		internal: map[*ir.Instr]bool{},
+		external: map[*ir.Instr]bool{},
+		out:      map[*ir.Instr][]*Edge{},
+		in:       map[*ir.Instr][]*Edge{},
+	}
+}
+
+// AddInternal registers in as an internal node.
+func (g *Graph) AddInternal(in *ir.Instr) {
+	if g.internal[in] {
+		return
+	}
+	if g.external[in] {
+		delete(g.external, in)
+	} else {
+		g.nodes = append(g.nodes, in)
+	}
+	g.internal[in] = true
+}
+
+// AddExternal registers in as an external node (live-in producer or
+// live-out consumer); internal status wins if already present.
+func (g *Graph) AddExternal(in *ir.Instr) {
+	if g.internal[in] || g.external[in] {
+		return
+	}
+	g.external[in] = true
+	g.nodes = append(g.nodes, in)
+}
+
+// AddEdge inserts e, creating endpoints as external nodes if unknown.
+func (g *Graph) AddEdge(e *Edge) {
+	g.AddExternal(e.From)
+	g.AddExternal(e.To)
+	g.out[e.From] = append(g.out[e.From], e)
+	g.in[e.To] = append(g.in[e.To], e)
+	g.edgeCount++
+}
+
+// Nodes returns all nodes (internal then external registration order).
+func (g *Graph) Nodes() []*ir.Instr { return g.nodes }
+
+// Internal reports whether in is an internal node.
+func (g *Graph) Internal(in *ir.Instr) bool { return g.internal[in] }
+
+// External reports whether in is an external node.
+func (g *Graph) External(in *ir.Instr) bool { return g.external[in] }
+
+// InternalNodes returns the internal nodes in registration order.
+func (g *Graph) InternalNodes() []*ir.Instr {
+	var out []*ir.Instr
+	for _, n := range g.nodes {
+		if g.internal[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ExternalNodes returns the external nodes in registration order.
+func (g *Graph) ExternalNodes() []*ir.Instr {
+	var out []*ir.Instr
+	for _, n := range g.nodes {
+		if g.external[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// OutEdges returns the dependences out of in (others depending on it).
+func (g *Graph) OutEdges(in *ir.Instr) []*Edge { return g.out[in] }
+
+// InEdges returns the dependences into in (what it depends on).
+func (g *Graph) InEdges(in *ir.Instr) []*Edge { return g.in[in] }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return g.edgeCount }
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// Edges calls fn for every edge (from-node registration order).
+func (g *Graph) Edges(fn func(*Edge) bool) {
+	for _, n := range g.nodes {
+		for _, e := range g.out[n] {
+			if !fn(e) {
+				return
+			}
+		}
+	}
+}
+
+// EdgesBetween returns the edges from a to b.
+func (g *Graph) EdgesBetween(a, b *ir.Instr) []*Edge {
+	var out []*Edge
+	for _, e := range g.out[a] {
+		if e.To == b {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// RemoveEdge deletes e from the graph.
+func (g *Graph) RemoveEdge(e *Edge) {
+	g.out[e.From] = removeEdge(g.out[e.From], e)
+	g.in[e.To] = removeEdge(g.in[e.To], e)
+	g.edgeCount--
+}
+
+func removeEdge(s []*Edge, e *Edge) []*Edge {
+	for i, x := range s {
+		if x == e {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// SortedEdges returns every edge ordered by (From.ID, To.ID, flags) for
+// deterministic output; callers must have assigned instruction IDs.
+func (g *Graph) SortedEdges() []*Edge {
+	var all []*Edge
+	g.Edges(func(e *Edge) bool {
+		all = append(all, e)
+		return true
+	})
+	sort.SliceStable(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.From.ID != b.From.ID {
+			return a.From.ID < b.From.ID
+		}
+		if a.To.ID != b.To.ID {
+			return a.To.ID < b.To.ID
+		}
+		return edgeRank(a) < edgeRank(b)
+	})
+	return all
+}
+
+func edgeRank(e *Edge) int {
+	r := int(e.Class)
+	if e.Control {
+		r += 10
+	}
+	if e.Memory {
+		r += 100
+	}
+	if e.Must {
+		r += 1000
+	}
+	if e.LoopCarried {
+		r += 10000
+	}
+	return r
+}

@@ -1,0 +1,225 @@
+package pdg_test
+
+import (
+	"testing"
+
+	"noelle/internal/ir"
+	"noelle/internal/minic"
+	"noelle/internal/passes"
+	"noelle/internal/pdg"
+)
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	passes.Optimize(m)
+	return m
+}
+
+func TestRegisterDeps(t *testing.T) {
+	m := compile(t, `
+int main() {
+  int a = 3;
+  int b = a * 2;
+  return b + a;
+}`)
+	f := m.FunctionByName("main")
+	g := pdg.NewBuilder(m).FunctionPDG(f)
+	// Every non-constant operand use must appear as a register edge.
+	f.Instrs(func(in *ir.Instr) bool {
+		for _, op := range in.Ops {
+			def, ok := op.(*ir.Instr)
+			if !ok {
+				continue
+			}
+			found := false
+			for _, e := range g.InEdges(in) {
+				if e.From == def && !e.Control && !e.Memory {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("missing register dep %s -> %s", def.Ident(), in.Ident())
+			}
+		}
+		return true
+	})
+}
+
+func TestControlDeps(t *testing.T) {
+	m := compile(t, `
+int main() {
+  int x = 5;
+  int r = 0;
+  if (x > 3) { r = 1; } else { r = 2; }
+  return r;
+}`)
+	// After const folding the branch may be folded; use a parameterized
+	// version instead.
+	m = compile(t, `
+int pick(int x) {
+  int r = 0;
+  if (x > 3) { r = 1; } else { r = 2; }
+  return r;
+}
+int main() { return pick(5); }`)
+	f := m.FunctionByName("pick")
+	g := pdg.NewBuilder(m).FunctionPDG(f)
+	ctrlEdges := 0
+	g.Edges(func(e *pdg.Edge) bool {
+		if e.Control {
+			ctrlEdges++
+			if e.From.Opcode != ir.OpCondBr {
+				t.Errorf("control dep from non-branch %s", e.From)
+			}
+		}
+		return true
+	})
+	if ctrlEdges == 0 {
+		t.Error("no control dependences found for the if/else")
+	}
+}
+
+func TestMemoryDepClassification(t *testing.T) {
+	m := compile(t, `
+int g;
+int use(int x) {
+  g = x;        // store 1
+  int a = g;    // load (RAW on store 1)
+  g = a + 1;    // store 2 (WAW with store 1, WAR with load)
+  return g;
+}
+int main() { return use(3); }`)
+	f := m.FunctionByName("use")
+	g := pdg.NewBuilder(m).FunctionPDG(f)
+	have := map[pdg.DepClass]bool{}
+	g.Edges(func(e *pdg.Edge) bool {
+		if e.Memory {
+			have[e.Class] = true
+			if !e.Must {
+				t.Errorf("same-global dep should be must: %s", e)
+			}
+		}
+		return true
+	})
+	for _, cls := range []pdg.DepClass{pdg.RAW, pdg.WAW, pdg.WAR} {
+		if !have[cls] {
+			t.Errorf("missing %s memory dependence", cls)
+		}
+	}
+}
+
+func TestPrecisionBeatsBaseline(t *testing.T) {
+	m := compile(t, `
+int a[16];
+int b[16];
+int kernel(int *p, int *q) {
+  int i;
+  for (i = 0; i < 16; i = i + 1) { p[i] = q[i] * 2; }
+  return p[0];
+}
+int main() { return kernel(&a[0], &b[0]); }`)
+	f := m.FunctionByName("kernel")
+	tB, dB := pdg.NewBaselineBuilder(m).PotentialMemoryPairs(f)
+	tN, dN := pdg.NewBuilder(m).PotentialMemoryPairs(f)
+	if tB != tN {
+		t.Fatalf("pair universes differ: %d vs %d", tB, tN)
+	}
+	if dN <= dB {
+		t.Errorf("NOELLE stack (%d/%d) should disprove more than baseline (%d/%d)", dN, tN, dB, tB)
+	}
+}
+
+func TestIOOrderingEdges(t *testing.T) {
+	m := compile(t, `
+int main() {
+  print_i64(1);
+  print_i64(2);
+  return 0;
+}`)
+	f := m.FunctionByName("main")
+	g := pdg.NewBuilder(m).FunctionPDG(f)
+	var calls []*ir.Instr
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Opcode == ir.OpCall {
+			calls = append(calls, in)
+		}
+		return true
+	})
+	if len(calls) != 2 {
+		t.Fatalf("calls = %d", len(calls))
+	}
+	if len(g.EdgesBetween(calls[0], calls[1])) == 0 {
+		t.Error("two prints have no ordering dependence (output could reorder)")
+	}
+}
+
+func TestEmbedReloadRoundTrip(t *testing.T) {
+	m := compile(t, `
+int g;
+int main() {
+  int i;
+  for (i = 0; i < 4; i = i + 1) { g = g + i; }
+  return g;
+}`)
+	m.AssignIDs()
+	f := m.FunctionByName("main")
+	b := pdg.NewBuilder(m)
+	orig := b.FunctionPDG(f)
+	pdg.Embed(m, map[*ir.Function]*pdg.Graph{f: orig})
+
+	re, err := pdg.Reload(m, f)
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if re.NumEdges() != orig.NumEdges() {
+		t.Fatalf("edge count %d != %d after reload", re.NumEdges(), orig.NumEdges())
+	}
+	// Every edge must survive with identical flags.
+	origEdges := orig.SortedEdges()
+	reEdges := re.SortedEdges()
+	for i := range origEdges {
+		a, b := origEdges[i], reEdges[i]
+		if a.From != b.From || a.To != b.To || a.Control != b.Control ||
+			a.Memory != b.Memory || a.Class != b.Class || a.Must != b.Must {
+			t.Fatalf("edge %d mismatch: %s vs %s", i, a, b)
+		}
+	}
+
+	// Clean must strip it.
+	pdg.Clean(m)
+	if pdg.HasEmbedded(m, f) {
+		t.Error("Clean left the embedded PDG behind")
+	}
+}
+
+func TestInternalExternalNodes(t *testing.T) {
+	g := pdg.NewGraph()
+	m := compile(t, `int main() { int a = 1; return a + 2; }`)
+	f := m.FunctionByName("main")
+	var first, second *ir.Instr
+	f.Instrs(func(in *ir.Instr) bool {
+		if first == nil {
+			first = in
+		} else if second == nil {
+			second = in
+		}
+		return true
+	})
+	g.AddInternal(first)
+	g.AddEdge(&pdg.Edge{From: second, To: first})
+	if !g.Internal(first) || !g.External(second) {
+		t.Error("internal/external classification wrong")
+	}
+	// Upgrading an external node to internal.
+	g.AddInternal(second)
+	if g.External(second) || !g.Internal(second) {
+		t.Error("external->internal upgrade failed")
+	}
+	if len(g.InternalNodes()) != 2 || len(g.ExternalNodes()) != 0 {
+		t.Error("node listings wrong")
+	}
+}

@@ -1,0 +1,239 @@
+// Package sccdag implements NOELLE's augmented SCCDAG abstraction: the DAG
+// of strongly connected components of a loop's dependence graph, with each
+// node tagged Independent, Sequential, or Reducible according to how its
+// dynamic instances relate across iterations (paper Section 2.2,
+// "aSCCDAG"). Parallelizing transformations are strategies for scheduling
+// the instances of these nodes: HELIX spreads instances of a node across
+// cores, DSWP pins each node to a core, DOALL requires every node to be
+// Independent (or clonable/reducible).
+package sccdag
+
+import (
+	"noelle/internal/graph"
+	"noelle/internal/ir"
+	"noelle/internal/pdg"
+)
+
+// Kind classifies an SCC node.
+type Kind int
+
+// Node kinds.
+const (
+	// Independent: no loop-carried dependence among the node's dynamic
+	// instances; iterations can run anywhere, any time.
+	Independent Kind = iota
+	// Sequential: instances must execute in iteration order.
+	Sequential
+	// Reducible: carried dependences exist but form a reduction that can
+	// be privatized per worker and folded after the loop.
+	Reducible
+)
+
+// String renders the kind.
+func (k Kind) String() string {
+	switch k {
+	case Independent:
+		return "independent"
+	case Sequential:
+		return "sequential"
+	default:
+		return "reducible"
+	}
+}
+
+// Node is one SCC of the loop dependence graph.
+type Node struct {
+	Instrs []*ir.Instr
+	Kind   Kind
+	// Carried lists the loop-carried edges internal to this SCC.
+	Carried []*pdg.Edge
+	// IsIV marks SCCs that form an induction-variable update cycle;
+	// parallelizers clone these per worker instead of serializing them.
+	IsIV bool
+	// HasMemoryCarried is true when a carried edge is a memory dependence.
+	HasMemoryCarried bool
+}
+
+// Contains reports whether in belongs to this node.
+func (n *Node) Contains(in *ir.Instr) bool {
+	for _, x := range n.Instrs {
+		if x == in {
+			return true
+		}
+	}
+	return false
+}
+
+// SCCDAG is the condensation of a loop's dependence graph.
+type SCCDAG struct {
+	Nodes  []*Node
+	NodeOf map[*ir.Instr]*Node
+	// Succs/Preds are dependence edges between nodes: an edge a -> b means
+	// b consumes values (or memory state) produced by a.
+	Succs map[*Node][]*Node
+	Preds map[*Node][]*Node
+}
+
+// Classifiers supplies the loop-level analyses the aSCCDAG needs to tag
+// nodes; the loops package provides implementations.
+type Classifiers struct {
+	// IsReductionPhi reports whether the header phi carries a recognized
+	// reduction.
+	IsReductionPhi func(phi *ir.Instr) bool
+	// IsIVInstr reports whether the instruction belongs to an induction
+	// variable's update cycle.
+	IsIVInstr func(in *ir.Instr) bool
+}
+
+// Build condenses the refined loop dependence graph ldg (internal nodes
+// only) into an aSCCDAG.
+func Build(ldg *pdg.Graph, cls Classifiers) *SCCDAG {
+	dg := graph.New[*ir.Instr]()
+	for _, n := range ldg.InternalNodes() {
+		dg.AddNode(n)
+	}
+	ldg.Edges(func(e *pdg.Edge) bool {
+		if ldg.Internal(e.From) && ldg.Internal(e.To) {
+			dg.AddEdge(e.From, e.To)
+			if e.LoopCarried {
+				// A carried dependence also constrains the earlier
+				// instruction's next instance: close the cycle so the SCC
+				// reflects cross-iteration coupling.
+				dg.AddEdge(e.To, e.From)
+			}
+		}
+		return true
+	})
+
+	cond := dg.Condense()
+	s := &SCCDAG{
+		NodeOf: map[*ir.Instr]*Node{},
+		Succs:  map[*Node][]*Node{},
+		Preds:  map[*Node][]*Node{},
+	}
+	byComp := map[*graph.SCC[*ir.Instr]]*Node{}
+	for _, comp := range cond.Topo() {
+		n := &Node{Instrs: comp.Nodes}
+		byComp[comp] = n
+		s.Nodes = append(s.Nodes, n)
+		for _, in := range comp.Nodes {
+			s.NodeOf[in] = n
+		}
+	}
+	for comp, node := range byComp {
+		for _, sc := range cond.Edges[comp] {
+			s.Succs[node] = append(s.Succs[node], byComp[sc])
+			s.Preds[byComp[sc]] = append(s.Preds[byComp[sc]], node)
+		}
+	}
+
+	// Collect carried edges per node and classify.
+	ldg.Edges(func(e *pdg.Edge) bool {
+		if !e.LoopCarried {
+			return true
+		}
+		from, to := s.NodeOf[e.From], s.NodeOf[e.To]
+		if from == nil || from != to {
+			return true
+		}
+		from.Carried = append(from.Carried, e)
+		if e.Memory {
+			from.HasMemoryCarried = true
+		}
+		return true
+	})
+	for _, n := range s.Nodes {
+		classify(n, cls)
+	}
+	return s
+}
+
+func classify(n *Node, cls Classifiers) {
+	if len(n.Carried) == 0 {
+		n.Kind = Independent
+		return
+	}
+	// IV cycles are sequential in principle but flagged for cloning.
+	if cls.IsIVInstr != nil {
+		allIV := true
+		for _, in := range n.Instrs {
+			if !cls.IsIVInstr(in) {
+				allIV = false
+				break
+			}
+		}
+		if allIV {
+			n.Kind = Sequential
+			n.IsIV = true
+			return
+		}
+	}
+	if !n.HasMemoryCarried && cls.IsReductionPhi != nil {
+		// Register-only carried cycle anchored at a reduction phi.
+		for _, in := range n.Instrs {
+			if in.Opcode == ir.OpPhi && cls.IsReductionPhi(in) {
+				n.Kind = Reducible
+				return
+			}
+		}
+	}
+	n.Kind = Sequential
+}
+
+// SequentialNodes returns the nodes that must serialize across iterations
+// (Sequential and not an IV cycle).
+func (s *SCCDAG) SequentialNodes() []*Node {
+	var out []*Node
+	for _, n := range s.Nodes {
+		if n.Kind == Sequential && !n.IsIV {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Counts returns how many nodes fall in each kind.
+func (s *SCCDAG) Counts() (independent, sequential, reducible int) {
+	for _, n := range s.Nodes {
+		switch n.Kind {
+		case Independent:
+			independent++
+		case Sequential:
+			sequential++
+		case Reducible:
+			reducible++
+		}
+	}
+	return
+}
+
+// TopoOrder returns nodes in dependence order (producers first).
+func (s *SCCDAG) TopoOrder() []*Node {
+	inDeg := map[*Node]int{}
+	for _, n := range s.Nodes {
+		inDeg[n] = 0
+	}
+	for _, n := range s.Nodes {
+		for _, m := range s.Succs[n] {
+			inDeg[m]++
+		}
+	}
+	var q, out []*Node
+	for _, n := range s.Nodes {
+		if inDeg[n] == 0 {
+			q = append(q, n)
+		}
+	}
+	for len(q) > 0 {
+		n := q[0]
+		q = q[1:]
+		out = append(out, n)
+		for _, m := range s.Succs[n] {
+			inDeg[m]--
+			if inDeg[m] == 0 {
+				q = append(q, m)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+// Package scheduler implements NOELLE's SCD abstraction: mechanisms to
+// move instructions within and between basic blocks while preserving the
+// original semantics, with legality decided by the PDG (paper Section 2.2,
+// "Scheduler"). It offers the hierarchy the paper describes: a generic
+// scheduler, a within-block list scheduler, and a loop-aware scheduler
+// that shrinks loop headers (used by HELIX to minimize sequential
+// segments).
+package scheduler
+
+import (
+	"sort"
+
+	"noelle/internal/ir"
+	"noelle/internal/loops"
+	"noelle/internal/pdg"
+)
+
+// Scheduler provides PDG-guarded code motion for one function.
+type Scheduler struct {
+	Fn  *ir.Function
+	PDG *pdg.Graph
+}
+
+// New returns a scheduler for f guarded by its dependence graph g.
+func New(f *ir.Function, g *pdg.Graph) *Scheduler {
+	return &Scheduler{Fn: f, PDG: g}
+}
+
+// dependsOn reports whether b transitively depends on a through
+// non-control PDG edges within the given block (used for local reorder
+// legality).
+func (s *Scheduler) localDeps(b *ir.Block) map[*ir.Instr][]*ir.Instr {
+	deps := map[*ir.Instr][]*ir.Instr{}
+	inBlock := map[*ir.Instr]bool{}
+	for _, in := range b.Instrs {
+		inBlock[in] = true
+	}
+	for _, in := range b.Instrs {
+		for _, e := range s.PDG.InEdges(in) {
+			if e.Control {
+				continue
+			}
+			if inBlock[e.From] && e.From != in {
+				deps[in] = append(deps[in], e.From)
+			}
+		}
+	}
+	return deps
+}
+
+// CanMoveBefore reports whether moving `in` immediately before `pos`
+// (within the same block) preserves all dependences.
+func (s *Scheduler) CanMoveBefore(in, pos *ir.Instr) bool {
+	b := in.Parent
+	if b == nil || pos.Parent != b || in == pos {
+		return false
+	}
+	if in.IsTerminator() || in.Opcode == ir.OpPhi {
+		return false
+	}
+	i, j := b.IndexOf(in), b.IndexOf(pos)
+	if i < 0 || j < 0 {
+		return false
+	}
+	if i < j {
+		// Moving down past (i, j): nothing in between may depend on in.
+		for k := i + 1; k < j; k++ {
+			for _, e := range s.PDG.InEdges(b.Instrs[k]) {
+				if !e.Control && e.From == in {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	// Moving up past [j, i): in must not depend on anything in between.
+	for k := j; k < i; k++ {
+		for _, e := range s.PDG.InEdges(in) {
+			if !e.Control && e.From == b.Instrs[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MoveBefore performs the motion after checking legality.
+func (s *Scheduler) MoveBefore(in, pos *ir.Instr) bool {
+	if !s.CanMoveBefore(in, pos) {
+		return false
+	}
+	b := in.Parent
+	b.Remove(in)
+	b.InsertBefore(in, pos)
+	return true
+}
+
+// ReorderBlock re-sequences b's non-phi, non-terminator instructions into
+// a dependence-respecting order that greedily prefers lower priority()
+// values (the within-basic-block scheduler; Time-Squeezer uses it to group
+// instructions by clock region). Returns true when the order changed.
+func (s *Scheduler) ReorderBlock(b *ir.Block, priority func(*ir.Instr) int) bool {
+	start := b.FirstNonPhi()
+	end := len(b.Instrs)
+	if t := b.Terminator(); t != nil {
+		end--
+	}
+	if end-start < 2 {
+		return false
+	}
+	window := append([]*ir.Instr(nil), b.Instrs[start:end]...)
+	deps := s.localDeps(b)
+	inWindow := map[*ir.Instr]int{}
+	for i, in := range window {
+		inWindow[in] = i
+	}
+
+	remainingDeps := map[*ir.Instr]int{}
+	dependents := map[*ir.Instr][]*ir.Instr{}
+	for _, in := range window {
+		for _, d := range deps[in] {
+			if _, ok := inWindow[d]; ok {
+				remainingDeps[in]++
+				dependents[d] = append(dependents[d], in)
+			}
+		}
+	}
+
+	var ready []*ir.Instr
+	for _, in := range window {
+		if remainingDeps[in] == 0 {
+			ready = append(ready, in)
+		}
+	}
+	var scheduled []*ir.Instr
+	for len(ready) > 0 {
+		sort.SliceStable(ready, func(i, j int) bool {
+			pi, pj := priority(ready[i]), priority(ready[j])
+			if pi != pj {
+				return pi < pj
+			}
+			return inWindow[ready[i]] < inWindow[ready[j]]
+		})
+		in := ready[0]
+		ready = ready[1:]
+		scheduled = append(scheduled, in)
+		for _, dep := range dependents[in] {
+			remainingDeps[dep]--
+			if remainingDeps[dep] == 0 {
+				ready = append(ready, dep)
+			}
+		}
+	}
+	if len(scheduled) != len(window) {
+		return false // dependence cycle inside one block: keep original
+	}
+	changed := false
+	for i, in := range scheduled {
+		if b.Instrs[start+i] != in {
+			changed = true
+		}
+		b.Instrs[start+i] = in
+	}
+	return changed
+}
+
+// LoopScheduler adds loop-aware motions on top of the generic scheduler.
+type LoopScheduler struct {
+	*Scheduler
+	LS *loops.LS
+}
+
+// NewLoopScheduler wraps s for the loop described by ls.
+func NewLoopScheduler(s *Scheduler, ls *loops.LS) *LoopScheduler {
+	return &LoopScheduler{Scheduler: s, LS: ls}
+}
+
+// ShrinkHeader sinks header instructions into the loop body when legal:
+// value computations not used by the header's own branch decision, not
+// used outside the loop, and free of memory side effects. HELIX applies
+// this to minimize the sequential segment that runs at the head of every
+// iteration. Returns the number of instructions moved.
+func (l *LoopScheduler) ShrinkHeader() int {
+	header := l.LS.Header
+	// The in-loop successor of the header's branch.
+	var body *ir.Block
+	for _, succ := range header.Successors() {
+		if l.LS.Contains(succ) {
+			body = succ
+			break
+		}
+	}
+	if body == nil || len(body.Preds()) != 1 {
+		return 0
+	}
+	// Values the branch decision needs (transitively, within the header).
+	needed := map[*ir.Instr]bool{}
+	var mark func(v ir.Value)
+	mark = func(v ir.Value) {
+		in, ok := v.(*ir.Instr)
+		if !ok || in.Parent != header || needed[in] {
+			return
+		}
+		needed[in] = true
+		for _, op := range in.Ops {
+			mark(op)
+		}
+	}
+	if t := header.Terminator(); t != nil {
+		for _, op := range t.Ops {
+			mark(op)
+		}
+	}
+
+	moved := 0
+	for {
+		var pick *ir.Instr
+		for i := len(header.Instrs) - 2; i >= header.FirstNonPhi(); i-- {
+			in := header.Instrs[i]
+			if needed[in] || in.IsTerminator() {
+				continue
+			}
+			if in.MayWriteMemory() || in.Opcode == ir.OpLoad || in.Opcode == ir.OpCall || in.Opcode == ir.OpAlloca {
+				continue // memory effects must not move across the exit edge
+			}
+			if !l.usersOnlyInLoopBody(in) {
+				continue
+			}
+			pick = in
+			break
+		}
+		if pick == nil {
+			return moved
+		}
+		header.Remove(pick)
+		pick.Parent = body
+		idx := body.FirstNonPhi()
+		body.Instrs = append(body.Instrs, nil)
+		copy(body.Instrs[idx+1:], body.Instrs[idx:])
+		body.Instrs[idx] = pick
+		moved++
+	}
+}
+
+// usersOnlyInLoopBody reports whether every user of in lives inside the
+// loop and outside the header (so sinking past the exit edge is safe).
+func (l *LoopScheduler) usersOnlyInLoopBody(in *ir.Instr) bool {
+	ok := true
+	l.Fn.Instrs(func(user *ir.Instr) bool {
+		for _, op := range user.Ops {
+			if op != ir.Value(in) {
+				continue
+			}
+			if !l.LS.ContainsInstr(user) || user.Parent == l.LS.Header {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}

@@ -1,0 +1,73 @@
+// Package toolio carries the file plumbing shared by the noelle-* command
+// line tools: reading and writing textual IR modules and mini-C sources.
+package toolio
+
+import (
+	"fmt"
+	"os"
+
+	"noelle/internal/ir"
+	"noelle/internal/irtext"
+	"noelle/internal/minic"
+)
+
+// ReadModule parses a textual IR module from path ("-" = stdin).
+func ReadModule(path string) (*ir.Module, error) {
+	data, err := readAll(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := irtext.Parse(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// WriteModule prints the module to path ("-" = stdout).
+func WriteModule(m *ir.Module, path string) error {
+	text := ir.Print(m)
+	if path == "-" || path == "" {
+		_, err := os.Stdout.WriteString(text)
+		return err
+	}
+	return os.WriteFile(path, []byte(text), 0o644)
+}
+
+// CompileC compiles a mini-C source file into IR.
+func CompileC(path string) (*ir.Module, error) {
+	data, err := readAll(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := minic.Compile(path, string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+func readAll(path string) ([]byte, error) {
+	if path == "-" {
+		return readStdin()
+	}
+	return os.ReadFile(path)
+}
+
+func readStdin() ([]byte, error) {
+	var buf []byte
+	tmp := make([]byte, 64*1024)
+	for {
+		n, err := os.Stdin.Read(tmp)
+		buf = append(buf, tmp[:n]...)
+		if err != nil {
+			return buf, nil
+		}
+	}
+}
+
+// Fatal prints the error and exits.
+func Fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

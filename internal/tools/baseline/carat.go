@@ -1,0 +1,40 @@
+package baseline
+
+import "noelle/internal/ir"
+
+// CARATBaselineResult counts the naive guard placement.
+type CARATBaselineResult struct {
+	Guards int
+}
+
+// CARATGuardAll is the low-level CARAT: without points-to provenance or
+// dependence-based redundancy elimination, every load and store gets a
+// guard.
+func CARATGuardAll(m *ir.Module) CARATBaselineResult {
+	var res CARATBaselineResult
+	guardFn := m.DeclareFunction("carat_guard", ir.FuncOf(ir.VoidType, ir.I64Type))
+	bld := ir.NewBuilder()
+	for _, f := range m.Functions {
+		if f.IsDeclaration() {
+			continue
+		}
+		var targets []*ir.Instr
+		f.Instrs(func(in *ir.Instr) bool {
+			if in.Opcode == ir.OpLoad || in.Opcode == ir.OpStore {
+				targets = append(targets, in)
+			}
+			return true
+		})
+		for _, in := range targets {
+			ptr := in.Ops[0]
+			if in.Opcode == ir.OpStore {
+				ptr = in.Ops[1]
+			}
+			bld.SetInsertionBefore(in)
+			addr := bld.CreateCast(ir.OpP2I, ptr, "")
+			bld.CreateCall(guardFn, []ir.Value{addr}, "")
+			res.Guards++
+		}
+	}
+	return res
+}

@@ -1,0 +1,76 @@
+package baseline
+
+import "noelle/internal/ir"
+
+// DeadLLVMResult mirrors the NOELLE tool's result.
+type DeadLLVMResult struct {
+	Removed      int
+	InstrsBefore int
+	InstrsAfter  int
+}
+
+// DeadFunctionEliminationLLVM removes unreachable functions using only a
+// syntactic call graph: direct call edges plus the rule that every
+// address-taken function must be kept (its indirect callers are unknown).
+// Because NOELLE's complete call graph resolves indirect callees, the
+// NOELLE tool removes strictly more (paper Section 2.2, "Call graph").
+func DeadFunctionEliminationLLVM(m *ir.Module) DeadLLVMResult {
+	res := DeadLLVMResult{InstrsBefore: m.NumInstrs()}
+
+	// Address-taken: the function value appears as a non-callee operand.
+	addressTaken := map[*ir.Function]bool{}
+	for _, f := range m.Functions {
+		f.Instrs(func(in *ir.Instr) bool {
+			start := 0
+			if in.Opcode == ir.OpCall {
+				start = 1 // the callee slot is a direct use, not an escape
+			}
+			for _, op := range in.Ops[start:] {
+				if fn, ok := op.(*ir.Function); ok {
+					addressTaken[fn] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Reachability over direct edges, seeded by main and every
+	// address-taken function (any indirect call might target them).
+	keep := map[*ir.Function]bool{}
+	var stack []*ir.Function
+	push := func(f *ir.Function) {
+		if f != nil && !keep[f] {
+			keep[f] = true
+			stack = append(stack, f)
+		}
+	}
+	push(m.FunctionByName("main"))
+	for f := range addressTaken {
+		push(f)
+	}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		f.Instrs(func(in *ir.Instr) bool {
+			if in.Opcode == ir.OpCall {
+				if callee := in.CalledFunction(); callee != nil {
+					push(callee)
+				}
+			}
+			return true
+		})
+	}
+
+	var dead []*ir.Function
+	for _, f := range m.Functions {
+		if !f.IsDeclaration() && !keep[f] {
+			dead = append(dead, f)
+		}
+	}
+	for _, f := range dead {
+		m.RemoveFunction(f)
+		res.Removed++
+	}
+	res.InstrsAfter = m.NumInstrs()
+	return res
+}

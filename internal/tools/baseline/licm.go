@@ -1,0 +1,219 @@
+// Package baseline re-implements several custom tools against only the
+// low-level abstractions (CFG, dominators, def-use, basic alias analysis)
+// — the "LLVM" column of the paper's Table 3 and the baselines of
+// Figures 3–5. The point of the package is the contrast: the same
+// functionality needs substantially more code and comes out less precise.
+package baseline
+
+import (
+	"noelle/internal/alias"
+	"noelle/internal/analysis"
+	"noelle/internal/ir"
+)
+
+// InvariantsLLVM implements the paper's Algorithm 1: the low-level
+// loop-invariance test built from operand checks, dominator queries, and
+// pairwise alias queries, with no dependence-graph recursion. It returns
+// the invariant instructions of the loop.
+func InvariantsLLVM(f *ir.Function, nat *analysis.NaturalLoop, dt *analysis.DomTree, aa alias.Analysis) []*ir.Instr {
+	inv := map[*ir.Instr]bool{}
+	// LLVM's LICM iterates hoisting, which lets chains become invariant;
+	// model that with a fixed point over the operand test. The precision
+	// gap against Algorithm 2 comes from the memory handling below.
+	changed := true
+	for changed {
+		changed = false
+		nat.Instrs(func(in *ir.Instr) bool {
+			if inv[in] || !eligibleLLVM(in) {
+				return true
+			}
+			if !operandsInvariantLLVM(in, nat, inv) {
+				return true
+			}
+			switch in.Opcode {
+			case ir.OpLoad:
+				if loadClobberedLLVM(in, nat, aa) {
+					return true
+				}
+			case ir.OpStore:
+				if !storeHoistableLLVM(in, nat, dt, aa) {
+					return true
+				}
+			case ir.OpCall:
+				// Algorithm 1: a call is invariant only when it provably
+				// performs no memory access; without interprocedural
+				// analysis that cannot be established.
+				return true
+			}
+			inv[in] = true
+			changed = true
+			return true
+		})
+	}
+	var out []*ir.Instr
+	nat.Instrs(func(in *ir.Instr) bool {
+		if inv[in] {
+			out = append(out, in)
+		}
+		return true
+	})
+	return out
+}
+
+func eligibleLLVM(in *ir.Instr) bool {
+	switch in.Opcode {
+	case ir.OpPhi, ir.OpAlloca, ir.OpBr, ir.OpCondBr, ir.OpRet:
+		return false
+	}
+	return true
+}
+
+// operandsInvariantLLVM: every operand defined in the loop must itself be
+// (already proven) invariant.
+func operandsInvariantLLVM(in *ir.Instr, nat *analysis.NaturalLoop, inv map[*ir.Instr]bool) bool {
+	for _, op := range in.Ops {
+		d, ok := op.(*ir.Instr)
+		if !ok {
+			continue
+		}
+		if nat.ContainsInstr(d) && !inv[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// loadClobberedLLVM: any store or call in the loop that basic AA cannot
+// disambiguate from the load clobbers it.
+func loadClobberedLLVM(load *ir.Instr, nat *analysis.NaturalLoop, aa alias.Analysis) bool {
+	clobbered := false
+	nat.Instrs(func(j *ir.Instr) bool {
+		switch j.Opcode {
+		case ir.OpStore:
+			if aa.Alias(load.Ops[0], j.Ops[1]) != alias.NoAlias {
+				clobbered = true
+				return false
+			}
+		case ir.OpCall:
+			// getModRefBehavior(call) != NoMod is unprovable without
+			// interprocedural analysis: conservatively a clobber.
+			clobbered = true
+			return false
+		}
+		return true
+	})
+	return clobbered
+}
+
+// storeHoistableLLVM mirrors Algorithm 1's store case: every memory use in
+// the loop must be dominated by the store, and no def/use may be
+// invalidated by hoisting. Sinking stores is out of scope here (as in the
+// simplified algorithm): be conservative.
+func storeHoistableLLVM(st *ir.Instr, nat *analysis.NaturalLoop, dt *analysis.DomTree, aa alias.Analysis) bool {
+	ok := true
+	nat.Instrs(func(j *ir.Instr) bool {
+		if j == st {
+			return true
+		}
+		switch j.Opcode {
+		case ir.OpLoad:
+			if aa.Alias(st.Ops[1], j.Ops[0]) != alias.NoAlias && !dt.DominatesInstr(st, j) {
+				ok = false
+				return false
+			}
+		case ir.OpStore:
+			if aa.Alias(st.Ops[1], j.Ops[1]) != alias.NoAlias {
+				ok = false
+				return false
+			}
+		case ir.OpCall:
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// LICMLLVMResult mirrors the NOELLE tool's result shape.
+type LICMLLVMResult struct {
+	Hoisted int
+	Loops   int
+}
+
+// LICMLLVM runs the low-level LICM over a module: Algorithm 1 invariance
+// plus manual pre-header creation and hoisting, innermost loops first.
+func LICMLLVM(m *ir.Module) LICMLLVMResult {
+	var res LICMLLVMResult
+	aa := alias.TypeBasicAA{}
+	for _, f := range m.Functions {
+		if f.IsDeclaration() {
+			continue
+		}
+		li := analysis.NewLoopInfo(f)
+		// Innermost-first ordering, rebuilt per function.
+		loopsInnerFirst := append([]*analysis.NaturalLoop(nil), li.Loops...)
+		for i, j := 0, len(loopsInnerFirst)-1; i < j; i, j = i+1, j-1 {
+			loopsInnerFirst[i], loopsInnerFirst[j] = loopsInnerFirst[j], loopsInnerFirst[i]
+		}
+		for _, nat := range loopsInnerFirst {
+			res.Loops++
+			dt := analysis.NewDomTree(f)
+			invs := InvariantsLLVM(f, nat, dt, aa)
+			pre := preheaderLLVM(f, nat)
+			if pre == nil {
+				continue
+			}
+			for progress := true; progress; {
+				progress = false
+				for _, in := range invs {
+					if in.Parent == nil || !nat.ContainsInstr(in) {
+						continue
+					}
+					if in.Opcode == ir.OpStore || in.Opcode == ir.OpCall {
+						continue // hoisting those needs the sinking logic
+					}
+					if !defsAvailableOutside(in, nat) || !safeToSpeculate(in) {
+						continue
+					}
+					in.Parent.Remove(in)
+					pre.InsertBefore(in, pre.Terminator())
+					res.Hoisted++
+					progress = true
+				}
+			}
+		}
+	}
+	return res
+}
+
+func preheaderLLVM(f *ir.Function, nat *analysis.NaturalLoop) *ir.Block {
+	var outside []*ir.Block
+	for _, p := range nat.Header.Preds() {
+		if !nat.Contains(p) {
+			outside = append(outside, p)
+		}
+	}
+	if len(outside) != 1 || len(outside[0].Successors()) != 1 {
+		return nil // no dedicated pre-header; the low-level tool bails
+	}
+	return outside[0]
+}
+
+func defsAvailableOutside(in *ir.Instr, nat *analysis.NaturalLoop) bool {
+	for _, op := range in.Ops {
+		if d, ok := op.(*ir.Instr); ok && nat.ContainsInstr(d) {
+			return false
+		}
+	}
+	return true
+}
+
+func safeToSpeculate(in *ir.Instr) bool {
+	switch in.Opcode {
+	case ir.OpDiv, ir.OpRem:
+		c, ok := in.Ops[1].(*ir.Const)
+		return ok && c.Int != 0
+	}
+	return true
+}

@@ -1,0 +1,348 @@
+// Package doall is the NOELLE-based DOALL parallelizing custom tool
+// (paper Section 3): it selects hot loops whose aSCCDAG contains only
+// Independent nodes, induction-variable cycles, and reductions, then
+// rewrites each into a task function dispatched across workers. Live-ins
+// flow through an Environment, reductions get per-worker private
+// accumulators folded after the dispatch, and the induction variables are
+// re-seeded per worker (the IVS mechanism).
+package doall
+
+import (
+	"fmt"
+
+	"noelle/internal/core"
+	"noelle/internal/env"
+	"noelle/internal/interp"
+	"noelle/internal/ir"
+	"noelle/internal/loopbuilder"
+	"noelle/internal/loops"
+)
+
+// Result describes the transformation outcome for one module.
+type Result struct {
+	Parallelized []*Parallelized
+	Rejected     int
+}
+
+// Parallelized records one transformed loop.
+type Parallelized struct {
+	Header   string
+	Fn       string
+	TaskName string
+}
+
+// Run parallelizes every eligible hot loop in the module. When an outer
+// loop is rejected (e.g. it carries state across its iterations), the
+// loop selection descends into its children — the inner data-parallel
+// loops of an outer sequential driver are worth extracting too.
+func Run(n *core.Noelle) (Result, error) {
+	n.Use(core.AbsENV)
+	n.Use(core.AbsTask)
+	n.Use(core.AbsIVS)
+	n.Use(core.AbsLB)
+	var res Result
+	taskID := 0
+
+	var tryNode func(f *ir.Function, header string) bool
+	tryNode = func(f *ir.Function, header string) bool {
+		// Re-derive the forest each time: earlier transformations change
+		// the function's loop structure.
+		for _, node := range n.Forest(f).Nodes() {
+			if node.LS.Header.Nam != header {
+				continue
+			}
+			ls := node.LS
+			l := n.Loop(ls)
+			if err := Eligible(l); err == nil {
+				name := fmt.Sprintf("doall.task%d", taskID)
+				if err := transform(n, l, name); err == nil {
+					taskID++
+					res.Parallelized = append(res.Parallelized, &Parallelized{
+						Header: header, Fn: f.Nam, TaskName: name,
+					})
+					n.InvalidateModule()
+					return true
+				}
+			}
+			res.Rejected++
+			// Descend: collect child headers first (the forest object is
+			// invalidated by successful child transforms).
+			var childHeaders []string
+			for _, c := range node.Children {
+				childHeaders = append(childHeaders, c.LS.Header.Nam)
+			}
+			any := false
+			for _, ch := range childHeaders {
+				if tryNode(f, ch) {
+					any = true
+				}
+			}
+			return any
+		}
+		return false
+	}
+
+	for _, ls := range n.HotLoops() {
+		tryNode(ls.Fn, ls.Header.Nam)
+	}
+	return res, nil
+}
+
+// Eligible checks DOALL legality plus the structural canonical form the
+// code generator handles (header-exiting loop with a single latch and a
+// governing IV with constant step).
+func Eligible(l *loops.Loop) error {
+	if !l.IsDOALL() {
+		return fmt.Errorf("sequential SCCs present")
+	}
+	ls := l.LS
+	if len(ls.ExitingBlocks) != 1 || ls.ExitingBlocks[0] != ls.Header {
+		return fmt.Errorf("not header-exiting")
+	}
+	if len(ls.Latches) != 1 || len(ls.Exits) != 1 {
+		return fmt.Errorf("multiple latches or exits")
+	}
+	giv := l.IVs.GoverningIV()
+	if giv == nil || giv.StepConst == nil || *giv.StepConst == 0 {
+		return fmt.Errorf("no constant-step governing IV")
+	}
+	switch giv.ExitCmp.Opcode {
+	case ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe, ir.OpNe:
+	default:
+		return fmt.Errorf("unsupported exit comparison")
+	}
+	// Every header phi must be an IV or a reduction.
+	for _, phi := range ls.HeaderPhis() {
+		if l.IVs.IVForPhi(phi) == nil && l.Reductions.ForPhi(phi) == nil {
+			return fmt.Errorf("header phi %s is neither IV nor reduction", phi.Ident())
+		}
+	}
+	// All IVs need constant steps (per-worker reseeding is affine).
+	for _, iv := range l.IVs.IVs {
+		if iv.StepConst == nil {
+			return fmt.Errorf("IV %s has non-constant step", iv.Phi.Ident())
+		}
+		if len(ivUpdates(iv)) != 1 {
+			return fmt.Errorf("IV %s has multiple updates", iv.Phi.Ident())
+		}
+	}
+	// Live-outs must be reconstructible after the parallel loop.
+	for _, out := range l.LiveOut {
+		if !isReconstructibleLiveOut(l, out) {
+			return fmt.Errorf("live-out %s is not IV-final or reduction", out.Ident())
+		}
+	}
+	// Live-ins flow through 8-byte environment cells; function-typed
+	// values have no cast and are rejected (rare).
+	for _, v := range l.LiveIn {
+		if v.Type().Kind == ir.FuncKind {
+			return fmt.Errorf("function-typed live-in %s", v.Ident())
+		}
+	}
+	return nil
+}
+
+func ivUpdates(iv *loops.IV) []*ir.Instr {
+	var ups []*ir.Instr
+	for _, in := range iv.SCC {
+		if in.Opcode == ir.OpAdd || in.Opcode == ir.OpSub {
+			ups = append(ups, in)
+		}
+	}
+	return ups
+}
+
+func isReconstructibleLiveOut(l *loops.Loop, out *ir.Instr) bool {
+	if out.Opcode == ir.OpPhi {
+		return l.IVs.IVForPhi(out) != nil || l.Reductions.ForPhi(out) != nil
+	}
+	for _, r := range l.Reductions.Reductions {
+		for _, in := range r.SCC {
+			if in == out {
+				return true
+			}
+		}
+	}
+	for _, iv := range l.IVs.IVs {
+		for _, in := range iv.SCC {
+			if in == out {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// transform rewrites the loop into a dispatched task.
+func transform(n *core.Noelle, l *loops.Loop, taskName string) error {
+	ls := l.LS
+	f := ls.Fn
+	m := n.Mod
+	cores := int64(n.Opts.Cores)
+	giv := l.IVs.GoverningIV()
+
+	pre := loopbuilder.EnsurePreheader(ls)
+	bld := ir.NewBuilder()
+	bld.SetInsertionBefore(pre.Terminator())
+
+	// ---- trip count in the pre-header ----
+	start := giv.Start
+	step := *giv.StepConst
+	bound := giv.ExitBound
+	// Normalize the compare so the IV is the first operand.
+	cmpOp := giv.ExitCmp.Opcode
+	if !operandInSCC(giv, giv.ExitCmp.Ops[0]) {
+		cmpOp, _ = cmpOp.SwappedCompare()
+	}
+	span := bld.CreateBinOp(ir.OpSub, bound, start, "doall.span")
+	var tc ir.Value
+	sgn := int64(1)
+	if step < 0 {
+		sgn = -1
+	}
+	switch cmpOp {
+	case ir.OpLt, ir.OpGt:
+		num := bld.CreateBinOp(ir.OpAdd, span, ir.ConstInt(step-sgn), "")
+		tc = bld.CreateBinOp(ir.OpDiv, num, ir.ConstInt(step), "doall.tc")
+	case ir.OpLe, ir.OpGe:
+		num := bld.CreateBinOp(ir.OpAdd, span, ir.ConstInt(step-sgn), "")
+		d := bld.CreateBinOp(ir.OpDiv, num, ir.ConstInt(step), "")
+		tc = bld.CreateBinOp(ir.OpAdd, d, ir.ConstInt(1), "doall.tc")
+	case ir.OpNe:
+		tc = bld.CreateBinOp(ir.OpDiv, span, ir.ConstInt(step), "doall.tc")
+	}
+	// Clamp negative trip counts to zero.
+	neg := bld.CreateCmp(ir.OpLt, tc, ir.ConstInt(0), "")
+	tc = bld.CreateSelect(neg, ir.ConstInt(0), tc, "doall.tcc")
+
+	// ---- environment layout ----
+	eb := env.NewBuilder()
+	for _, v := range l.LiveIn {
+		eb.AddLiveIn(v)
+	}
+	tcSlot := eb.AddLiveIn(tc)
+	e := eb.Build()
+	liveInCells := e.NumSlots()
+	redBase := map[*loops.Reduction]int{}
+	cells := liveInCells
+	for _, r := range l.Reductions.Reductions {
+		redBase[r] = cells
+		cells += int(cores)
+	}
+
+	envPtr := bld.CreateAlloca(ir.I64Type, cells, "doall.env")
+	for _, s := range e.Slots {
+		addr := bld.CreatePtrAdd(envPtr, ir.ConstInt(int64(s.Index)), "")
+		bld.CreateStore(toBits(bld, s.Value), addr)
+	}
+
+	// ---- task function ----
+	task := env.NewTask(m, taskName, e)
+	if err := buildTaskBody(l, task, e, tcSlot, redBase, cores); err != nil {
+		return err
+	}
+
+	// ---- dispatch + reduction folds + live-out reconstruction ----
+	dispatch := m.DeclareFunction(interp.ExternDispatch,
+		ir.FuncOf(ir.VoidType, env.TaskSignature(), ir.PointerTo(ir.I64Type), ir.I64Type))
+	bld.CreateCall(dispatch, []ir.Value{task.Fn, envPtr, ir.ConstInt(cores)}, "")
+
+	finals := map[*ir.Instr]ir.Value{} // in-loop def -> post-loop value
+	for _, r := range l.Reductions.Reductions {
+		acc := ir.Value(r.Start)
+		for w := int64(0); w < cores; w++ {
+			addr := bld.CreatePtrAdd(envPtr, ir.ConstInt(int64(redBase[r])+w), "")
+			raw := bld.CreateLoad(addr, "")
+			part := fromBits(bld, raw, r.Phi.Ty)
+			acc = bld.CreateBinOp(r.Op, acc, part, fmt.Sprintf("red.fold%d", w))
+		}
+		for _, in := range r.SCC {
+			finals[in] = acc
+		}
+	}
+	for _, iv := range l.IVs.IVs {
+		stepC := *iv.StepConst
+		mul := bld.CreateBinOp(ir.OpMul, tc, ir.ConstInt(stepC), "")
+		fin := bld.CreateBinOp(ir.OpAdd, iv.Start, mul, "iv.final")
+		for _, in := range iv.SCC {
+			finals[in] = fin
+		}
+	}
+
+	// ---- rewire the CFG around the dead loop ----
+	exit := ls.Exits[0]
+	header := ls.Header
+	// Exit-block phis merge loop values: replace the loop's incoming edge
+	// with one from the pre-header carrying the reconstructed value.
+	for _, phi := range exit.Phis() {
+		for i, b := range phi.Blocks {
+			if b == header {
+				if v, ok := phi.Ops[i].(*ir.Instr); ok && finals[v] != nil {
+					phi.Ops[i] = finals[v]
+				}
+				phi.Blocks[i] = pre
+			}
+		}
+	}
+	// Replace all other out-of-loop uses of loop values.
+	f.Instrs(func(user *ir.Instr) bool {
+		if ls.ContainsInstr(user) {
+			return true
+		}
+		for i, op := range user.Ops {
+			if d, ok := op.(*ir.Instr); ok && finals[d] != nil && ls.ContainsInstr(d) {
+				user.Ops[i] = finals[d]
+			}
+		}
+		return true
+	})
+	pre.ReplaceSuccessor(header, exit)
+	removeLoopBlocks(f, ls)
+	return nil
+}
+
+func operandInSCC(iv *loops.IV, v ir.Value) bool {
+	in, ok := v.(*ir.Instr)
+	if !ok {
+		return false
+	}
+	for _, x := range iv.SCC {
+		if x == in {
+			return true
+		}
+	}
+	return false
+}
+
+func toBits(bld *ir.Builder, v ir.Value) ir.Value {
+	switch v.Type().Kind {
+	case ir.F64Kind:
+		return bld.CreateCast(ir.OpFBits, v, "")
+	case ir.I1Kind:
+		return bld.CreateCast(ir.OpZExt, v, "")
+	case ir.PtrKind:
+		return bld.CreateCast(ir.OpP2I, v, "")
+	default:
+		return v
+	}
+}
+
+func fromBits(bld *ir.Builder, raw ir.Value, ty *ir.Type) ir.Value {
+	switch ty.Kind {
+	case ir.F64Kind:
+		return bld.CreateCast(ir.OpBitsF, raw, "")
+	case ir.I1Kind:
+		return bld.CreateCast(ir.OpTrunc, raw, "")
+	case ir.PtrKind:
+		return bld.CreateIntToPtr(raw, ty.Elem, "")
+	default:
+		return raw
+	}
+}
+
+func removeLoopBlocks(f *ir.Function, ls *loops.LS) {
+	for _, b := range ls.Blocks() {
+		b.Instrs = nil
+		f.RemoveBlock(b)
+	}
+}

@@ -1,0 +1,121 @@
+// Package dswp is the NOELLE-based Decoupled Software Pipelining custom
+// tool (paper Section 3): it distributes the SCCs of a loop's aSCCDAG
+// across cores so that all instances of a given SCC stay on one core,
+// creating unidirectional pipeline communication. Stages are formed by
+// greedily packing SCCs in dependence order while balancing their
+// profile-weighted cost.
+package dswp
+
+import (
+	"noelle/internal/core"
+	"noelle/internal/interp"
+	"noelle/internal/ir"
+	"noelle/internal/loops"
+	"noelle/internal/machine"
+	"noelle/internal/sccdag"
+)
+
+// Plan assigns every loop instruction to a pipeline stage.
+type Plan struct {
+	LS        *loops.LS
+	Loop      *loops.Loop
+	SegmentOf map[*ir.Instr]int
+	NumStages int
+}
+
+// Result lists the plans DSWP produced.
+type Result struct {
+	Plans    []*Plan
+	Rejected int
+}
+
+// Run plans DSWP for every hot loop.
+func Run(n *core.Noelle) Result {
+	n.Use(core.AbsENV)
+	n.Use(core.AbsTask)
+	n.Use(core.AbsDFE)
+	n.Use(core.AbsLB)
+	var res Result
+	for _, ls := range n.HotLoops() {
+		p := PlanLoop(n, ls)
+		if p == nil {
+			res.Rejected++
+			continue
+		}
+		res.Plans = append(res.Plans, p)
+	}
+	return res
+}
+
+// PlanLoop plans one specific loop.
+func PlanLoop(n *core.Noelle, ls *loops.LS) *Plan {
+	l := n.Loop(ls)
+	dag := l.SCCDAG
+	order := dag.TopoOrder()
+	if len(order) < 2 {
+		return nil // nothing to pipeline
+	}
+
+	// Weight each SCC by its static cost (the stage balancer's input).
+	cm := interp.DefaultCostModel()
+	weight := func(node *sccdag.Node) int64 {
+		var w int64
+		for _, in := range node.Instrs {
+			w += cm.Cost(in)
+		}
+		return w
+	}
+	var total int64
+	for _, node := range order {
+		total += weight(node)
+	}
+
+	stages := n.Opts.Cores
+	if stages > len(order) {
+		stages = len(order)
+	}
+	if stages < 2 {
+		return nil
+	}
+	target := total / int64(stages)
+	if target < 1 {
+		target = 1
+	}
+
+	p := &Plan{LS: ls, Loop: l, SegmentOf: map[*ir.Instr]int{}}
+	stage := 0
+	var acc int64
+	for i, node := range order {
+		for _, in := range node.Instrs {
+			p.SegmentOf[in] = stage
+		}
+		acc += weight(node)
+		// Advance when this stage is full — or when exactly enough nodes
+		// remain to give each outstanding stage one node.
+		nodesLeft := len(order) - i - 1
+		stagesLeft := stages - stage - 1
+		if stagesLeft > 0 && nodesLeft >= stagesLeft && (acc >= target || nodesLeft == stagesLeft) {
+			stage++
+			acc = 0
+		}
+	}
+	p.NumStages = stage + 1
+	if p.NumStages < 2 {
+		return nil
+	}
+	return p
+}
+
+// Simulate evaluates the plan's pipeline timing over measured costs.
+func Simulate(n *core.Noelle, p *Plan, cores int) (seq, par int64, err error) {
+	invs, err := machine.AttributeLoopCosts(n.Mod, p.LS.Nat, p.SegmentOf, p.NumStages)
+	if err != nil {
+		return 0, 0, err
+	}
+	cfg := machine.DefaultConfig(n.Arch(), cores)
+	seq = machine.SequentialCycles(invs)
+	par = machine.SimulateAll(invs, func(inv *machine.Invocation) int64 {
+		return machine.SimulateDSWP(inv, cfg)
+	})
+	return seq, par, nil
+}

@@ -1,0 +1,122 @@
+// Package helix is the NOELLE-based HELIX parallelizing custom tool
+// (paper Section 3): it distributes loop iterations across cores, slicing
+// each iteration into sequential segments (one per Sequential SCC of the
+// aSCCDAG) that execute in iteration order across cores, while everything
+// else overlaps. The tool uses PRO/FR/L to pick loops, PDG/ENV for
+// live-ins and live-outs, aSCCDAG/INV/IV/RD to find the SCCs that must
+// serialize, SCD to shrink the sequential segments, and AR for the
+// signal latency between cores.
+package helix
+
+import (
+	"noelle/internal/core"
+	"noelle/internal/ir"
+	"noelle/internal/loops"
+	"noelle/internal/machine"
+	"noelle/internal/sccdag"
+	"noelle/internal/scheduler"
+)
+
+// Plan is the parallel schedule for one loop: instructions are assigned
+// to sequential segments (0..NumSeq-1) or to the parallel portion
+// (segment NumSeq). The machine package evaluates its timing; the
+// interpreter executes iterations in order, so semantics are unchanged.
+type Plan struct {
+	LS   *loops.LS
+	Loop *loops.Loop
+	// SegmentOf maps loop instructions to their segment; unmapped
+	// instructions belong to the parallel segment.
+	SegmentOf map[*ir.Instr]int
+	// NumSeq is the number of sequential segments.
+	NumSeq int
+	// HeaderShrunk counts instructions SCD sank out of the header.
+	HeaderShrunk int
+}
+
+// NumSegments includes the trailing parallel segment.
+func (p *Plan) NumSegments() int { return p.NumSeq + 1 }
+
+// Result lists the plans HELIX produced.
+type Result struct {
+	Plans    []*Plan
+	Rejected int
+}
+
+// Run plans HELIX parallelization for every hot loop. The `optimize` flag
+// controls the SCD header-shrinking pass (the ablation toggles it).
+func Run(n *core.Noelle, optimize bool) Result {
+	n.Use(core.AbsENV)
+	n.Use(core.AbsTask)
+	n.Use(core.AbsDFE)
+	n.Use(core.AbsLB)
+	n.Use(core.AbsIVS)
+	n.Arch() // AR: signal latencies feed the schedule
+	var res Result
+	for _, ls := range n.HotLoops() {
+		p := PlanLoop(n, ls, optimize)
+		if p == nil {
+			res.Rejected++
+			continue
+		}
+		res.Plans = append(res.Plans, p)
+	}
+	return res
+}
+
+// PlanLoop plans one specific loop (the evaluation harness drives loop
+// selection itself).
+func PlanLoop(n *core.Noelle, ls *loops.LS, optimize bool) *Plan {
+	l := n.Loop(ls)
+	if l.IVs.GoverningIV() == nil {
+		return nil // HELIX needs the loop control to replicate per core
+	}
+
+	if optimize {
+		// SCD: shrink the header so the leading sequential segment is as
+		// small as possible.
+		sc := n.Scheduler(ls.Fn)
+		lsched := scheduler.NewLoopScheduler(sc, ls)
+		moved := lsched.ShrinkHeader()
+		if moved > 0 {
+			n.InvalidateFunction(ls.Fn)
+			l = n.Loop(ls)
+		}
+		defer func() {}()
+	}
+
+	p := &Plan{LS: ls, Loop: l, SegmentOf: map[*ir.Instr]int{}}
+	// One sequential segment per Sequential (non-clonable) SCC, ordered by
+	// the DAG so segment signals flow forward.
+	for _, node := range l.SCCDAG.TopoOrder() {
+		if node.Kind != sccdag.Sequential || node.IsIV {
+			continue
+		}
+		seg := p.NumSeq
+		p.NumSeq++
+		for _, in := range node.Instrs {
+			p.SegmentOf[in] = seg
+		}
+	}
+	if optimize {
+		p.HeaderShrunk = headerResidue(ls)
+	}
+	return p
+}
+
+func headerResidue(ls *loops.LS) int {
+	return len(ls.Header.Instrs)
+}
+
+// Simulate evaluates the plan's parallel time over measured costs.
+func Simulate(n *core.Noelle, p *Plan, cores int) (seq, par int64, err error) {
+	invs, err := machine.AttributeLoopCosts(n.Mod, p.LS.Nat, p.SegmentOf, p.NumSegments())
+	if err != nil {
+		return 0, 0, err
+	}
+	cfg := machine.DefaultConfig(n.Arch(), cores)
+	seq = machine.SequentialCycles(invs)
+	par = machine.SimulateAll(invs, func(inv *machine.Invocation) int64 {
+		return machine.SimulateHELIX(inv, cfg)
+	})
+	return seq, par, nil
+}

@@ -1,0 +1,5 @@
+package prvj
+
+import "noelle/internal/interp"
+
+func costModel() interp.CostModel { return interp.DefaultCostModel() }

@@ -1,0 +1,69 @@
+// Package noelle is the public facade of the NOELLE compilation layer: a
+// Go reproduction of "NOELLE Offers Empowering LLVM Extensions" (CGO
+// 2022). It re-exports the manager and the entry points a custom tool
+// needs; the implementation lives under internal/ (see DESIGN.md for the
+// system inventory and README.md for the architecture overview).
+//
+// A custom tool follows the paper's pattern:
+//
+//	m, _ := noelle.CompileC("prog", source) // or parse textual IR
+//	n := noelle.Load(m, noelle.DefaultOptions())
+//	pdg := n.FunctionPDG(m.FunctionByName("main"))
+//	for _, ls := range n.HotLoops() {
+//	    l := n.Loop(ls) // LS + LDG + aSCCDAG + IV + INV + RD
+//	    ...
+//	}
+package noelle
+
+import (
+	"noelle/internal/core"
+	"noelle/internal/interp"
+	"noelle/internal/ir"
+	"noelle/internal/irtext"
+	"noelle/internal/minic"
+	"noelle/internal/passes"
+)
+
+// Noelle is the demand-driven abstraction manager (the paper's
+// noelle-load layer).
+type Noelle = core.Noelle
+
+// Options configures the manager.
+type Options = core.Options
+
+// Module is a whole-program IR module.
+type Module = ir.Module
+
+// DefaultOptions mirrors the paper's evaluation setup (12 cores, 5%
+// hotness threshold).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Load loads the NOELLE layer over a module without computing anything;
+// abstractions materialize on first request.
+func Load(m *Module, opts Options) *Noelle { return core.New(m, opts) }
+
+// CompileC compiles mini-C source text to optimized IR (the substrate's
+// clang -O2 equivalent).
+func CompileC(name, src string) (*Module, error) {
+	m, err := minic.Compile(name, src)
+	if err != nil {
+		return nil, err
+	}
+	passes.Optimize(m)
+	return m, nil
+}
+
+// ParseIR parses a textual IR module (the .nir format the noelle-* tools
+// exchange).
+func ParseIR(src string) (*Module, error) { return irtext.Parse(src) }
+
+// PrintIR renders a module in the textual IR format.
+func PrintIR(m *Module) string { return ir.Print(m) }
+
+// Run executes a module's @main under the reference interpreter and
+// returns its exit code and output.
+func Run(m *Module) (int64, string, error) {
+	it := interp.New(m)
+	code, err := it.Run()
+	return code, it.Output.String(), err
+}
