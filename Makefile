@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test vet race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The manager's concurrency guarantees are only meaningful under -race.
+race:
+	$(GO) test -race ./internal/core/... ./internal/tools/
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .

@@ -1,104 +1,104 @@
 // noelle-load loads the NOELLE layer over an IR file — without computing
-// any abstraction — and runs the requested custom tool against it (paper
+// any abstraction — and runs the requested custom tools against it (paper
 // Table 2: custom tools invoke NOELLE's empowered pass pipeline through
-// noelle-load rather than through a bare opt).
+// noelle-load rather than through a bare opt). Tools are resolved through
+// the registry (internal/tool); -tools runs a pipeline of stages over one
+// manager, with cached abstractions invalidated after every transforming
+// stage. Function PDGs are precomputed across a worker pool before the
+// first stage (the paper's parallel abstraction computation).
 //
-// Usage: noelle-load -tool NAME [-o out.nir] [-cores N] [-budget N] whole.nir
+// Usage: noelle-load -tools NAME[,NAME...] [-o out.nir] [-cores N]
 //
-// Tools: licm, dead, doall, helix, dswp, carat, coos, prvj, timesq, perspective
+//	[-budget N] [-hot F] [-workers N] whole.nir
+//
+// Run noelle-load -list for the registered tools.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 
 	"noelle/internal/core"
+	"noelle/internal/tool"
 	"noelle/internal/toolio"
-	"noelle/internal/tools/carat"
-	"noelle/internal/tools/coos"
-	"noelle/internal/tools/dead"
-	"noelle/internal/tools/doall"
-	"noelle/internal/tools/dswp"
-	"noelle/internal/tools/helix"
-	"noelle/internal/tools/licm"
-	"noelle/internal/tools/perspective"
-	"noelle/internal/tools/prvj"
-	"noelle/internal/tools/timesq"
+
+	// Link every registered custom tool into the driver.
+	_ "noelle/internal/tools"
 )
 
 func main() {
-	tool := flag.String("tool", "", "custom tool to run")
+	toolFlag := flag.String("tool", "", "custom tool to run (single-stage alias for -tools)")
+	toolsFlag := flag.String("tools", "", "comma-separated pipeline of custom tools (e.g. licm,dead,doall)")
+	list := flag.Bool("list", false, "list the registered tools and exit")
 	out := flag.String("o", "-", "output IR file")
-	cores := flag.Int("cores", 12, "worker count for parallelizers")
-	budget := flag.Int64("budget", 4000, "COOS callback budget (cycles)")
+	cores := flag.Int("cores", core.DefaultOptions().Cores, "worker count for parallelizers")
+	budget := flag.Int64("budget", tool.DefaultOptions().Budget, "COOS callback budget (cycles)")
+	hot := flag.Float64("hot", core.DefaultOptions().MinHotness, "minimum loop hotness tools consider (fraction of execution)")
+	optimize := flag.Bool("optimize", true, "enable tools' optional optimization stages (e.g. HELIX's SCD header shrinking)")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size for the parallel PDG precompute (0 keeps the layer fully demand-driven; tools that never request a PDG then pay nothing)")
 	flag.Parse()
-	if flag.NArg() != 1 || *tool == "" {
-		fmt.Fprintln(os.Stderr, "usage: noelle-load -tool NAME whole.nir")
+
+	if *list {
+		for _, t := range tool.Tools() {
+			fmt.Printf("  %-12s %s\n", t.Name(), t.Describe())
+		}
+		return
+	}
+
+	names := splitTools(*toolsFlag)
+	if *toolFlag != "" {
+		names = append(names, *toolFlag)
+	}
+	if flag.NArg() != 1 || len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: noelle-load -tools NAME[,NAME...] whole.nir")
+		fmt.Fprintf(os.Stderr, "tools: %s\n", strings.Join(tool.Names(), ", "))
 		os.Exit(2)
 	}
+
 	m, err := toolio.ReadModule(flag.Arg(0))
 	if err != nil {
 		toolio.Fatal(err)
 	}
 	opts := core.DefaultOptions()
 	opts.Cores = *cores
-	opts.MinHotness = 0
+	opts.MinHotness = *hot
 	n := core.New(m, opts)
 
-	switch *tool {
-	case "licm":
-		r := licm.Run(n)
-		fmt.Fprintf(os.Stderr, "licm: hoisted %d instructions across %d loops\n", r.Hoisted, r.Loops)
-	case "dead":
-		r := dead.Run(n)
-		fmt.Fprintf(os.Stderr, "dead: removed %d functions (%d -> %d instrs, -%.1f%%)\n",
-			r.Removed, r.InstrsBefore, r.InstrsAfter, r.ReductionPercent())
-	case "doall":
-		r, err := doall.Run(n)
-		if err != nil {
-			toolio.Fatal(err)
+	topts := tool.DefaultOptions()
+	topts.Budget = *budget
+	topts.Optimize = *optimize
+	topts.PrecomputeWorkers = *workers
+
+	reports, err := tool.RunPipeline(context.Background(), n, names, topts)
+	for _, rep := range reports {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", rep.Tool, rep.Summary)
+		for _, d := range rep.Detail {
+			fmt.Fprintf(os.Stderr, "  %s\n", d)
 		}
-		fmt.Fprintf(os.Stderr, "doall: parallelized %d loops (rejected %d)\n", len(r.Parallelized), r.Rejected)
-	case "helix":
-		r := helix.Run(n, true)
-		fmt.Fprintf(os.Stderr, "helix: planned %d loops (rejected %d)\n", len(r.Plans), r.Rejected)
-		for _, p := range r.Plans {
-			fmt.Fprintf(os.Stderr, "  @%s/%s: %d sequential segments\n", p.LS.Fn.Nam, p.LS.Header.Nam, p.NumSeq)
+		if len(rep.Metrics) > 0 {
+			fmt.Fprintf(os.Stderr, "%s: metrics: %s\n", rep.Tool, rep.MetricsLine())
 		}
-	case "dswp":
-		r := dswp.Run(n)
-		fmt.Fprintf(os.Stderr, "dswp: planned %d loops (rejected %d)\n", len(r.Plans), r.Rejected)
-		for _, p := range r.Plans {
-			fmt.Fprintf(os.Stderr, "  @%s/%s: %d stages\n", p.LS.Fn.Nam, p.LS.Header.Nam, p.NumStages)
-		}
-	case "carat":
-		r := carat.Run(n)
-		fmt.Fprintf(os.Stderr, "carat: %d accesses, %d proven, %d guards (%d elided, %d hoisted)\n",
-			r.Accesses, r.Proven, r.Guards, r.Elided, r.Hoisted)
-	case "coos":
-		r := coos.Run(n, *budget)
-		fmt.Fprintf(os.Stderr, "coos: inserted %d callbacks (budget %d cycles)\n", r.Inserted, r.Budget)
-	case "prvj":
-		r := prvj.Run(n)
-		fmt.Fprintf(os.Stderr, "prvj: %d generators, swapped %d call sites, kept %d\n",
-			len(r.Generators), r.Swapped, r.Kept)
-	case "timesq":
-		r := timesq.Run(n)
-		fmt.Fprintf(os.Stderr, "timesq: swapped %d compares, %d clock sets (naive placement: %d), %d islands\n",
-			r.SwappedCompares, r.ClockSets, r.ClockSetsUnscheduled, r.Islands)
-	case "perspective":
-		r := perspective.Run(n)
-		for _, p := range r.Plans {
-			fmt.Fprintf(os.Stderr, "  @%s/%s: parallelizable=%v overhead/iter=%d\n",
-				p.LS.Fn.Nam, p.LS.Header.Nam, p.Parallelizable, p.OverheadPerIter)
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown tool %q\n", *tool)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "%s: abstractions requested: %v\n", rep.Tool, rep.Abstractions)
 	}
-	fmt.Fprintf(os.Stderr, "abstractions requested: %v\n", n.Requested())
+	if err != nil {
+		toolio.Fatal(err)
+	}
 	if err := toolio.WriteModule(m, *out); err != nil {
 		toolio.Fatal(err)
 	}
+}
+
+// splitTools parses the -tools value, tolerating empty segments.
+func splitTools(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

@@ -1,0 +1,3 @@
+module noelle
+
+go 1.24

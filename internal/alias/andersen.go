@@ -235,7 +235,9 @@ func (pt *PointsTo) solve() {
 }
 
 // valSet returns the points-to set of v, materializing singletons for
-// direct object references.
+// direct object references. It mutates the analysis state and is only
+// safe during construction (solve/summarize); queries after the fixed
+// point use the read-only lookup instead.
 func (pt *PointsTo) valSet(v ir.Value) *objSet {
 	s := pt.setOf(v)
 	switch v.(type) {
@@ -243,6 +245,22 @@ func (pt *PointsTo) valSet(v ir.Value) *objSet {
 		s.add(v)
 	}
 	return s
+}
+
+// emptySet is the shared result for values the solver never saw. It must
+// never be mutated.
+var emptySet = newObjSet()
+
+// lookup is the read-only twin of valSet: it never materializes entries,
+// so concurrent queries after construction are safe (the demand-driven
+// manager builds function PDGs in parallel against one PointsTo). Every
+// global, function, and alloca is seeded during solve, so the only values
+// that miss are those with genuinely unknown provenance.
+func (pt *PointsTo) lookup(v ir.Value) *objSet {
+	if s, ok := pt.pts[v]; ok {
+		return s
+	}
+	return emptySet
 }
 
 func pointerLike(t *ir.Type) bool {
@@ -287,7 +305,7 @@ func (pt *PointsTo) Callees(call *ir.Instr) []*ir.Function {
 		return []*ir.Function{f}
 	}
 	var out []*ir.Function
-	for obj := range pt.valSet(call.Ops[0]).m {
+	for obj := range pt.lookup(call.Ops[0]).m {
 		if f, ok := obj.(*ir.Function); ok {
 			out = append(out, f)
 		}
@@ -400,7 +418,7 @@ func (pt *PointsTo) escapingAllocas() map[*ir.Instr]bool {
 
 // PointsToSet returns the objects v may point to, in deterministic order.
 func (pt *PointsTo) PointsToSet(v ir.Value) []ir.Value {
-	s := pt.valSet(v)
+	s := pt.lookup(v)
 	out := make([]ir.Value, 0, s.size())
 	for obj := range s.m {
 		out = append(out, obj)
@@ -423,7 +441,7 @@ const (
 // CallModRefPtr reports whether call's possible callees may read or write
 // the memory ptr addresses.
 func (pt *PointsTo) CallModRefPtr(call *ir.Instr, ptr ir.Value) ModRef {
-	target := pt.valSet(ptr)
+	target := pt.lookup(ptr)
 	mayRead, mayWrite := false, false
 	unknownTarget := target.size() == 0
 	for _, callee := range pt.Callees(call) {
@@ -482,8 +500,8 @@ func (pt *PointsTo) callAccess(call *ir.Instr) (reads, writes *objSet) {
 			}
 			for _, a := range call.CallArgs() {
 				if pointerLike(a.Type()) {
-					reads.addAll(pt.valSet(a))
-					writes.addAll(pt.valSet(a))
+					reads.addAll(pt.lookup(a))
+					writes.addAll(pt.lookup(a))
 				}
 			}
 			continue
@@ -514,7 +532,7 @@ func (a AndersenAA) Alias(x, y ir.Value) Result {
 	if x == y {
 		return MustAlias
 	}
-	sx, sy := a.PT.valSet(x), a.PT.valSet(y)
+	sx, sy := a.PT.lookup(x), a.PT.lookup(y)
 	if sx.size() == 0 || sy.size() == 0 {
 		return MayAlias // unknown provenance
 	}

@@ -4,10 +4,19 @@
 // cached, so custom tools only pay for what they use; every request is
 // recorded per abstraction, which is how the Table 4 usage matrix is
 // produced.
+//
+// The manager is safe for concurrent use: caches are mutex-guarded and
+// the expensive per-function abstractions (PDG, L) are built under a
+// single-flight discipline, so concurrent requests for the same function
+// share one computation. PrecomputePDGs materializes every function PDG
+// across a worker pool — the paper's "noelle-load computes abstractions
+// in parallel".
 package core
 
 import (
+	"context"
 	"sort"
+	"sync"
 
 	"noelle/internal/alias"
 	"noelle/internal/analysis"
@@ -64,19 +73,34 @@ func DefaultOptions() Options {
 	return Options{MinHotness: 0.05, Cores: 12}
 }
 
+// flight is one in-progress computation other requesters can wait on
+// (single-flight: the first requester computes, the rest block on done).
+type flight[T any] struct {
+	done chan struct{}
+	val  T
+}
+
 // Noelle is the compilation layer's manager.
 type Noelle struct {
 	Mod  *ir.Module
 	Opts Options
+
+	// mu guards every field below. Expensive computations run outside the
+	// lock under the single-flight maps; gen detects invalidations that
+	// raced an in-flight computation so stale results are never cached.
+	mu  sync.Mutex
+	gen uint64
 
 	requests map[Abstraction]int
 
 	pt      *alias.PointsTo
 	builder *pdg.Builder
 	fpdgs   map[*ir.Function]*pdg.Graph
+	pdgFly  map[*ir.Function]*flight[*pdg.Graph]
 	cg      *callgraph.CallGraph
 	forests map[*ir.Function]*loops.Forest
 	loopAbs map[*ir.Block]*loops.Loop // keyed by loop header
+	loopFly map[*ir.Block]*flight[*loops.Loop]
 	profile *profiler.Profile
 	archD   *arch.Description
 	scheds  map[*ir.Function]*scheduler.Scheduler
@@ -90,8 +114,10 @@ func New(m *ir.Module, opts Options) *Noelle {
 		Opts:     opts,
 		requests: map[Abstraction]int{},
 		fpdgs:    map[*ir.Function]*pdg.Graph{},
+		pdgFly:   map[*ir.Function]*flight[*pdg.Graph]{},
 		forests:  map[*ir.Function]*loops.Forest{},
 		loopAbs:  map[*ir.Block]*loops.Loop{},
+		loopFly:  map[*ir.Block]*flight[*loops.Loop]{},
 		scheds:   map[*ir.Function]*scheduler.Scheduler{},
 	}
 }
@@ -99,24 +125,40 @@ func New(m *ir.Module, opts Options) *Noelle {
 // Use records a request for an abstraction without constructing anything
 // (mechanism abstractions like ENV/T/LB/IVS/DFE are provided by their own
 // packages; tools record their use through the manager).
-func (n *Noelle) Use(a Abstraction) { n.requests[a]++ }
+func (n *Noelle) Use(a Abstraction) {
+	n.mu.Lock()
+	n.requests[a]++
+	n.mu.Unlock()
+}
 
 // Requested returns the distinct abstractions requested so far, sorted.
 func (n *Noelle) Requested() []Abstraction {
+	n.mu.Lock()
 	var out []Abstraction
 	for a := range n.requests {
 		out = append(out, a)
 	}
+	n.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // ResetRequests clears the request log (used between tools when building
 // the Table 4 matrix).
-func (n *Noelle) ResetRequests() { n.requests = map[Abstraction]int{} }
+func (n *Noelle) ResetRequests() {
+	n.mu.Lock()
+	n.requests = map[Abstraction]int{}
+	n.mu.Unlock()
+}
 
 // PointsTo returns the whole-module points-to analysis.
 func (n *Noelle) PointsTo() *alias.PointsTo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.pointsToLocked()
+}
+
+func (n *Noelle) pointsToLocked() *alias.PointsTo {
 	if n.pt == nil {
 		n.pt = alias.NewPointsTo(n.Mod)
 	}
@@ -125,11 +167,17 @@ func (n *Noelle) PointsTo() *alias.PointsTo {
 
 // PDGBuilder returns the configured dependence-graph builder.
 func (n *Noelle) PDGBuilder() *pdg.Builder {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.pdgBuilderLocked()
+}
+
+func (n *Noelle) pdgBuilderLocked() *pdg.Builder {
 	if n.builder == nil {
 		if n.Opts.BaselineAA {
 			n.builder = pdg.NewBaselineBuilder(n.Mod)
 		} else {
-			pt := n.PointsTo()
+			pt := n.pointsToLocked()
 			n.builder = &pdg.Builder{
 				Mod: n.Mod,
 				AA:  alias.NewCombined(alias.TypeBasicAA{}, alias.AndersenAA{PT: pt}),
@@ -142,28 +190,99 @@ func (n *Noelle) PDGBuilder() *pdg.Builder {
 
 // FunctionPDG returns (building on first request) the PDG of f. When the
 // module carries an embedded PDG (noelle-meta-pdg-embed ran earlier), it
-// is reloaded instead of recomputed.
+// is reloaded instead of recomputed. Concurrent requests for the same
+// function share a single computation.
 func (n *Noelle) FunctionPDG(f *ir.Function) *pdg.Graph {
 	n.Use(AbsPDG)
+	n.mu.Lock()
 	if g, ok := n.fpdgs[f]; ok {
+		n.mu.Unlock()
 		return g
 	}
+	if fl, ok := n.pdgFly[f]; ok {
+		n.mu.Unlock()
+		<-fl.done
+		return fl.val
+	}
+	fl := &flight[*pdg.Graph]{done: make(chan struct{})}
+	n.pdgFly[f] = fl
+	gen := n.gen
+	b := n.pdgBuilderLocked()
+	n.mu.Unlock()
+
+	g := n.buildPDG(b, f)
+
+	n.mu.Lock()
+	if n.gen == gen {
+		n.fpdgs[f] = g
+	}
+	if n.pdgFly[f] == fl {
+		delete(n.pdgFly, f) // invalidation may have replaced the flight
+	}
+	n.mu.Unlock()
+	fl.val = g
+	close(fl.done)
+	return g
+}
+
+func (n *Noelle) buildPDG(b *pdg.Builder, f *ir.Function) *pdg.Graph {
 	if pdg.HasEmbedded(n.Mod, f) {
 		if g, err := pdg.Reload(n.Mod, f); err == nil {
-			n.fpdgs[f] = g
 			return g
 		}
 	}
-	g := n.PDGBuilder().FunctionPDG(f)
-	n.fpdgs[f] = g
-	return g
+	return b.FunctionPDG(f)
+}
+
+// PrecomputePDGs materializes the PDG of every defined function across a
+// worker pool before tools run — the paper's parallel abstraction
+// computation inside noelle-load. It stops early (returning ctx.Err())
+// when the context is cancelled.
+func (n *Noelle) PrecomputePDGs(ctx context.Context, workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	// Materialize the shared builder (and its points-to fixed point) once
+	// up front so workers start from a read-only analysis stack.
+	n.PDGBuilder()
+
+	work := make(chan *ir.Function)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for f := range work {
+				if ctx.Err() != nil {
+					continue // drain without computing
+				}
+				n.FunctionPDG(f)
+			}
+		}()
+	}
+feed:
+	for _, f := range n.Mod.Functions {
+		if f.IsDeclaration() {
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			break feed
+		case work <- f:
+		}
+	}
+	close(work)
+	wg.Wait()
+	return ctx.Err()
 }
 
 // CallGraph returns the complete program call graph.
 func (n *Noelle) CallGraph() *callgraph.CallGraph {
 	n.Use(AbsCG)
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if n.cg == nil {
-		n.cg = callgraph.New(n.Mod, n.PointsTo())
+		n.cg = callgraph.New(n.Mod, n.pointsToLocked())
 	}
 	return n.cg
 }
@@ -171,6 +290,8 @@ func (n *Noelle) CallGraph() *callgraph.CallGraph {
 // Forest returns the loop forest of f.
 func (n *Noelle) Forest(f *ir.Function) *loops.Forest {
 	n.Use(AbsForest)
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if fr, ok := n.forests[f]; ok {
 		return fr
 	}
@@ -191,16 +312,29 @@ func (n *Noelle) LoopStructures(f *ir.Function) []*loops.LS {
 
 // Loop returns the full L abstraction for the loop with the given header,
 // including its refined dependence graph, aSCCDAG, IVs, invariants, and
-// reductions.
+// reductions. Concurrent requests for the same loop share a single
+// computation.
 func (n *Noelle) Loop(ls *loops.LS) *loops.Loop {
 	n.Use(AbsLoop)
 	n.Use(AbsSCCDAG)
 	n.Use(AbsIV)
 	n.Use(AbsINV)
 	n.Use(AbsRD)
+	n.mu.Lock()
 	if l, ok := n.loopAbs[ls.Header]; ok {
+		n.mu.Unlock()
 		return l
 	}
+	if fl, ok := n.loopFly[ls.Header]; ok {
+		n.mu.Unlock()
+		<-fl.done
+		return fl.val
+	}
+	fl := &flight[*loops.Loop]{done: make(chan struct{})}
+	n.loopFly[ls.Header] = fl
+	gen := n.gen
+	n.mu.Unlock()
+
 	fpdg := n.FunctionPDG(ls.Fn)
 	var impure func(*ir.Instr) bool
 	if !n.Opts.BaselineAA {
@@ -208,7 +342,17 @@ func (n *Noelle) Loop(ls *loops.LS) *loops.Loop {
 		impure = func(call *ir.Instr) bool { return !pt.CallIsPure(call) }
 	}
 	l := loops.NewLoop(ls, fpdg, impure)
-	n.loopAbs[ls.Header] = l
+
+	n.mu.Lock()
+	if n.gen == gen {
+		n.loopAbs[ls.Header] = l
+	}
+	if n.loopFly[ls.Header] == fl {
+		delete(n.loopFly, ls.Header) // invalidation may have replaced the flight
+	}
+	n.mu.Unlock()
+	fl.val = l
+	close(fl.done)
 	return l
 }
 
@@ -216,6 +360,8 @@ func (n *Noelle) Loop(ls *loops.LS) *loops.Loop {
 // profiled (tools degrade gracefully to static heuristics).
 func (n *Noelle) Profile() *profiler.Profile {
 	n.Use(AbsPRO)
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if n.profile == nil && profiler.HasEmbedded(n.Mod) {
 		if p, err := profiler.Reload(n.Mod); err == nil {
 			n.profile = p
@@ -227,6 +373,8 @@ func (n *Noelle) Profile() *profiler.Profile {
 // Arch returns the architecture description (measuring it on first use).
 func (n *Noelle) Arch() *arch.Description {
 	n.Use(AbsAR)
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if n.archD == nil {
 		n.archD = arch.Default()
 	}
@@ -234,16 +382,32 @@ func (n *Noelle) Arch() *arch.Description {
 }
 
 // SetArch installs an externally measured description (noelle-arch file).
-func (n *Noelle) SetArch(d *arch.Description) { n.archD = d }
+func (n *Noelle) SetArch(d *arch.Description) {
+	n.mu.Lock()
+	n.archD = d
+	n.mu.Unlock()
+}
 
 // Scheduler returns the PDG-guarded scheduler for f.
 func (n *Noelle) Scheduler(f *ir.Function) *scheduler.Scheduler {
 	n.Use(AbsSCD)
+	n.mu.Lock()
 	if s, ok := n.scheds[f]; ok {
+		n.mu.Unlock()
 		return s
 	}
-	s := scheduler.New(f, n.FunctionPDG(f))
-	n.scheds[f] = s
+	gen := n.gen
+	n.mu.Unlock()
+	g := n.FunctionPDG(f)
+	s := scheduler.New(f, g)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if prev, ok := n.scheds[f]; ok {
+		return prev // another requester won the race
+	}
+	if n.gen == gen {
+		n.scheds[f] = s // don't cache across an invalidation
+	}
 	return s
 }
 
@@ -282,8 +446,16 @@ func (n *Noelle) HotLoops() []*loops.LS {
 }
 
 // InvalidateFunction drops cached analyses for f after a transformation.
+// In-flight computations are detached too, so requesters arriving after
+// the invalidation start fresh rather than joining a stale flight (the
+// flight's own requesters still receive its result: they raced the
+// invalidation).
 func (n *Noelle) InvalidateFunction(f *ir.Function) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.gen++
 	delete(n.fpdgs, f)
+	delete(n.pdgFly, f)
 	delete(n.forests, f)
 	delete(n.scheds, f)
 	for h, l := range n.loopAbs {
@@ -291,17 +463,27 @@ func (n *Noelle) InvalidateFunction(f *ir.Function) {
 			delete(n.loopAbs, h)
 		}
 	}
+	for h := range n.loopFly {
+		if h.Parent == f {
+			delete(n.loopFly, h)
+		}
+	}
 }
 
 // InvalidateModule drops every cached analysis (after linking or global
 // transformations).
 func (n *Noelle) InvalidateModule() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.gen++
 	n.pt = nil
 	n.builder = nil
 	n.cg = nil
 	n.profile = nil
 	n.fpdgs = map[*ir.Function]*pdg.Graph{}
+	n.pdgFly = map[*ir.Function]*flight[*pdg.Graph]{}
 	n.forests = map[*ir.Function]*loops.Forest{}
 	n.loopAbs = map[*ir.Block]*loops.Loop{}
+	n.loopFly = map[*ir.Block]*flight[*loops.Loop]{}
 	n.scheds = map[*ir.Function]*scheduler.Scheduler{}
 }

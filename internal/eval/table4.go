@@ -1,21 +1,16 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"noelle/internal/bench"
 	"noelle/internal/core"
-	"noelle/internal/tools/carat"
-	"noelle/internal/tools/coos"
-	"noelle/internal/tools/dead"
-	"noelle/internal/tools/doall"
-	"noelle/internal/tools/dswp"
-	"noelle/internal/tools/helix"
-	"noelle/internal/tools/licm"
-	"noelle/internal/tools/perspective"
-	"noelle/internal/tools/prvj"
-	"noelle/internal/tools/timesq"
+	"noelle/internal/tool"
+
+	// Populate the tool registry the matrix is driven through.
+	_ "noelle/internal/tools"
 )
 
 // table4Columns lists the abstractions in the paper's column order.
@@ -26,6 +21,24 @@ var table4Columns = []core.Abstraction{
 	core.AbsRD, core.AbsAR, core.AbsLS,
 }
 
+// table4Tools maps the paper's row labels to registry names, in the
+// paper's row order.
+var table4Tools = []struct {
+	Label    string
+	Registry string
+}{
+	{"HELIX", "helix"},
+	{"DSWP", "dswp"},
+	{"CARAT", "carat"},
+	{"COOS", "coos"},
+	{"PRVJ", "prvj"},
+	{"DOALL", "doall"},
+	{"LICM", "licm"},
+	{"TIME", "timesq"},
+	{"DEAD", "dead"},
+	{"PERS", "perspective"},
+}
+
 // Table4Row records which abstractions a custom tool requested from the
 // demand-driven manager during a real run.
 type Table4Row struct {
@@ -34,30 +47,22 @@ type Table4Row struct {
 }
 
 // Table4UsageMatrix reproduces the paper's Table 4 by running every
-// custom tool on a representative benchmark with request tracking on.
-// Unlike the paper (where the matrix is written by hand), the matrix here
-// is *measured*: it is exactly what each tool pulled from the manager.
+// registered custom tool on representative benchmarks with request
+// tracking on. Unlike the paper (where the matrix is written by hand),
+// the matrix here is *measured*: each row is exactly what the tool pulled
+// from the manager, captured by the registry's uniform Run wrapper.
 func Table4UsageMatrix() ([]Table4Row, error) {
-	runTool := map[string]func(n *core.Noelle){
-		"HELIX": func(n *core.Noelle) { helix.Run(n, true) },
-		"DSWP":  func(n *core.Noelle) { dswp.Run(n) },
-		"CARAT": func(n *core.Noelle) { carat.Run(n) },
-		"COOS":  func(n *core.Noelle) { coos.Run(n, 4000) },
-		"PRVJ":  func(n *core.Noelle) { prvj.Run(n) },
-		"DOALL": func(n *core.Noelle) { _, _ = doall.Run(n) },
-		"LICM":  func(n *core.Noelle) { licm.Run(n) },
-		"TIME":  func(n *core.Noelle) { timesq.Run(n) },
-		"DEAD":  func(n *core.Noelle) { dead.Run(n) },
-		"PERS":  func(n *core.Noelle) { perspective.Run(n) },
-	}
-	order := []string{"HELIX", "DSWP", "CARAT", "COOS", "PRVJ", "DOALL", "LICM", "TIME", "DEAD", "PERS"}
-
-	// canneal exercises loops, reductions, PRVGs, and indirect-call-free
-	// hot paths; swaptions adds PRVG call sites. Run each tool on both so
-	// every tool has real work.
+	ctx := context.Background()
 	var rows []Table4Row
-	for _, toolName := range order {
+	for _, row := range table4Tools {
+		t, ok := tool.Lookup(row.Registry)
+		if !ok {
+			return nil, fmt.Errorf("table4: tool %q not registered", row.Registry)
+		}
 		used := map[core.Abstraction]bool{}
+		// canneal exercises loops, reductions, PRVGs, and
+		// indirect-call-free hot paths; swaptions adds PRVG call sites.
+		// Run each tool on both so every tool has real work.
 		for _, benchName := range []string{"canneal", "swaptions"} {
 			b, err := bench.ByName(benchName)
 			if err != nil {
@@ -70,12 +75,15 @@ func Table4UsageMatrix() ([]Table4Row, error) {
 			opts := core.DefaultOptions()
 			opts.MinHotness = 0
 			n := core.New(m, opts)
-			runTool[toolName](n)
-			for _, a := range n.Requested() {
+			rep, err := tool.Run(ctx, t, n, tool.DefaultOptions())
+			if err != nil {
+				return nil, fmt.Errorf("table4: %s on %s: %w", row.Registry, benchName, err)
+			}
+			for _, a := range rep.Abstractions {
 				used[a] = true
 			}
 		}
-		rows = append(rows, Table4Row{Tool: toolName, Used: used})
+		rows = append(rows, Table4Row{Tool: row.Label, Used: used})
 	}
 	return rows, nil
 }

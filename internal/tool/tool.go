@@ -1,0 +1,212 @@
+// Package tool defines the uniform API every NOELLE custom tool
+// implements, plus the process-wide registry and the pipeline runner the
+// noelle-load driver uses. This is the paper's central organizational
+// claim made concrete: a custom tool is a small unit behind one shared
+// interface, loaded over the demand-driven manager, and its resource
+// usage (the Table 4 abstraction matrix) falls out of running it — not
+// out of per-tool glue code.
+//
+// A tool package registers itself from init:
+//
+//	func init() { tool.Register(licmTool{}) }
+//
+// and the driver resolves it by name:
+//
+//	reports, err := tool.RunPipeline(ctx, n, []string{"licm", "dead"}, tool.DefaultOptions())
+package tool
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"noelle/internal/core"
+	"noelle/internal/ir"
+)
+
+// Options carries the per-invocation knobs shared by every custom tool.
+// Tools read only the fields they care about; unknown fields are ignored.
+type Options struct {
+	// Budget is the COOS callback budget, in cost-model cycles.
+	Budget int64
+	// Optimize enables a tool's optional optimization stage (the HELIX
+	// SCD header-shrinking ablation toggle).
+	Optimize bool
+	// PrecomputeWorkers is the worker-pool size RunPipeline uses to
+	// materialize function PDGs before the first tool runs (0 disables
+	// the precompute stage).
+	PrecomputeWorkers int
+}
+
+// DefaultOptions mirrors the historical noelle-load flag defaults.
+func DefaultOptions() Options {
+	return Options{Budget: 4000, Optimize: true}
+}
+
+// Report is the uniform result every custom tool returns: one summary
+// line, structured metrics, optional per-item detail lines, and the
+// abstractions the tool pulled from the manager while running.
+type Report struct {
+	// Tool is the registered name of the tool that produced the report.
+	Tool string
+	// Summary is a one-line human-readable account of what happened.
+	Summary string
+	// Metrics are the tool's structured counters (hoisted instructions,
+	// removed functions, inserted guards, ...).
+	Metrics map[string]int64
+	// Detail lists optional per-loop/per-plan lines.
+	Detail []string
+	// Abstractions are the distinct abstractions the tool requested from
+	// the demand-driven manager, sorted (one row of the Table 4 matrix).
+	Abstractions []core.Abstraction
+}
+
+// String renders the report as "name: summary".
+func (r Report) String() string {
+	return r.Tool + ": " + r.Summary
+}
+
+// MetricsLine renders the metrics as "k1=v1 k2=v2" in sorted key order.
+func (r Report) MetricsLine() string {
+	keys := make([]string, 0, len(r.Metrics))
+	for k := range r.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, r.Metrics[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Tool is the interface every custom tool implements. Run must be safe to
+// call on any well-formed module; a tool that mutates the IR reports
+// Transforms() == true so the pipeline runner invalidates cached
+// abstractions after it.
+type Tool interface {
+	// Name is the registry key (lower-case, the noelle-load -tool value).
+	Name() string
+	// Describe is a one-line description for listings.
+	Describe() string
+	// Transforms reports whether Run may mutate the module.
+	Transforms() bool
+	// Run executes the tool over the manager's module.
+	Run(ctx context.Context, n *core.Noelle, opts Options) (Report, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Tool{}
+)
+
+// Register adds t to the process-wide registry. Tool packages call it
+// from init; registering two tools under one name is a programming error
+// and panics.
+func Register(t Tool) {
+	name := t.Name()
+	if name == "" {
+		panic("tool: Register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("tool: duplicate registration of " + name)
+	}
+	registry[name] = t
+}
+
+// Lookup resolves a registered tool by name.
+func Lookup(name string) (Tool, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	t, ok := registry[name]
+	return t, ok
+}
+
+// Tools returns every registered tool, sorted by name.
+func Tools() []Tool {
+	regMu.RLock()
+	out := make([]Tool, 0, len(registry))
+	for _, t := range registry {
+		out = append(out, t)
+	}
+	regMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Names returns the sorted names of every registered tool.
+func Names() []string {
+	ts := Tools()
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Name()
+	}
+	return out
+}
+
+// Run executes one tool with request tracking: the manager's request log
+// is reset before the tool runs, and the report comes back stamped with
+// the tool's name and the abstractions it requested.
+//
+// Request tracking is per-manager, not per-goroutine: run tools
+// sequentially over a given manager (as RunPipeline does). Concurrent
+// Run calls on one manager are memory-safe but interleave their request
+// logs, so the Abstractions attribution of both reports becomes
+// meaningless; use one manager per concurrent run instead.
+func Run(ctx context.Context, t Tool, n *core.Noelle, opts Options) (Report, error) {
+	n.ResetRequests()
+	rep, err := t.Run(ctx, n, opts)
+	rep.Tool = t.Name()
+	rep.Abstractions = n.Requested()
+	if rep.Metrics == nil {
+		rep.Metrics = map[string]int64{}
+	}
+	return rep, err
+}
+
+// RunPipeline resolves names against the registry and runs the tools in
+// sequence over one manager: a noelle-load invocation like
+// `-tools licm,dead,doall`. Before the first stage it materializes every
+// function PDG across a worker pool (when opts.PrecomputeWorkers > 0);
+// after every transforming stage it verifies the module and invalidates
+// the manager's cached abstractions, so later stages re-derive them
+// against the mutated IR. It returns the reports of the stages that ran,
+// stopping at the first stage error, verification failure, or context
+// cancellation.
+func RunPipeline(ctx context.Context, n *core.Noelle, names []string, opts Options) ([]Report, error) {
+	tools := make([]Tool, 0, len(names))
+	for _, name := range names {
+		t, ok := Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("tool: unknown tool %q (have %s)", name, strings.Join(Names(), ", "))
+		}
+		tools = append(tools, t)
+	}
+	if opts.PrecomputeWorkers > 0 {
+		if err := n.PrecomputePDGs(ctx, opts.PrecomputeWorkers); err != nil {
+			return nil, err
+		}
+	}
+	var reports []Report
+	for _, t := range tools {
+		if err := ctx.Err(); err != nil {
+			return reports, err
+		}
+		rep, err := Run(ctx, t, n, opts)
+		reports = append(reports, rep)
+		if err != nil {
+			return reports, fmt.Errorf("%s: %w", t.Name(), err)
+		}
+		if t.Transforms() {
+			if err := ir.Verify(n.Mod); err != nil {
+				return reports, fmt.Errorf("%s: transformed module malformed: %w", t.Name(), err)
+			}
+			n.InvalidateModule()
+		}
+	}
+	return reports, nil
+}

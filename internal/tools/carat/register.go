@@ -1,0 +1,35 @@
+package carat
+
+import (
+	"context"
+	"fmt"
+
+	"noelle/internal/core"
+	"noelle/internal/tool"
+)
+
+// caratTool adapts the package to the uniform Tool API.
+type caratTool struct{}
+
+func init() { tool.Register(caratTool{}) }
+
+func (caratTool) Name() string { return "carat" }
+func (caratTool) Describe() string {
+	return "inject address-validation guards, eliding those the PDG and dominance prove redundant"
+}
+func (caratTool) Transforms() bool { return true }
+
+func (caratTool) Run(_ context.Context, n *core.Noelle, _ tool.Options) (tool.Report, error) {
+	r := Run(n)
+	return tool.Report{
+		Summary: fmt.Sprintf("%d accesses, %d proven, %d guards (%d elided, %d hoisted)",
+			r.Accesses, r.Proven, r.Guards, r.Elided, r.Hoisted),
+		Metrics: map[string]int64{
+			"accesses": int64(r.Accesses),
+			"proven":   int64(r.Proven),
+			"guards":   int64(r.Guards),
+			"elided":   int64(r.Elided),
+			"hoisted":  int64(r.Hoisted),
+		},
+	}, nil
+}

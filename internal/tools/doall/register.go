@@ -1,0 +1,38 @@
+package doall
+
+import (
+	"context"
+	"fmt"
+
+	"noelle/internal/core"
+	"noelle/internal/tool"
+)
+
+// doallTool adapts the package to the uniform Tool API.
+type doallTool struct{}
+
+func init() { tool.Register(doallTool{}) }
+
+func (doallTool) Name() string { return "doall" }
+func (doallTool) Describe() string {
+	return "rewrite iteration-independent hot loops into dispatched tasks (aSCCDAG + ENV + T + IVS)"
+}
+func (doallTool) Transforms() bool { return true }
+
+func (doallTool) Run(_ context.Context, n *core.Noelle, _ tool.Options) (tool.Report, error) {
+	r, err := Run(n)
+	if err != nil {
+		return tool.Report{}, err
+	}
+	rep := tool.Report{
+		Summary: fmt.Sprintf("parallelized %d loops (rejected %d)", len(r.Parallelized), r.Rejected),
+		Metrics: map[string]int64{
+			"parallelized": int64(len(r.Parallelized)),
+			"rejected":     int64(r.Rejected),
+		},
+	}
+	for _, p := range r.Parallelized {
+		rep.Detail = append(rep.Detail, fmt.Sprintf("@%s/%s -> %s", p.Fn, p.Header, p.TaskName))
+	}
+	return rep, nil
+}

@@ -1,0 +1,35 @@
+package dswp
+
+import (
+	"context"
+	"fmt"
+
+	"noelle/internal/core"
+	"noelle/internal/tool"
+)
+
+// dswpTool adapts the package to the uniform Tool API.
+type dswpTool struct{}
+
+func init() { tool.Register(dswpTool{}) }
+
+func (dswpTool) Name() string { return "dswp" }
+func (dswpTool) Describe() string {
+	return "pipeline hot-loop SCCs across cores with unidirectional communication (aSCCDAG + PRO)"
+}
+func (dswpTool) Transforms() bool { return false }
+
+func (dswpTool) Run(_ context.Context, n *core.Noelle, _ tool.Options) (tool.Report, error) {
+	r := Run(n)
+	rep := tool.Report{
+		Summary: fmt.Sprintf("planned %d loops (rejected %d)", len(r.Plans), r.Rejected),
+		Metrics: map[string]int64{
+			"planned":  int64(len(r.Plans)),
+			"rejected": int64(r.Rejected),
+		},
+	}
+	for _, p := range r.Plans {
+		rep.Detail = append(rep.Detail, fmt.Sprintf("@%s/%s: %d stages", p.LS.Fn.Nam, p.LS.Header.Nam, p.NumStages))
+	}
+	return rep, nil
+}

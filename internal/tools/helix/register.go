@@ -1,0 +1,41 @@
+package helix
+
+import (
+	"context"
+	"fmt"
+
+	"noelle/internal/core"
+	"noelle/internal/tool"
+)
+
+// helixTool adapts the package to the uniform Tool API.
+type helixTool struct{}
+
+func init() { tool.Register(helixTool{}) }
+
+func (helixTool) Name() string { return "helix" }
+func (helixTool) Describe() string {
+	return "slice hot-loop iterations into sequential segments overlapped across cores (aSCCDAG + SCD + AR)"
+}
+
+// Transforms is true because the SCD header-shrinking stage moves
+// instructions in the planned loops.
+func (helixTool) Transforms() bool { return true }
+
+func (helixTool) Run(_ context.Context, n *core.Noelle, opts tool.Options) (tool.Report, error) {
+	r := Run(n, opts.Optimize)
+	shrunk := 0
+	rep := tool.Report{
+		Summary: fmt.Sprintf("planned %d loops (rejected %d)", len(r.Plans), r.Rejected),
+	}
+	for _, p := range r.Plans {
+		shrunk += p.HeaderShrunk
+		rep.Detail = append(rep.Detail, fmt.Sprintf("@%s/%s: %d sequential segments", p.LS.Fn.Nam, p.LS.Header.Nam, p.NumSeq))
+	}
+	rep.Metrics = map[string]int64{
+		"planned":       int64(len(r.Plans)),
+		"rejected":      int64(r.Rejected),
+		"header_shrunk": int64(shrunk),
+	}
+	return rep, nil
+}

@@ -1,0 +1,28 @@
+package licm
+
+import (
+	"context"
+	"fmt"
+
+	"noelle/internal/core"
+	"noelle/internal/tool"
+)
+
+// licmTool adapts the package to the uniform Tool API.
+type licmTool struct{}
+
+func init() { tool.Register(licmTool{}) }
+
+func (licmTool) Name() string { return "licm" }
+func (licmTool) Describe() string {
+	return "hoist loop-invariant instructions out of every loop (INV + FR + LB)"
+}
+func (licmTool) Transforms() bool { return true }
+
+func (licmTool) Run(_ context.Context, n *core.Noelle, _ tool.Options) (tool.Report, error) {
+	r := Run(n)
+	return tool.Report{
+		Summary: fmt.Sprintf("hoisted %d instructions across %d loops", r.Hoisted, r.Loops),
+		Metrics: map[string]int64{"hoisted": int64(r.Hoisted), "loops": int64(r.Loops)},
+	}, nil
+}

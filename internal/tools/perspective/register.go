@@ -1,0 +1,39 @@
+package perspective
+
+import (
+	"context"
+	"fmt"
+
+	"noelle/internal/core"
+	"noelle/internal/tool"
+)
+
+// perspectiveTool adapts the package to the uniform Tool API.
+type perspectiveTool struct{}
+
+func init() { tool.Register(perspectiveTool{}) }
+
+func (perspectiveTool) Name() string { return "perspective" }
+func (perspectiveTool) Describe() string {
+	return "plan minimal-overhead speculative parallelization per sequential SCC (PDG + aSCCDAG)"
+}
+func (perspectiveTool) Transforms() bool { return false }
+
+func (perspectiveTool) Run(_ context.Context, n *core.Noelle, _ tool.Options) (tool.Report, error) {
+	r := Run(n)
+	parallelizable := 0
+	rep := tool.Report{}
+	for _, p := range r.Plans {
+		if p.Parallelizable {
+			parallelizable++
+		}
+		rep.Detail = append(rep.Detail, fmt.Sprintf("@%s/%s: parallelizable=%v overhead/iter=%d",
+			p.LS.Fn.Nam, p.LS.Header.Nam, p.Parallelizable, p.OverheadPerIter))
+	}
+	rep.Summary = fmt.Sprintf("planned %d loops (%d parallelizable)", len(r.Plans), parallelizable)
+	rep.Metrics = map[string]int64{
+		"planned":        int64(len(r.Plans)),
+		"parallelizable": int64(parallelizable),
+	}
+	return rep, nil
+}

@@ -1,0 +1,33 @@
+package prvj
+
+import (
+	"context"
+	"fmt"
+
+	"noelle/internal/core"
+	"noelle/internal/tool"
+)
+
+// prvjTool adapts the package to the uniform Tool API.
+type prvjTool struct{}
+
+func init() { tool.Register(prvjTool{}) }
+
+func (prvjTool) Name() string { return "prvj" }
+func (prvjTool) Describe() string {
+	return "rewire hot pseudo-random-generator call sites to the cheapest adequate generator (PDG + CG + PRO)"
+}
+func (prvjTool) Transforms() bool { return true }
+
+func (prvjTool) Run(_ context.Context, n *core.Noelle, _ tool.Options) (tool.Report, error) {
+	r := Run(n)
+	return tool.Report{
+		Summary: fmt.Sprintf("%d generators, swapped %d call sites, kept %d",
+			len(r.Generators), r.Swapped, r.Kept),
+		Metrics: map[string]int64{
+			"generators": int64(len(r.Generators)),
+			"swapped":    int64(r.Swapped),
+			"kept":       int64(r.Kept),
+		},
+	}, nil
+}

@@ -1,0 +1,34 @@
+package timesq
+
+import (
+	"context"
+	"fmt"
+
+	"noelle/internal/core"
+	"noelle/internal/tool"
+)
+
+// timesqTool adapts the package to the uniform Tool API.
+type timesqTool struct{}
+
+func init() { tool.Register(timesqTool{}) }
+
+func (timesqTool) Name() string { return "timesq" }
+func (timesqTool) Describe() string {
+	return "canonicalize compares and place clock_set regions for timing-speculative cores (ISL + SCD)"
+}
+func (timesqTool) Transforms() bool { return true }
+
+func (timesqTool) Run(_ context.Context, n *core.Noelle, _ tool.Options) (tool.Report, error) {
+	r := Run(n)
+	return tool.Report{
+		Summary: fmt.Sprintf("swapped %d compares, %d clock sets (naive placement: %d), %d islands",
+			r.SwappedCompares, r.ClockSets, r.ClockSetsUnscheduled, r.Islands),
+		Metrics: map[string]int64{
+			"swapped_compares": int64(r.SwappedCompares),
+			"clock_sets":       int64(r.ClockSets),
+			"clock_sets_naive": int64(r.ClockSetsUnscheduled),
+			"islands":          int64(r.Islands),
+		},
+	}, nil
+}

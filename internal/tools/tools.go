@@ -1,0 +1,21 @@
+// Package tools links every NOELLE custom tool into the binary that
+// imports it: each tool package registers itself with the tool registry
+// from init, so a blank import of this package is all a driver needs to
+// resolve tools by name (the rockyardkv-style registry-plus-harness cmd
+// organization).
+package tools
+
+import (
+	// Registered custom tools (paper Section 3). Keep this list in sync
+	// with cmd/README.md.
+	_ "noelle/internal/tools/carat"
+	_ "noelle/internal/tools/coos"
+	_ "noelle/internal/tools/dead"
+	_ "noelle/internal/tools/doall"
+	_ "noelle/internal/tools/dswp"
+	_ "noelle/internal/tools/helix"
+	_ "noelle/internal/tools/licm"
+	_ "noelle/internal/tools/perspective"
+	_ "noelle/internal/tools/prvj"
+	_ "noelle/internal/tools/timesq"
+)

@@ -1,10 +1,12 @@
 // Package noelle is the public facade of the NOELLE compilation layer: a
 // Go reproduction of "NOELLE Offers Empowering LLVM Extensions" (CGO
-// 2022). It re-exports the manager and the entry points a custom tool
-// needs; the implementation lives under internal/ (see DESIGN.md for the
-// system inventory and README.md for the architecture overview).
+// 2022). It re-exports the manager, the tool registry, and the entry
+// points a custom tool needs; the implementation lives under internal/
+// (see DESIGN.md for the system inventory and README.md for the
+// architecture overview).
 //
-// A custom tool follows the paper's pattern:
+// A custom tool follows the paper's pattern — load the layer, then pull
+// abstractions on demand:
 //
 //	m, _ := noelle.CompileC("prog", source) // or parse textual IR
 //	n := noelle.Load(m, noelle.DefaultOptions())
@@ -13,15 +15,36 @@
 //	    l := n.Loop(ls) // LS + LDG + aSCCDAG + IV + INV + RD
 //	    ...
 //	}
+//
+// The bundled custom tools (licm, dead, doall, helix, dswp, carat, coos,
+// prvj, timesq, perspective) register themselves behind the uniform Tool
+// interface; resolve them by name or run a multi-stage pipeline that
+// precomputes function PDGs in parallel and invalidates cached
+// abstractions between transforming stages:
+//
+//	for _, t := range noelle.Tools() {
+//	    fmt.Println(t.Name(), "-", t.Describe())
+//	}
+//	reports, err := noelle.RunPipeline(ctx, n, []string{"licm", "dead"},
+//	    noelle.DefaultToolOptions())
+//
+// The manager is safe for concurrent use; n.PrecomputePDGs(ctx, workers)
+// materializes every function PDG across a worker pool up front.
 package noelle
 
 import (
+	"context"
+
 	"noelle/internal/core"
 	"noelle/internal/interp"
 	"noelle/internal/ir"
 	"noelle/internal/irtext"
 	"noelle/internal/minic"
 	"noelle/internal/passes"
+	"noelle/internal/tool"
+
+	// Link the bundled custom tools into the facade's registry.
+	_ "noelle/internal/tools"
 )
 
 // Noelle is the demand-driven abstraction manager (the paper's
@@ -34,13 +57,40 @@ type Options = core.Options
 // Module is a whole-program IR module.
 type Module = ir.Module
 
+// Tool is the uniform interface every registered custom tool implements.
+type Tool = tool.Tool
+
+// ToolOptions carries the per-invocation knobs shared by custom tools.
+type ToolOptions = tool.Options
+
+// Report is the uniform result a custom tool returns: a summary line,
+// structured metrics, and the abstractions the tool requested.
+type Report = tool.Report
+
 // DefaultOptions mirrors the paper's evaluation setup (12 cores, 5%
 // hotness threshold).
 func DefaultOptions() Options { return core.DefaultOptions() }
 
+// DefaultToolOptions mirrors the noelle-load flag defaults.
+func DefaultToolOptions() ToolOptions { return tool.DefaultOptions() }
+
 // Load loads the NOELLE layer over a module without computing anything;
 // abstractions materialize on first request.
 func Load(m *Module, opts Options) *Noelle { return core.New(m, opts) }
+
+// Tools returns every registered custom tool, sorted by name.
+func Tools() []Tool { return tool.Tools() }
+
+// LookupTool resolves a registered custom tool by name.
+func LookupTool(name string) (Tool, bool) { return tool.Lookup(name) }
+
+// RunPipeline runs the named tools in sequence over one manager,
+// precomputing function PDGs in parallel first (when
+// opts.PrecomputeWorkers > 0) and invalidating cached abstractions after
+// every transforming stage.
+func RunPipeline(ctx context.Context, n *Noelle, names []string, opts ToolOptions) ([]Report, error) {
+	return tool.RunPipeline(ctx, n, names, opts)
+}
 
 // CompileC compiles mini-C source text to optimized IR (the substrate's
 // clang -O2 equivalent).
