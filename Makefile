@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench
+.PHONY: build test vet race bench bench-cache cache-smoke
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,18 @@ vet:
 
 # The manager's concurrency guarantees are only meaningful under -race.
 race:
-	$(GO) test -race ./internal/core/... ./internal/tools/
+	$(GO) test -race ./internal/core/... ./internal/tools/ ./internal/abscache/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+# The warm-load trajectory: cold (full alias solve per run) vs warm
+# (persistent store decode per run) on the bundled whole-program module.
+bench-cache:
+	$(GO) test -bench 'FunctionPDG(Cold|Warm)' -benchtime=3x -run '^$$' .
+
+# Two-process warm-load smoke check through the real CLIs: the second
+# noelle-load run over the same input must build zero PDGs (asserted via
+# noelle-cache stats).
+cache-smoke:
+	bash scripts/cache_smoke.sh

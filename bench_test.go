@@ -177,6 +177,71 @@ func BenchmarkInvariantAlgorithms(b *testing.B) {
 
 // ---- ablations (DESIGN.md "Design choices worth ablating") ----
 
+// BenchmarkFunctionPDGCold measures the cold path the persistent
+// abstraction store (internal/abscache) exists to avoid: every iteration
+// pays the whole-module Andersen solve plus a from-scratch PDG build for
+// every defined function.
+func BenchmarkFunctionPDGCold(b *testing.B) {
+	m := cacheBenchModule(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := core.New(m, core.DefaultOptions())
+		buildAllPDGs(b, n, m)
+	}
+}
+
+// BenchmarkFunctionPDGWarm measures the warm path: a fresh manager per
+// iteration (simulating a new process) loads every PDG from a pre-
+// populated store by structural fingerprint — fingerprint walk + record
+// decode, no alias analysis. The ratio to BenchmarkFunctionPDGCold is
+// the store's speedup (the PR's acceptance bar is >= 5x).
+func BenchmarkFunctionPDGWarm(b *testing.B) {
+	m := cacheBenchModule(b)
+	dir := b.TempDir()
+	opts := core.DefaultOptions()
+	opts.CacheDir = dir
+	prewarm := core.New(m, opts)
+	if err := prewarm.StoreErr(); err != nil {
+		b.Fatal(err)
+	}
+	buildAllPDGs(b, prewarm, m)
+	if err := prewarm.CloseStore(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := core.New(m, opts)
+		buildAllPDGs(b, n, m)
+		b.StopTimer()
+		builds, _, _ := n.CacheStats()
+		if builds != 0 {
+			b.Fatalf("warm iteration built %d PDGs from scratch", builds)
+		}
+		if err := n.CloseStore(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+func cacheBenchModule(b *testing.B) *ir.Module {
+	b.Helper()
+	m, err := bench.WholeProgram()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func buildAllPDGs(b *testing.B, n *core.Noelle, m *ir.Module) {
+	b.Helper()
+	for _, f := range m.Functions {
+		if !f.IsDeclaration() {
+			n.FunctionPDG(f)
+		}
+	}
+}
+
 // BenchmarkAblationDemandDriven measures what demand-driven construction
 // saves: loading the layer and asking for nothing vs eagerly materializing
 // every abstraction for every function.

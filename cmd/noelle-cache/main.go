@@ -1,0 +1,131 @@
+// noelle-cache inspects and maintains the persistent abstraction store
+// (internal/abscache) that noelle-load populates via -cache-dir — the
+// NOELLE analogue of rockyardkv's ldb/sstdump inspection tools.
+//
+// Usage: noelle-cache -dir DIR <command>
+//
+//	stats      store-wide totals: modules, records, bytes, and the
+//	           hit/miss/put counters sessions fold into the stats file
+//	           (last.* describes the most recent session — a fully warm
+//	           run shows last.misses=0)
+//	ls         every module directory with its indexed functions
+//	dump FN    decode function FN's record: edges (positional, with the
+//	           pdg flag encoding) and per-loop abstraction summaries
+//	gc         delete corrupt records, records orphaned by
+//	           re-fingerprinting, and leftover temp files
+//	clear      delete every record, index and counter under the root
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"noelle/internal/abscache"
+)
+
+func main() {
+	dir := flag.String("dir", "", "abstraction store root (the noelle-load -cache-dir value)")
+	flag.Parse()
+	if *dir == "" || flag.NArg() < 1 {
+		usage()
+	}
+	var err error
+	switch cmd := flag.Arg(0); cmd {
+	case "stats":
+		err = stats(*dir)
+	case "ls":
+		err = ls(*dir)
+	case "dump":
+		if flag.NArg() != 2 {
+			usage()
+		}
+		err = dump(*dir, flag.Arg(1))
+	case "gc":
+		err = gc(*dir)
+	case "clear":
+		err = abscache.Clear(*dir)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: noelle-cache -dir DIR <stats|ls|dump FN|gc|clear>")
+	os.Exit(2)
+}
+
+func stats(dir string) error {
+	mods, err := abscache.ScanRoot(dir)
+	if err != nil {
+		return err
+	}
+	records, indexed := 0, 0
+	var bytes int64
+	for _, mi := range mods {
+		records += mi.Records
+		bytes += mi.Bytes
+		indexed += len(mi.Entries)
+	}
+	fmt.Printf("store %s: %d modules, %d records (%d indexed), %d bytes\n",
+		dir, len(mods), records, indexed, bytes)
+	counters, _ := abscache.ReadStatsFile(dir)
+	if len(counters) == 0 {
+		fmt.Println("no session counters recorded yet")
+		return nil
+	}
+	keys := make([]string, 0, len(counters))
+	for k := range counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%s=%d\n", k, counters[k])
+	}
+	return nil
+}
+
+func ls(dir string) error {
+	mods, err := abscache.ScanRoot(dir)
+	if err != nil {
+		return err
+	}
+	for _, mi := range mods {
+		fmt.Printf("module %s: %d records, %d bytes\n", mi.Key, mi.Records, mi.Bytes)
+		for _, e := range mi.Entries {
+			fmt.Printf("  %-24s %s  instrs=%d edges=%d loops=%d\n",
+				"@"+e.Name, e.Fingerprint[:16], e.Instrs, e.Edges, e.Loops)
+		}
+	}
+	return nil
+}
+
+func dump(dir, fn string) error {
+	rec, modKey, err := abscache.FindRecord(dir, fn)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("@%s (module %s, fingerprint %s)\n", rec.FuncName, modKey, rec.Fingerprint.Short())
+	fmt.Printf("instrs=%d edges=%d loops=%d\n", rec.NumInstrs, len(rec.Edges), len(rec.Loops))
+	for _, e := range rec.Edges {
+		fmt.Printf("  %d>%d:%s\n", e.From, e.To, e.Flags)
+	}
+	for _, l := range rec.Loops {
+		fmt.Printf("  %s\n", l)
+	}
+	return nil
+}
+
+func gc(dir string) error {
+	res, err := abscache.GC(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gc: removed %d corrupt, %d orphaned, %d temp files\n", res.Corrupt, res.Orphaned, res.Temp)
+	return nil
+}

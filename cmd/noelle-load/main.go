@@ -40,6 +40,7 @@ func main() {
 	hot := flag.Float64("hot", core.DefaultOptions().MinHotness, "minimum loop hotness tools consider (fraction of execution)")
 	optimize := flag.Bool("optimize", true, "enable tools' optional optimization stages (e.g. HELIX's SCD header shrinking)")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size for the parallel PDG precompute (0 keeps the layer fully demand-driven; tools that never request a PDG then pay nothing)")
+	cacheDir := flag.String("cache-dir", "", "persistent abstraction store directory: PDGs are loaded by structural fingerprint instead of rebuilt, and new builds are persisted for later runs (inspect with noelle-cache)")
 	flag.Parse()
 
 	if *list {
@@ -66,7 +67,11 @@ func main() {
 	opts := core.DefaultOptions()
 	opts.Cores = *cores
 	opts.MinHotness = *hot
+	opts.CacheDir = *cacheDir
 	n := core.New(m, opts)
+	if err := n.StoreErr(); err != nil {
+		fmt.Fprintf(os.Stderr, "warning: abstraction store disabled: %v\n", err)
+	}
 
 	topts := tool.DefaultOptions()
 	topts.Budget = *budget
@@ -83,6 +88,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: metrics: %s\n", rep.Tool, rep.MetricsLine())
 		}
 		fmt.Fprintf(os.Stderr, "%s: abstractions requested: %v\n", rep.Tool, rep.Abstractions)
+	}
+	if *cacheDir != "" {
+		builds, hits, misses := n.CacheStats()
+		fmt.Fprintf(os.Stderr, "abstraction store: %d PDGs built, %d loaded warm, %d misses\n", builds, hits, misses)
+		if cerr := n.CloseStore(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "warning: closing abstraction store: %v\n", cerr)
+		}
 	}
 	if err != nil {
 		toolio.Fatal(err)

@@ -1,0 +1,377 @@
+package abscache_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"noelle/internal/abscache"
+	"noelle/internal/ir"
+	"noelle/internal/irtext"
+	"noelle/internal/minic"
+	"noelle/internal/passes"
+	"noelle/internal/pdg"
+)
+
+const testSrc = `
+int grid[64];
+
+int step(int k) {
+  int acc = 0;
+  for (int i = 0; i < 64; i = i + 1) {
+    grid[i] = grid[i] + k;
+    acc = acc + grid[i];
+  }
+  return acc;
+}
+
+int main() {
+  int total = 0;
+  for (int r = 0; r < 8; r = r + 1) {
+    total = total + step(r);
+  }
+  print_i64(total);
+  return 0;
+}
+`
+
+func compile(t *testing.T) *ir.Module {
+	t.Helper()
+	m, err := minic.Compile("abscache_test", testSrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	passes.Optimize(m)
+	return m
+}
+
+func buildRecord(t *testing.T, m *ir.Module, name string) (*ir.Function, *pdg.Graph, *abscache.Record) {
+	t.Helper()
+	f := m.FunctionByName(name)
+	if f == nil {
+		t.Fatalf("no function @%s", name)
+	}
+	g := pdg.NewBuilder(m).FunctionPDG(f)
+	fp := ir.NewFingerprinter(m).Function(f)
+	return f, g, abscache.NewRecord(fp, f, g)
+}
+
+// graphShape renders a graph as a set of positional edge strings so two
+// graphs over different instruction pointers can be compared.
+func graphShape(f *ir.Function, g *pdg.Graph) map[string]int {
+	pos := map[*ir.Instr]int{}
+	f.Instrs(func(in *ir.Instr) bool {
+		pos[in] = len(pos)
+		return true
+	})
+	out := map[string]int{}
+	g.Edges(func(e *pdg.Edge) bool {
+		out[edgeKey(pos[e.From], pos[e.To], pdg.EncodeEdgeFlags(e))]++
+		return true
+	})
+	return out
+}
+
+func edgeKey(from, to int, flags string) string {
+	return fmt.Sprintf("%d:%d:%s", from, to, flags)
+}
+
+func sameShape(t *testing.T, f *ir.Function, want, got *pdg.Graph) {
+	t.Helper()
+	ws, gs := graphShape(f, want), graphShape(f, got)
+	if len(ws) != len(gs) {
+		t.Fatalf("@%s: %d distinct edges, want %d", f.Nam, len(gs), len(ws))
+	}
+	for k, n := range ws {
+		if gs[k] != n {
+			t.Fatalf("@%s: edge %s count %d, want %d", f.Nam, k, gs[k], n)
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	m := compile(t)
+	f, g, rec := buildRecord(t, m, "step")
+	rec.Loops = append(rec.Loops, abscache.LoopSummary{
+		Header: 1, Depth: 1, NumInstrs: 12, DoWhile: true, IVs: 1, HasGovIV: true, Invariants: 3, Reductions: 1,
+	})
+
+	back, err := abscache.Decode(abscache.Encode(rec))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if back.Fingerprint != rec.Fingerprint || back.FuncName != rec.FuncName || back.NumInstrs != rec.NumInstrs {
+		t.Fatalf("header mismatch: %+v vs %+v", back, rec)
+	}
+	if len(back.Edges) != len(rec.Edges) || len(back.Loops) != 1 || back.Loops[0] != rec.Loops[0] {
+		t.Fatalf("payload mismatch")
+	}
+	rebuilt, err := back.BuildGraph(f)
+	if err != nil {
+		t.Fatalf("BuildGraph: %v", err)
+	}
+	if rebuilt.NumEdges() != g.NumEdges() || rebuilt.NumNodes() != g.NumNodes() {
+		t.Fatalf("rebuilt %d nodes/%d edges, want %d/%d",
+			rebuilt.NumNodes(), rebuilt.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	sameShape(t, f, g, rebuilt)
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	m := compile(t)
+	_, _, rec := buildRecord(t, m, "step")
+	data := abscache.Encode(rec)
+
+	// Flip one payload byte: the checksum must catch it.
+	for _, i := range []int{7, len(data) / 2, len(data) - 5} {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0x40
+		if _, err := abscache.Decode(bad); err == nil {
+			t.Errorf("decode accepted corruption at byte %d", i)
+		}
+	}
+	if _, err := abscache.Decode(data[:len(data)-3]); err == nil {
+		t.Error("decode accepted truncated record")
+	}
+	if _, err := abscache.Decode(nil); err == nil {
+		t.Error("decode accepted empty record")
+	}
+}
+
+func TestStoreWarmAcrossSessions(t *testing.T) {
+	dir := t.TempDir()
+	m1 := compile(t)
+
+	// Session 1 (cold): build, put, close.
+	s1, err := abscache.Open(dir, m1, 0)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	f1, g1, rec := buildRecord(t, m1, "step")
+	if _, _, ok := s1.Get(rec.Fingerprint, f1); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	if err := s1.Put(rec); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	st := s1.Stats()
+	if st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("session 1 stats = %+v", st)
+	}
+
+	// Session 2 simulates a new process: a fresh module parse (new
+	// pointers) and a fresh store over the same directory.
+	m2 := compile(t)
+	f2 := m2.FunctionByName("step")
+	fp2 := ir.NewFingerprinter(m2).Function(f2)
+	if fp2 != rec.Fingerprint {
+		t.Fatalf("recompiled fingerprint drifted: %s vs %s", fp2.Short(), rec.Fingerprint.Short())
+	}
+	s2, err := abscache.Open(dir, m2, 0)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	g2, _, ok := s2.Get(fp2, f2)
+	if !ok {
+		t.Fatal("warm session missed")
+	}
+	sameShape(t, f1, g1, mustRemap(t, f1, f2, g2))
+	if err := s2.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	counters, err := abscache.ReadStatsFile(dir)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if counters["total.hits"] != 1 || counters["total.misses"] != 1 || counters["last.misses"] != 0 || counters["last.hits"] != 1 {
+		t.Fatalf("persisted counters = %v", counters)
+	}
+}
+
+// mustRemap re-expresses g (over f2's instructions) as a graph over f1's
+// so shapes can be compared: both functions are the same program text.
+func mustRemap(t *testing.T, f1, f2 *ir.Function, g *pdg.Graph) *pdg.Graph {
+	t.Helper()
+	var i1 []*ir.Instr
+	f1.Instrs(func(in *ir.Instr) bool { i1 = append(i1, in); return true })
+	pos2 := map[*ir.Instr]int{}
+	f2.Instrs(func(in *ir.Instr) bool { pos2[in] = len(pos2); return true })
+	if len(i1) != len(pos2) {
+		t.Fatal("function shapes differ")
+	}
+	out := pdg.NewGraph()
+	for _, in := range i1 {
+		out.AddInternal(in)
+	}
+	g.Edges(func(e *pdg.Edge) bool {
+		ne := &pdg.Edge{From: i1[pos2[e.From]], To: i1[pos2[e.To]]}
+		if err := pdg.DecodeEdgeFlags(ne, pdg.EncodeEdgeFlags(e)); err != nil {
+			t.Fatalf("flags: %v", err)
+		}
+		out.AddEdge(ne)
+		return true
+	})
+	return out
+}
+
+func TestStoreDegradesOnCorruptedRecord(t *testing.T) {
+	dir := t.TempDir()
+	m := compile(t)
+	s, err := abscache.Open(dir, m, 0)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	f, _, rec := buildRecord(t, m, "step")
+	if err := s.Put(rec); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Corrupt the record on disk.
+	path := filepath.Join(dir, abscache.ModuleKey(m), rec.Fingerprint.String()+".rec")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	// A fresh session must treat it as a miss (rebuild), never a graph.
+	s2, err := abscache.Open(dir, m, 0)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, _, ok := s2.Get(rec.Fingerprint, f); ok {
+		t.Fatal("store returned a graph from a corrupted record")
+	}
+	if st := s2.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("stats after corruption = %+v", st)
+	}
+
+	// gc removes it (it is still indexed, but undecodable).
+	res, err := abscache.GC(dir)
+	if err != nil {
+		t.Fatalf("gc: %v", err)
+	}
+	if res.Corrupt != 1 {
+		t.Fatalf("gc removed %d corrupt records, want 1", res.Corrupt)
+	}
+}
+
+func TestStoreLoopSummariesPersist(t *testing.T) {
+	dir := t.TempDir()
+	m := compile(t)
+	s, err := abscache.Open(dir, m, 0)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	_, _, rec := buildRecord(t, m, "step")
+	if err := s.Put(rec); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	sum := abscache.LoopSummary{Header: 1, Depth: 1, NumInstrs: 10, IVs: 1, HasGovIV: true, Invariants: 2, Reductions: 1}
+	s.AddLoopSummary(rec.Fingerprint, sum)
+	s.AddLoopSummary(rec.Fingerprint, sum) // idempotent
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	got, _, err := abscache.FindRecord(dir, "step")
+	if err != nil {
+		t.Fatalf("find: %v", err)
+	}
+	if len(got.Loops) != 1 || got.Loops[0] != sum {
+		t.Fatalf("persisted loops = %+v, want [%+v]", got.Loops, sum)
+	}
+}
+
+func TestScanGCClear(t *testing.T) {
+	dir := t.TempDir()
+	m := compile(t)
+	s, err := abscache.Open(dir, m, 0)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for _, name := range []string{"step", "main"} {
+		_, _, rec := buildRecord(t, m, name)
+		if err := s.Put(rec); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	mods, err := abscache.ScanRoot(dir)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(mods) != 1 || mods[0].Records != 2 || len(mods[0].Entries) != 2 {
+		t.Fatalf("scan = %+v", mods)
+	}
+
+	// Drop an orphan record (not referenced by the index) and a stale
+	// temp file; gc must sweep both and keep the live records.
+	modDir := mods[0].Dir
+	orphanFP := ir.Fingerprint{1, 2, 3}
+	orphan := abscache.Encode(&abscache.Record{Fingerprint: orphanFP, FuncName: "ghost"})
+	if err := os.WriteFile(filepath.Join(modDir, orphanFP.String()+".rec"), orphan, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(modDir, ".tmp-123"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := abscache.GC(dir)
+	if err != nil {
+		t.Fatalf("gc: %v", err)
+	}
+	if res.Orphaned != 1 || res.Temp != 1 || res.Corrupt != 0 {
+		t.Fatalf("gc = %+v", res)
+	}
+	mods, _ = abscache.ScanRoot(dir)
+	if mods[0].Records != 2 {
+		t.Fatalf("gc removed live records: %+v", mods)
+	}
+
+	if err := abscache.Clear(dir); err != nil {
+		t.Fatalf("clear: %v", err)
+	}
+	mods, _ = abscache.ScanRoot(dir)
+	if len(mods) != 0 {
+		t.Fatalf("clear left %+v", mods)
+	}
+}
+
+// TestFingerprintStableAcrossPrintParse is the irtext leg of the
+// fingerprint-stability contract: a print→parse round trip (which may
+// uniquify SSA names and drops assigned IDs) preserves fingerprints.
+func TestFingerprintStableAcrossPrintParse(t *testing.T) {
+	m := compile(t)
+	m.AssignIDs()
+	back, err := irtext.Parse(ir.Print(m))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p1, p2 := ir.NewFingerprinter(m), ir.NewFingerprinter(back)
+	for _, f := range m.Functions {
+		if f.IsDeclaration() {
+			continue
+		}
+		bf := back.FunctionByName(f.Nam)
+		if bf == nil {
+			t.Fatalf("round trip lost @%s", f.Nam)
+		}
+		if a, b := p1.Function(f), p2.Function(bf); a != b {
+			t.Errorf("@%s: fingerprint %s != %s after print→parse", f.Nam, b.Short(), a.Short())
+		}
+	}
+}

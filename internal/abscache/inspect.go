@@ -1,0 +1,176 @@
+package abscache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file is the inspection surface behind cmd/noelle-cache — the
+// abscache analogue of rockyardkv's ldb/sstdump: offline tooling that
+// walks the on-disk layout without needing the module the records were
+// built from.
+
+// ModuleInfo describes one module directory of a store root.
+type ModuleInfo struct {
+	Key     string
+	Dir     string
+	Records int
+	Bytes   int64
+	Entries []IndexEntry
+}
+
+// ScanRoot walks every module directory under root, counting record
+// files and reading each index. A root that does not exist scans empty.
+func ScanRoot(root string) ([]ModuleInfo, error) {
+	dirs, err := os.ReadDir(root)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("abscache: %w", err)
+	}
+	var out []ModuleInfo
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		mi := ModuleInfo{Key: d.Name(), Dir: filepath.Join(root, d.Name())}
+		files, err := os.ReadDir(mi.Dir)
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if !strings.HasSuffix(f.Name(), ".rec") {
+				continue
+			}
+			mi.Records++
+			if info, err := f.Info(); err == nil {
+				mi.Bytes += info.Size()
+			}
+		}
+		mi.Entries = readIndexEntries(mi.Dir)
+		out = append(out, mi)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+func readIndexEntries(dir string) []IndexEntry {
+	data, err := os.ReadFile(filepath.Join(dir, indexName))
+	if err != nil {
+		return nil
+	}
+	return parseIndex(data)
+}
+
+// FindRecord locates and decodes the newest record stored under fnName in
+// any module directory of the root (noelle-cache dump).
+func FindRecord(root, fnName string) (*Record, string, error) {
+	mods, err := ScanRoot(root)
+	if err != nil {
+		return nil, "", err
+	}
+	for _, mi := range mods {
+		for _, e := range mi.Entries {
+			if e.Name != fnName {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(mi.Dir, e.Fingerprint+".rec"))
+			if err != nil {
+				return nil, "", fmt.Errorf("abscache: record for @%s: %w", fnName, err)
+			}
+			rec, err := Decode(data)
+			if err != nil {
+				return nil, "", fmt.Errorf("abscache: record for @%s: %w", fnName, err)
+			}
+			return rec, mi.Key, nil
+		}
+	}
+	return nil, "", fmt.Errorf("abscache: no record for @%s under %s", fnName, root)
+}
+
+// GCResult reports what a garbage-collection pass removed.
+type GCResult struct {
+	Corrupt  int // records that failed to decode (bad magic/version/crc)
+	Orphaned int // records no index entry references
+	Temp     int // leftover .tmp-* files from interrupted commits
+}
+
+// GC sweeps every module directory: corrupt records, records orphaned by
+// re-fingerprinting (the old record of a since-transformed function), and
+// leftover temp files are deleted. Indexed, decodable records survive.
+func GC(root string) (GCResult, error) {
+	var res GCResult
+	mods, err := ScanRoot(root)
+	if err != nil {
+		return res, err
+	}
+	for _, mi := range mods {
+		referenced := map[string]bool{}
+		for _, e := range mi.Entries {
+			referenced[e.Fingerprint] = true
+		}
+		files, err := os.ReadDir(mi.Dir)
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			name := f.Name()
+			path := filepath.Join(mi.Dir, name)
+			if strings.HasPrefix(name, ".tmp-") {
+				if os.Remove(path) == nil {
+					res.Temp++
+				}
+				continue
+			}
+			if !strings.HasSuffix(name, ".rec") {
+				continue
+			}
+			fp := strings.TrimSuffix(name, ".rec")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				continue
+			}
+			if _, derr := Decode(data); derr != nil {
+				if os.Remove(path) == nil {
+					res.Corrupt++
+				}
+				continue
+			}
+			if !referenced[fp] {
+				if os.Remove(path) == nil {
+					res.Orphaned++
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Clear removes every module directory and the stats file under root,
+// leaving the root directory itself in place.
+func Clear(root string) error {
+	dirs, err := os.ReadDir(root)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("abscache: %w", err)
+	}
+	for _, d := range dirs {
+		path := filepath.Join(root, d.Name())
+		if d.IsDir() {
+			if err := os.RemoveAll(path); err != nil {
+				return fmt.Errorf("abscache: %w", err)
+			}
+		} else if d.Name() == statsName {
+			if err := os.Remove(path); err != nil {
+				return fmt.Errorf("abscache: %w", err)
+			}
+		}
+	}
+	return nil
+}

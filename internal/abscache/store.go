@@ -1,0 +1,384 @@
+package abscache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"noelle/internal/ir"
+	"noelle/internal/pdg"
+)
+
+// Stats counts one session's store traffic. A hit is a record that
+// decoded into a valid graph; everything else (absent, corrupt, stale
+// shape) is a miss, and the caller rebuilds.
+type Stats struct {
+	Hits   int64
+	Misses int64
+	Puts   int64
+}
+
+// IndexEntry is one line of a module's index file: the latest
+// fingerprint stored for a function name, plus display counts for
+// noelle-cache ls.
+type IndexEntry struct {
+	Name        string
+	Fingerprint string
+	Instrs      int
+	Edges       int
+	Loops       int
+}
+
+// parseIndex decodes an index file; malformed lines are skipped (the
+// index is rebuilt by Puts, never trusted blindly).
+func parseIndex(data []byte) []IndexEntry {
+	var out []IndexEntry
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Split(line, "\t")
+		if len(fields) != 5 {
+			continue
+		}
+		instrs, _ := strconv.Atoi(fields[2])
+		edges, _ := strconv.Atoi(fields[3])
+		loops, _ := strconv.Atoi(fields[4])
+		out = append(out, IndexEntry{
+			Name: fields[0], Fingerprint: fields[1],
+			Instrs: instrs, Edges: edges, Loops: loops,
+		})
+	}
+	return out
+}
+
+// Store is a two-tier persistent abstraction store: an in-memory LRU of
+// decoded records in front of one on-disk directory per module key.
+// Records are immutable once written except for loop-summary enrichment,
+// and every file commit is write-temp-then-rename, so a crash leaves
+// either the old record or the new one — never a torn read. Safe for
+// concurrent use.
+type Store struct {
+	mu     sync.Mutex
+	root   string
+	modKey string
+	modDir string
+
+	lru        *lruCache
+	index      map[string]IndexEntry
+	indexDirty bool
+	dirty      map[ir.Fingerprint]bool // records with unwritten loop summaries
+	stats      Stats
+	closed     bool
+}
+
+// DefaultLRUEntries is the in-memory tier's default capacity.
+const DefaultLRUEntries = 4096
+
+// ModuleKey derives the store subdirectory for a module. It hashes the
+// module name only: correctness lives entirely in the per-function
+// fingerprints (which cover bodies, callees and globals), so the module
+// key is a namespace that lets unchanged functions stay warm across
+// transforming runs of the same program.
+func ModuleKey(m *ir.Module) string {
+	sum := sha256.Sum256([]byte("noelle.mod.v1\x00" + m.Name))
+	return hex.EncodeToString(sum[:8])
+}
+
+// Open opens (creating if needed) the store rooted at root for module m.
+// lruEntries <= 0 selects DefaultLRUEntries.
+func Open(root string, m *ir.Module, lruEntries int) (*Store, error) {
+	if root == "" {
+		return nil, fmt.Errorf("abscache: empty store directory")
+	}
+	if lruEntries <= 0 {
+		lruEntries = DefaultLRUEntries
+	}
+	key := ModuleKey(m)
+	modDir := filepath.Join(root, key)
+	if err := os.MkdirAll(modDir, 0o755); err != nil {
+		return nil, fmt.Errorf("abscache: %w", err)
+	}
+	s := &Store{
+		root:   root,
+		modKey: key,
+		modDir: modDir,
+		lru:    newLRU(lruEntries),
+		index:  map[string]IndexEntry{},
+		dirty:  map[ir.Fingerprint]bool{},
+	}
+	s.loadIndex()
+	return s, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// ModKey returns the module subdirectory key.
+func (s *Store) ModKey() string { return s.modKey }
+
+// Get looks up the record for fp and reconstructs f's PDG from it. Any
+// failure — absent record, corrupt bytes, shape mismatch — is a miss.
+// The disk read, decode, and graph assembly run outside the store lock
+// so concurrent warm loads (PrecomputePDGs workers) proceed in parallel;
+// two goroutines racing the same cold fingerprint at worst decode the
+// record twice.
+func (s *Store) Get(fp ir.Fingerprint, f *ir.Function) (*pdg.Graph, *Record, bool) {
+	s.mu.Lock()
+	rec, cached := s.lru.get(fp)
+	s.mu.Unlock()
+	if !cached {
+		var err error
+		rec, err = s.readRecord(fp)
+		if err != nil {
+			s.miss()
+			return nil, nil, false
+		}
+	}
+	g, err := rec.BuildGraph(f)
+	if err != nil {
+		s.miss()
+		return nil, nil, false
+	}
+	s.mu.Lock()
+	if !cached {
+		s.lru.put(fp, rec)
+	}
+	s.stats.Hits++
+	s.mu.Unlock()
+	return g, rec, true
+}
+
+func (s *Store) miss() {
+	s.mu.Lock()
+	s.stats.Misses++
+	s.mu.Unlock()
+}
+
+// Put commits rec to disk (write-temp-then-rename) and the LRU, and
+// points the function-name index at it.
+func (s *Store) Put(rec *Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Puts++
+	s.lru.put(rec.Fingerprint, rec)
+	if err := s.writeRecord(rec); err != nil {
+		return err
+	}
+	s.index[rec.FuncName] = IndexEntry{
+		Name:        rec.FuncName,
+		Fingerprint: rec.Fingerprint.String(),
+		Instrs:      rec.NumInstrs,
+		Edges:       len(rec.Edges),
+		Loops:       len(rec.Loops),
+	}
+	s.indexDirty = true
+	return nil
+}
+
+// AddLoopSummary enriches the record for fp with one loop's abstraction
+// summary (replacing any previous summary for the same header). A no-op
+// when no record exists for fp; the summary is persisted on Flush/Close.
+func (s *Store) AddLoopSummary(fp ir.Fingerprint, sum LoopSummary) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.lru.get(fp)
+	if !ok {
+		var err error
+		if rec, err = s.readRecord(fp); err != nil {
+			return
+		}
+		s.lru.put(fp, rec)
+	}
+	for i, l := range rec.Loops {
+		if l.Header == sum.Header {
+			if l != sum {
+				rec.Loops[i] = sum
+				s.dirty[fp] = true
+			}
+			return
+		}
+	}
+	rec.Loops = append(rec.Loops, sum)
+	sort.Slice(rec.Loops, func(i, j int) bool { return rec.Loops[i].Header < rec.Loops[j].Header })
+	s.dirty[fp] = true
+	if e, ok := s.index[rec.FuncName]; ok && e.Fingerprint == fp.String() {
+		e.Loops = len(rec.Loops)
+		s.index[rec.FuncName] = e
+		s.indexDirty = true
+	}
+}
+
+// Stats returns this session's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Flush persists pending loop-summary updates and the index. It does not
+// write the session counters; Close does.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	for fp := range s.dirty {
+		rec, ok := s.lru.get(fp)
+		if !ok {
+			continue // evicted; the on-disk record is still the pre-enrichment one
+		}
+		if err := s.writeRecord(rec); err != nil {
+			return err
+		}
+	}
+	s.dirty = map[ir.Fingerprint]bool{}
+	if s.indexDirty {
+		if err := s.writeIndex(); err != nil {
+			return err
+		}
+		s.indexDirty = false
+	}
+	return nil
+}
+
+// Close flushes and folds this session's counters into the root stats
+// file (total.* accumulate forever; last.* describe the final session),
+// which is what noelle-cache stats surfaces. Close is idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	return writeStatsFile(s.root, s.stats)
+}
+
+// ---- on-disk plumbing ----
+
+func (s *Store) recordPath(fp ir.Fingerprint) string {
+	return filepath.Join(s.modDir, fp.String()+".rec")
+}
+
+func (s *Store) readRecord(fp ir.Fingerprint) (*Record, error) {
+	data, err := os.ReadFile(s.recordPath(fp))
+	if err != nil {
+		return nil, err
+	}
+	rec, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if rec.Fingerprint != fp {
+		return nil, fmt.Errorf("abscache: record %s holds fingerprint %s", fp.Short(), rec.Fingerprint.Short())
+	}
+	return rec, nil
+}
+
+func (s *Store) writeRecord(rec *Record) error {
+	return commitFile(s.recordPath(rec.Fingerprint), Encode(rec))
+}
+
+const indexName = "index"
+
+func (s *Store) loadIndex() {
+	data, err := os.ReadFile(filepath.Join(s.modDir, indexName))
+	if err != nil {
+		return // absent or unreadable: rebuilt lazily by Puts
+	}
+	for _, e := range parseIndex(data) {
+		s.index[e.Name] = e
+	}
+}
+
+func (s *Store) writeIndex() error {
+	names := make([]string, 0, len(s.index))
+	for n := range s.index {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		e := s.index[n]
+		fmt.Fprintf(&b, "%s\t%s\t%d\t%d\t%d\n", n, e.Fingerprint, e.Instrs, e.Edges, e.Loops)
+	}
+	return commitFile(filepath.Join(s.modDir, indexName), []byte(b.String()))
+}
+
+// commitFile writes data crash-safely: to a temp file in the same
+// directory, fsync-free but atomically renamed into place.
+func commitFile(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("abscache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("abscache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("abscache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("abscache: %w", err)
+	}
+	return nil
+}
+
+const statsName = "stats"
+
+// writeStatsFile folds a session's counters into root/stats.
+func writeStatsFile(root string, session Stats) error {
+	totals, _ := ReadStatsFile(root)
+	totals["total.hits"] += session.Hits
+	totals["total.misses"] += session.Misses
+	totals["total.puts"] += session.Puts
+	totals["total.sessions"]++
+	totals["last.hits"] = session.Hits
+	totals["last.misses"] = session.Misses
+	totals["last.puts"] = session.Puts
+	keys := make([]string, 0, len(totals))
+	for k := range totals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, totals[k])
+	}
+	return commitFile(filepath.Join(root, statsName), []byte(b.String()))
+}
+
+// ReadStatsFile parses root/stats into counter values. A missing file
+// reads as all-zero counters.
+func ReadStatsFile(root string) (map[string]int64, error) {
+	out := map[string]int64{}
+	data, err := os.ReadFile(filepath.Join(root, statsName))
+	if err != nil {
+		return out, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		k, v, ok := strings.Cut(line, "=")
+		if !ok {
+			continue
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			continue
+		}
+		out[k] = n
+	}
+	return out, nil
+}

@@ -1,0 +1,47 @@
+package abscache
+
+import (
+	"fmt"
+
+	"noelle/internal/loops"
+)
+
+// SummarizeLoop digests a fully built L abstraction into the bits the
+// store records alongside the function's PDG: the LS shape (size, depth,
+// do-while) and the IV/INV/RD counts. The loop is identified by its
+// header block's position within the function, which is stable across
+// renaming and ID renumbering.
+func SummarizeLoop(l *loops.Loop) LoopSummary {
+	f := l.LS.Fn
+	header := -1
+	for i, b := range f.Blocks {
+		if b == l.LS.Header {
+			header = i
+			break
+		}
+	}
+	return LoopSummary{
+		Header:     header,
+		Depth:      l.LS.Depth,
+		NumInstrs:  l.LS.NumInstrs(),
+		DoWhile:    l.LS.IsDoWhileShaped(),
+		IVs:        len(l.IVs.IVs),
+		HasGovIV:   l.IVs.GoverningIV() != nil,
+		Invariants: l.Invariants.Count(),
+		Reductions: len(l.Reductions.Reductions),
+	}
+}
+
+// String renders the summary as one noelle-cache dump line.
+func (l LoopSummary) String() string {
+	shape := "while"
+	if l.DoWhile {
+		shape = "do-while"
+	}
+	gov := ""
+	if l.HasGovIV {
+		gov = " governing"
+	}
+	return fmt.Sprintf("loop@block%d depth=%d instrs=%d %s ivs=%d%s invariants=%d reductions=%d",
+		l.Header, l.Depth, l.NumInstrs, shape, l.IVs, gov, l.Invariants, l.Reductions)
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"noelle/internal/ir"
+	"noelle/internal/minic"
+	"noelle/internal/passes"
+)
+
+// Synthetic generates a whole-program module at a chosen scale: nFuncs
+// worker functions chained by conditional calls over nGlobals shared
+// arrays, plus a main that fans out into the chain. The shape is the
+// corpus programs' (array sweeps, accumulators, call chains) but the
+// size is configurable, which is what the warm-load study needs: the
+// whole-module alias solve grows superlinearly with program size while
+// a persistent-store load stays linear, so this module is where the
+// abscache speedup is measured (BenchmarkFunctionPDGCold/Warm).
+func Synthetic(nFuncs, nGlobals int) (*ir.Module, error) {
+	var sb strings.Builder
+	for g := 0; g < nGlobals; g++ {
+		fmt.Fprintf(&sb, "int arr%d[128];\n", g)
+	}
+	for i := 0; i < nFuncs; i++ {
+		fmt.Fprintf(&sb, "\nint work%d(int seed) {\n  int acc = seed;\n", i)
+		sb.WriteString("  for (int i = 0; i < 128; i = i + 1) {\n")
+		for g := 0; g < 8; g++ {
+			a := (i + g) % nGlobals
+			b := (i + g + 5) % nGlobals
+			fmt.Fprintf(&sb, "    arr%d[i] = arr%d[i] + seed;\n", a, b)
+			fmt.Fprintf(&sb, "    acc = acc + arr%d[i];\n", a)
+		}
+		if i+1 < nFuncs {
+			fmt.Fprintf(&sb, "    if (acc > 100000) { acc = acc + work%d(acc / 2); }\n", i+1)
+		}
+		sb.WriteString("  }\n  return acc;\n}\n")
+	}
+	sb.WriteString("int main() {\n  int t = 0;\n")
+	for i := 0; i < nFuncs; i += 4 {
+		fmt.Fprintf(&sb, "  t = t + work%d(%d);\n", i, i)
+	}
+	sb.WriteString("  print_i64(t);\n  return 0;\n}\n")
+
+	m, err := minic.Compile(fmt.Sprintf("synthetic-%dx%d", nFuncs, nGlobals), sb.String())
+	if err != nil {
+		return nil, err
+	}
+	passes.Optimize(m)
+	return m, nil
+}
+
+// WholeProgram returns the bundled whole-program-scale module (about 12k
+// instructions across 120 functions) used by the warm-load benchmarks.
+func WholeProgram() (*ir.Module, error) { return Synthetic(120, 48) }

@@ -17,7 +17,9 @@ import (
 	"context"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"noelle/internal/abscache"
 	"noelle/internal/alias"
 	"noelle/internal/analysis"
 	"noelle/internal/arch"
@@ -66,6 +68,15 @@ type Options struct {
 	MinHotness float64
 	// Cores is the worker count parallelizers target.
 	Cores int
+	// CacheDir, when non-empty, enables the persistent abstraction store
+	// (internal/abscache) rooted there: function PDGs are looked up by
+	// structural fingerprint before being built, and new builds are
+	// persisted for later processes. Open failures degrade to an
+	// uncached manager (see Noelle.StoreErr).
+	CacheDir string
+	// CacheLRUEntries caps the store's in-memory record tier
+	// (0 = abscache.DefaultLRUEntries).
+	CacheLRUEntries int
 }
 
 // DefaultOptions mirrors the paper's evaluation setup.
@@ -104,12 +115,34 @@ type Noelle struct {
 	profile *profiler.Profile
 	archD   *arch.Description
 	scheds  map[*ir.Function]*scheduler.Scheduler
+
+	// Persistent store state. store is written once at construction (or
+	// via SetStore) and read under mu; the Store itself is
+	// concurrency-safe. fper memoizes structural fingerprints and is
+	// discarded on invalidation. embedded holds graphs decoded from
+	// noelle.pdg.* metadata (the noelle-meta-pdg-embed round trip); once
+	// the module mutates before the first decode, extraction is disabled
+	// (embeddedStale) — degrading to a rebuild, never a wrong graph.
+	store          *abscache.Store
+	storeErr       error
+	fper           *ir.Fingerprinter
+	embedded       map[*ir.Function]*pdg.Graph
+	embeddedLoaded bool
+	embeddedStale  bool
+
+	// Warm-load counters (atomic): PDGs built from scratch, store record
+	// hits, store misses.
+	pdgBuilds   atomic.Int64
+	storeHits   atomic.Int64
+	storeMisses atomic.Int64
 }
 
 // New loads the NOELLE layer over m without computing anything
-// (noelle-load's semantics: abstractions materialize on demand).
+// (noelle-load's semantics: abstractions materialize on demand). When
+// opts.CacheDir is set the persistent abstraction store is opened there;
+// an open failure degrades to an uncached manager (see StoreErr).
 func New(m *ir.Module, opts Options) *Noelle {
-	return &Noelle{
+	n := &Noelle{
 		Mod:      m,
 		Opts:     opts,
 		requests: map[Abstraction]int{},
@@ -120,6 +153,73 @@ func New(m *ir.Module, opts Options) *Noelle {
 		loopFly:  map[*ir.Block]*flight[*loops.Loop]{},
 		scheds:   map[*ir.Function]*scheduler.Scheduler{},
 	}
+	if opts.CacheDir != "" {
+		n.store, n.storeErr = abscache.Open(opts.CacheDir, m, opts.CacheLRUEntries)
+	}
+	return n
+}
+
+// SetStore installs (or, with nil, detaches) a persistent abstraction
+// store opened by the caller. It replaces any store opened via
+// Options.CacheDir; the previous store is not closed.
+func (n *Noelle) SetStore(s *abscache.Store) {
+	n.mu.Lock()
+	n.store = s
+	n.storeErr = nil
+	n.mu.Unlock()
+}
+
+// Store returns the attached persistent store, or nil.
+func (n *Noelle) Store() *abscache.Store {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.store
+}
+
+// StoreErr reports why Options.CacheDir could not be honoured (nil when
+// no store was requested or it opened cleanly).
+func (n *Noelle) StoreErr() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.storeErr
+}
+
+// CacheStats returns the warm-load counters: PDGs built from scratch,
+// persistent-store hits, and persistent-store misses. A fully warm run
+// over unchanged IR reports builds == 0.
+func (n *Noelle) CacheStats() (builds, hits, misses int64) {
+	return n.pdgBuilds.Load(), n.storeHits.Load(), n.storeMisses.Load()
+}
+
+// FlushStore persists pending store state (loop summaries, index). A
+// no-op without a store.
+func (n *Noelle) FlushStore() error {
+	if s := n.Store(); s != nil {
+		return s.Flush()
+	}
+	return nil
+}
+
+// CloseStore flushes the store and folds this session's hit/miss
+// counters into the on-disk stats file (surfaced by noelle-cache stats).
+// A no-op without a store.
+func (n *Noelle) CloseStore() error {
+	if s := n.Store(); s != nil {
+		return s.Close()
+	}
+	return nil
+}
+
+// fingerprint returns f's structural fingerprint, memoized per
+// invalidation generation.
+func (n *Noelle) fingerprint(f *ir.Function) ir.Fingerprint {
+	n.mu.Lock()
+	if n.fper == nil {
+		n.fper = ir.NewFingerprinter(n.Mod)
+	}
+	p := n.fper
+	n.mu.Unlock()
+	return p.Function(f)
 }
 
 // Use records a request for an abstraction without constructing anything
@@ -207,10 +307,9 @@ func (n *Noelle) FunctionPDG(f *ir.Function) *pdg.Graph {
 	fl := &flight[*pdg.Graph]{done: make(chan struct{})}
 	n.pdgFly[f] = fl
 	gen := n.gen
-	b := n.pdgBuilderLocked()
 	n.mu.Unlock()
 
-	g := n.buildPDG(b, f)
+	g := n.buildPDG(f, gen)
 
 	n.mu.Lock()
 	if n.gen == gen {
@@ -225,13 +324,63 @@ func (n *Noelle) FunctionPDG(f *ir.Function) *pdg.Graph {
 	return g
 }
 
-func (n *Noelle) buildPDG(b *pdg.Builder, f *ir.Function) *pdg.Graph {
-	if pdg.HasEmbedded(n.Mod, f) {
-		if g, err := pdg.Reload(n.Mod, f); err == nil {
+// buildPDG materializes f's PDG from the cheapest valid source: embedded
+// noelle.pdg.* metadata first (the noelle-meta-pdg-embed round trip),
+// then the persistent store by structural fingerprint, and only then a
+// cold build over the alias stack — which is immediately persisted so
+// the next process loads warm. The builder (and its whole-module
+// points-to fixed point) is only materialized on an actual cold build:
+// a fully warm run never pays the Andersen solve. gen is the caller's
+// invalidation generation, captured before any IR was read.
+func (n *Noelle) buildPDG(f *ir.Function, gen uint64) *pdg.Graph {
+	if g := n.embeddedPDG(f); g != nil {
+		return g
+	}
+	s := n.Store()
+	var fp ir.Fingerprint
+	if s != nil {
+		fp = n.fingerprint(f)
+		if g, _, ok := s.Get(fp, f); ok {
+			n.storeHits.Add(1)
 			return g
 		}
+		n.storeMisses.Add(1)
 	}
-	return b.FunctionPDG(f)
+	g := n.PDGBuilder().FunctionPDG(f)
+	n.pdgBuilds.Add(1)
+	if s != nil {
+		// Persist only when no invalidation raced the build: a mutation
+		// mid-build would otherwise pair the pre-mutation fingerprint
+		// with a post-mutation graph on disk — the one way a store could
+		// serve a wrong graph to a later process. (Same discipline as
+		// the in-memory fpdgs cache.)
+		n.mu.Lock()
+		ok := n.gen == gen
+		n.mu.Unlock()
+		if ok {
+			s.Put(abscache.NewRecord(fp, f, g)) // best effort: a write error only costs warmth
+		}
+	}
+	return g
+}
+
+// embeddedPDG returns the graph noelle-meta-pdg-embed left in module
+// metadata, if any. All embedded graphs are decoded on the first request
+// (pdg.Extract); once the module has mutated, embedded metadata no
+// longer matches the IR's syntactic numbering and is ignored.
+func (n *Noelle) embeddedPDG(f *ir.Function) *pdg.Graph {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.embeddedStale {
+		return nil
+	}
+	if !n.embeddedLoaded {
+		n.embeddedLoaded = true
+		if graphs, err := pdg.Extract(n.Mod); err == nil {
+			n.embedded = graphs
+		}
+	}
+	return n.embedded[f]
 }
 
 // PrecomputePDGs materializes the PDG of every defined function across a
@@ -242,9 +391,15 @@ func (n *Noelle) PrecomputePDGs(ctx context.Context, workers int) error {
 	if workers < 1 {
 		workers = 1
 	}
-	// Materialize the shared builder (and its points-to fixed point) once
-	// up front so workers start from a read-only analysis stack.
-	n.PDGBuilder()
+	// Without a persistent store every function is a cold build, so
+	// materialize the shared builder (and its points-to fixed point) once
+	// up front and let workers start from a read-only analysis stack.
+	// With a store the builder stays lazy: a fully warm precompute never
+	// runs the alias analyses at all, and on the first miss the builder
+	// materializes once under the manager lock.
+	if n.Store() == nil {
+		n.PDGBuilder()
+	}
 
 	work := make(chan *ir.Function)
 	var wg sync.WaitGroup
@@ -342,6 +497,19 @@ func (n *Noelle) Loop(ls *loops.LS) *loops.Loop {
 		impure = func(call *ir.Instr) bool { return !pt.CallIsPure(call) }
 	}
 	l := loops.NewLoop(ls, fpdg, impure)
+	if s := n.Store(); s != nil {
+		// Enrich the function's record with this loop's abstraction
+		// summary — but only when no invalidation raced the
+		// computation, so a summary of mutated IR never attaches to a
+		// pre-mutation record.
+		fp := n.fingerprint(ls.Fn)
+		n.mu.Lock()
+		ok := n.gen == gen
+		n.mu.Unlock()
+		if ok {
+			s.AddLoopSummary(fp, abscache.SummarizeLoop(l))
+		}
+	}
 
 	n.mu.Lock()
 	if n.gen == gen {
@@ -454,6 +622,12 @@ func (n *Noelle) InvalidateFunction(f *ir.Function) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.gen++
+	n.fper = nil // structural fingerprints must be recomputed
+	if n.embeddedLoaded {
+		delete(n.embedded, f) // other functions' decoded graphs stay valid
+	} else {
+		n.embeddedStale = true // numbering already drifted; never decode
+	}
 	delete(n.fpdgs, f)
 	delete(n.pdgFly, f)
 	delete(n.forests, f)
@@ -476,6 +650,10 @@ func (n *Noelle) InvalidateModule() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.gen++
+	n.fper = nil
+	n.embedded = nil
+	n.embeddedLoaded = true // decoded pre-mutation state is gone for good
+	n.embeddedStale = true
 	n.pt = nil
 	n.builder = nil
 	n.cg = nil

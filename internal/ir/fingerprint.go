@@ -1,0 +1,308 @@
+package ir
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Fingerprint is a deterministic content hash over a function and
+// everything its analyses can observe: its own blocks, instructions and
+// operands, the bodies of its (transitive) callees, and the module's
+// globals (whole-module alias analysis makes every global alias-relevant).
+// Two functions with equal fingerprints have equal PDGs, so persistent
+// abstraction stores (internal/abscache) key records by it.
+//
+// The hash is structural: SSA names, metadata attachments, and assigned
+// deterministic IDs do not contribute, so a fingerprint survives
+// ir.CloneModule, print→parse round trips through irtext (which may
+// uniquify names), and Module.AssignIDs renumbering. Any semantic edit —
+// an operand, an opcode, a callee body, a global initializer — changes it.
+type Fingerprint [32]byte
+
+// String renders the fingerprint as lowercase hex.
+func (fp Fingerprint) String() string { return hex.EncodeToString(fp[:]) }
+
+// Short renders the first 8 bytes, for human-facing listings.
+func (fp Fingerprint) Short() string { return hex.EncodeToString(fp[:8]) }
+
+// IsZero reports whether the fingerprint is unset.
+func (fp Fingerprint) IsZero() bool { return fp == Fingerprint{} }
+
+// ParseFingerprint decodes the hex form produced by String.
+func ParseFingerprint(s string) (Fingerprint, error) {
+	var fp Fingerprint
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return fp, fmt.Errorf("ir: bad fingerprint %q: %w", s, err)
+	}
+	if len(b) != len(fp) {
+		return fp, fmt.Errorf("ir: bad fingerprint length %d", len(b))
+	}
+	copy(fp[:], b)
+	return fp, nil
+}
+
+// Fingerprinter computes function fingerprints over one module, memoizing
+// the per-function local hashes and call-closure hashes so fingerprinting
+// every function of a module stays linear. It must be discarded (and a
+// fresh one created) after any IR mutation. It is safe for concurrent
+// use, but one mutex guards the memo tables, so concurrent callers
+// serialize per fingerprint; the memoization keeps each locked section
+// to one body walk, which is small next to a record decode and tiny
+// next to the alias solve a hit avoids.
+type Fingerprinter struct {
+	mod *Module
+
+	mu       sync.Mutex
+	locals   map[*Function]Fingerprint
+	closures map[*Function]Fingerprint
+	typeStrs map[*Type]string
+	callees  map[*Function]calleeSet
+	globals  Fingerprint
+	haveGlob bool
+}
+
+// calleeSet is one function's memoized direct-call information.
+type calleeSet struct {
+	direct   []*Function
+	indirect bool // an indirect call widens reachability to the whole module
+}
+
+// NewFingerprinter prepares a fingerprinter for m.
+func NewFingerprinter(m *Module) *Fingerprinter {
+	return &Fingerprinter{
+		mod:      m,
+		locals:   map[*Function]Fingerprint{},
+		closures: map[*Function]Fingerprint{},
+		typeStrs: map[*Type]string{},
+		callees:  map[*Function]calleeSet{},
+	}
+}
+
+// typeStr memoizes Type.String: type nodes are shared heavily, and the
+// rendered string is the hot allocation of a fingerprint walk.
+func (p *Fingerprinter) typeStr(t *Type) string {
+	if s, ok := p.typeStrs[t]; ok {
+		return s
+	}
+	s := t.String()
+	p.typeStrs[t] = s
+	return s
+}
+
+// Function returns the fingerprint of f.
+func (p *Fingerprinter) Function(f *Function) Fingerprint {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fp, ok := p.closures[f]; ok {
+		return fp
+	}
+	h := sha256.New()
+	h.Write([]byte("noelle.fn.v1"))
+	g := p.globalsLocked()
+	h.Write(g[:])
+	l := p.localLocked(f)
+	h.Write(l[:])
+	// Callee closure: the bodies every reachable callee contributes. The
+	// set is sorted by name so the hash is independent of discovery order.
+	reach := p.reachableLocked(f)
+	names := make([]string, 0, len(reach))
+	for callee := range reach {
+		if callee != f {
+			names = append(names, callee.Nam)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		writeStr(h, name)
+		lh := p.localLocked(p.mod.FunctionByName(name))
+		h.Write(lh[:])
+	}
+	var fp Fingerprint
+	h.Sum(fp[:0])
+	p.closures[f] = fp
+	return fp
+}
+
+// reachableLocked returns the functions reachable from f through direct
+// calls. An indirect call makes the result conservatively the whole
+// module (any address-taken function may run). The per-function callee
+// lists are memoized so fingerprinting a whole module walks each body
+// once, not once per caller.
+func (p *Fingerprinter) reachableLocked(f *Function) map[*Function]bool {
+	seen := map[*Function]bool{f: true}
+	work := []*Function{f}
+	widen := func() {
+		for _, g := range p.mod.Functions {
+			if !seen[g] {
+				seen[g] = true
+				work = append(work, g)
+			}
+		}
+	}
+	for len(work) > 0 {
+		cur := work[0]
+		work = work[1:]
+		cs := p.calleesLocked(cur)
+		if cs.indirect {
+			widen()
+			continue
+		}
+		for _, callee := range cs.direct {
+			if !seen[callee] {
+				seen[callee] = true
+				work = append(work, callee)
+			}
+		}
+	}
+	return seen
+}
+
+func (p *Fingerprinter) calleesLocked(f *Function) calleeSet {
+	if cs, ok := p.callees[f]; ok {
+		return cs
+	}
+	var cs calleeSet
+	dedup := map[*Function]bool{}
+	f.Instrs(func(in *Instr) bool {
+		if in.Opcode != OpCall {
+			return true
+		}
+		if callee := in.CalledFunction(); callee != nil {
+			if !dedup[callee] {
+				dedup[callee] = true
+				cs.direct = append(cs.direct, callee)
+			}
+		} else {
+			cs.indirect = true
+			return false
+		}
+		return true
+	})
+	p.callees[f] = cs
+	return cs
+}
+
+// localLocked hashes one function body structurally. Operands referring to
+// instructions or blocks are encoded by syntactic position, never by name
+// or assigned ID.
+func (p *Fingerprinter) localLocked(f *Function) Fingerprint {
+	if f == nil {
+		return Fingerprint{}
+	}
+	if fp, ok := p.locals[f]; ok {
+		return fp
+	}
+	h := sha256.New()
+	if f.IsDeclaration() {
+		writeStr(h, "decl")
+		writeStr(h, p.typeStr(f.Sig))
+	} else {
+		writeStr(h, "body")
+		writeStr(h, p.typeStr(f.Sig))
+		pos := map[*Instr]int{}
+		bpos := map[*Block]int{}
+		n := 0
+		for bi, b := range f.Blocks {
+			bpos[b] = bi
+			for _, in := range b.Instrs {
+				pos[in] = n
+				n++
+			}
+		}
+		for _, b := range f.Blocks {
+			writeInt(h, int64(len(b.Instrs)))
+			for _, in := range b.Instrs {
+				writeInt(h, int64(in.Opcode))
+				writeStr(h, p.typeStr(in.Ty))
+				if in.Opcode == OpAlloca {
+					writeStr(h, p.typeStr(in.AllocaElem))
+					writeInt(h, int64(in.AllocaCount))
+				}
+				for _, op := range in.Ops {
+					writeOperand(h, op, pos)
+				}
+				for _, tb := range in.Blocks {
+					writeInt(h, int64(bpos[tb]))
+				}
+			}
+		}
+	}
+	var fp Fingerprint
+	h.Sum(fp[:0])
+	p.locals[f] = fp
+	return fp
+}
+
+// globalsLocked hashes every global's name, storage type and initializer
+// (sorted by name). Whole-module points-to facts can depend on any global,
+// so every function fingerprint includes this hash.
+func (p *Fingerprinter) globalsLocked() Fingerprint {
+	if p.haveGlob {
+		return p.globals
+	}
+	gs := append([]*Global(nil), p.mod.Globals...)
+	sort.Slice(gs, func(i, j int) bool { return gs[i].Nam < gs[j].Nam })
+	h := sha256.New()
+	writeStr(h, "noelle.globals.v1")
+	for _, g := range gs {
+		writeStr(h, g.Nam)
+		writeStr(h, p.typeStr(g.Elem))
+		writeInt(h, int64(len(g.Init)))
+		for _, v := range g.Init {
+			writeInt(h, v)
+		}
+		writeInt(h, int64(len(g.FInit)))
+		for _, v := range g.FInit {
+			writeInt(h, int64(math.Float64bits(v)))
+		}
+	}
+	h.Sum(p.globals[:0])
+	p.haveGlob = true
+	return p.globals
+}
+
+func writeOperand(h hash.Hash, v Value, pos map[*Instr]int) {
+	switch x := v.(type) {
+	case *Const:
+		writeStr(h, "C")
+		writeInt(h, int64(x.Ty.Kind))
+		writeInt(h, x.Int)
+		writeInt(h, int64(math.Float64bits(x.Flt)))
+	case *Param:
+		writeStr(h, "P")
+		writeInt(h, int64(x.Index))
+	case *Global:
+		writeStr(h, "G")
+		writeStr(h, x.Nam)
+	case *Function:
+		writeStr(h, "F")
+		writeStr(h, x.Nam)
+	case *Instr:
+		writeStr(h, "I")
+		if p, ok := pos[x]; ok {
+			writeInt(h, int64(p))
+		} else {
+			writeInt(h, -1) // cross-function reference (malformed IR)
+		}
+	default:
+		writeStr(h, "?")
+	}
+}
+
+func writeInt(h hash.Hash, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	h.Write(buf[:n])
+}
+
+func writeStr(h hash.Hash, s string) {
+	writeInt(h, int64(len(s)))
+	h.Write([]byte(s))
+}

@@ -1,0 +1,110 @@
+package ir
+
+import "testing"
+
+// buildCallerModule builds a module where @main calls @sum, with one
+// global, so fingerprints exercise the callee-closure and globals hashes.
+func buildCallerModule(t *testing.T) *Module {
+	t.Helper()
+	m, sum := buildSumFunc(t)
+	g := &Global{Nam: "seed", Elem: I64Type, Init: []int64{7}}
+	m.AddGlobal(g)
+
+	f := NewFunction("main", FuncOf(I64Type))
+	m.AddFunction(f)
+	entry := f.NewBlock("entry")
+	b := NewBuilder()
+	b.SetInsertionBlock(entry)
+	v := b.CreateLoad(g, "v")
+	r := b.CreateCall(sum, []Value{v}, "r")
+	b.CreateRet(r)
+	if err := Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return m
+}
+
+func fpOf(m *Module, name string) Fingerprint {
+	return NewFingerprinter(m).Function(m.FunctionByName(name))
+}
+
+func TestFingerprintStableAcrossClone(t *testing.T) {
+	m := buildCallerModule(t)
+	clone := CloneModule(m)
+	for _, name := range []string{"sum", "main"} {
+		if a, b := fpOf(m, name), fpOf(clone, name); a != b {
+			t.Errorf("@%s: clone fingerprint %s != original %s", name, b.Short(), a.Short())
+		}
+	}
+}
+
+func TestFingerprintIgnoresIDsNamesAndMetadata(t *testing.T) {
+	m := buildCallerModule(t)
+	want := fpOf(m, "main")
+
+	m.AssignIDs()
+	if got := fpOf(m, "main"); got != want {
+		t.Errorf("AssignIDs changed fingerprint: %s != %s", got.Short(), want.Short())
+	}
+	// Renumber to something AssignIDs would never produce.
+	m.Instrs(func(_ *Function, in *Instr) bool {
+		in.ID = in.ID*31 + 1000
+		return true
+	})
+	if got := fpOf(m, "main"); got != want {
+		t.Errorf("renumbered IDs changed fingerprint: %s != %s", got.Short(), want.Short())
+	}
+	// SSA names and metadata are cosmetic too.
+	main := m.FunctionByName("main")
+	main.Blocks[0].Instrs[0].Nam = "renamed"
+	main.SetMD("noelle.something", "x")
+	main.Blocks[0].Instrs[0].SetMD("k", "v")
+	m.SetMD("noelle.pdg.main", "0>1:0M")
+	if got := fpOf(m, "main"); got != want {
+		t.Errorf("names/metadata changed fingerprint: %s != %s", got.Short(), want.Short())
+	}
+}
+
+func TestFingerprintChangesOnSemanticEdits(t *testing.T) {
+	base := fpOf(buildCallerModule(t), "main")
+
+	// Operand edit in main's own body.
+	m := buildCallerModule(t)
+	m.FunctionByName("main").Blocks[0].Instrs[1].Ops[1] = ConstInt(42)
+	if fpOf(m, "main") == base {
+		t.Error("operand edit did not change fingerprint")
+	}
+
+	// Callee-body edit: main's code is unchanged, but @sum's step becomes 2.
+	m = buildCallerModule(t)
+	sum := m.FunctionByName("sum")
+	var edited bool
+	sum.Instrs(func(in *Instr) bool {
+		if in.Nam == "i2" {
+			in.Ops[1] = ConstInt(2)
+			edited = true
+			return false
+		}
+		return true
+	})
+	if !edited {
+		t.Fatal("did not find @sum's induction update")
+	}
+	if fpOf(m, "main") == base {
+		t.Error("callee body edit did not change caller fingerprint")
+	}
+
+	// Alias-relevant global edit.
+	m = buildCallerModule(t)
+	m.Globals[0].Init[0] = 99
+	if fpOf(m, "main") == base {
+		t.Error("global initializer edit did not change fingerprint")
+	}
+}
+
+func TestFingerprintDistinctFunctionsDiffer(t *testing.T) {
+	m := buildCallerModule(t)
+	if fpOf(m, "main") == fpOf(m, "sum") {
+		t.Error("different functions share a fingerprint")
+	}
+}

@@ -30,13 +30,15 @@ func Embed(m *ir.Module, graphs map[*ir.Function]*Graph) {
 			sb.WriteByte('>')
 			sb.WriteString(strconv.Itoa(e.To.ID))
 			sb.WriteByte(':')
-			sb.WriteString(encodeFlags(e))
+			sb.WriteString(EncodeEdgeFlags(e))
 		}
 		m.SetMD(mdKeyPrefix+f.Nam, sb.String())
 	}
 }
 
-func encodeFlags(e *Edge) string {
+// EncodeEdgeFlags renders an edge's flags in the compact form the embed
+// metadata and the abscache record codec share: [c][m]<class>[M][L].
+func EncodeEdgeFlags(e *Edge) string {
 	var b strings.Builder
 	if e.Control {
 		b.WriteByte('c')
@@ -54,6 +56,27 @@ func encodeFlags(e *Edge) string {
 	return b.String()
 }
 
+// DecodeEdgeFlags applies an EncodeEdgeFlags string to e.
+func DecodeEdgeFlags(e *Edge, flags string) error {
+	for _, c := range flags {
+		switch c {
+		case 'c':
+			e.Control = true
+		case 'm':
+			e.Memory = true
+		case '0', '1', '2':
+			e.Class = DepClass(c - '0')
+		case 'M':
+			e.Must = true
+		case 'L':
+			e.LoopCarried = true
+		default:
+			return fmt.Errorf("pdg: unknown flag %q in %q", c, flags)
+		}
+	}
+	return nil
+}
+
 // HasEmbedded reports whether m carries an embedded PDG for f.
 func HasEmbedded(m *ir.Module, f *ir.Function) bool {
 	return m.MD.Has(mdKeyPrefix + f.Nam)
@@ -62,12 +85,63 @@ func HasEmbedded(m *ir.Module, f *ir.Function) bool {
 // Reload reconstructs f's PDG from embedded metadata. IDs must match the
 // current module numbering (tools re-assign IDs only before embedding).
 func Reload(m *ir.Module, f *ir.Function) (*Graph, error) {
-	data := m.MD.Get(mdKeyPrefix + f.Nam)
 	byID := map[int]*ir.Instr{}
 	f.Instrs(func(in *ir.Instr) bool {
 		byID[in.ID] = in
 		return true
 	})
+	return decodeEmbedded(m.MD.Get(mdKeyPrefix+f.Nam), f, byID)
+}
+
+// Extract decodes every PDG embedded by Embed/noelle-meta-pdg-embed into
+// graphs keyed by function. Unlike Reload it does not require AssignIDs to
+// have run since parsing: embedded IDs follow the module's syntactic order
+// (that is what AssignIDs produces), so Extract derives the same numbering
+// on the fly without mutating the module. This is the read half of the
+// paper's embed round trip — noelle-load consumes it through the manager
+// so a module that carries noelle.pdg.* metadata never pays a cold alias
+// solve. A decode error on any function fails the whole extraction; the
+// caller degrades to rebuilding, never to a wrong graph.
+func Extract(m *ir.Module) (map[*ir.Function]*Graph, error) {
+	any := false
+	for _, f := range m.Functions {
+		if HasEmbedded(m, f) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil, nil
+	}
+	// Syntactic numbering, identical to Module.AssignIDs.
+	next := 0
+	byID := map[*ir.Function]map[int]*ir.Instr{}
+	for _, f := range m.Functions {
+		ids := map[int]*ir.Instr{}
+		f.Instrs(func(in *ir.Instr) bool {
+			ids[next] = in
+			next++
+			return true
+		})
+		byID[f] = ids
+	}
+	out := map[*ir.Function]*Graph{}
+	for _, f := range m.Functions {
+		if f.IsDeclaration() || !HasEmbedded(m, f) {
+			continue
+		}
+		g, err := decodeEmbedded(m.MD.Get(mdKeyPrefix+f.Nam), f, byID[f])
+		if err != nil {
+			return nil, fmt.Errorf("pdg: embedded graph of @%s: %w", f.Nam, err)
+		}
+		out[f] = g
+	}
+	return out, nil
+}
+
+// decodeEmbedded parses one function's embedded edge list against the
+// given ID→instruction mapping.
+func decodeEmbedded(data string, f *ir.Function, byID map[int]*ir.Instr) (*Graph, error) {
 	g := NewGraph()
 	f.Instrs(func(in *ir.Instr) bool {
 		g.AddInternal(in)
@@ -95,21 +169,8 @@ func Reload(m *ir.Module, f *ir.Function) (*Graph, error) {
 			return nil, fmt.Errorf("pdg: edge %q references unknown instruction", part)
 		}
 		e := &Edge{From: from, To: to}
-		for _, c := range part[colon+1:] {
-			switch c {
-			case 'c':
-				e.Control = true
-			case 'm':
-				e.Memory = true
-			case '0', '1', '2':
-				e.Class = DepClass(c - '0')
-			case 'M':
-				e.Must = true
-			case 'L':
-				e.LoopCarried = true
-			default:
-				return nil, fmt.Errorf("pdg: unknown flag %q in %q", c, part)
-			}
+		if err := DecodeEdgeFlags(e, part[colon+1:]); err != nil {
+			return nil, err
 		}
 		g.AddEdge(e)
 	}

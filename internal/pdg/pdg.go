@@ -94,6 +94,56 @@ func NewGraph() *Graph {
 	}
 }
 
+// NewGraphFromEdges builds a graph over the given internal nodes and
+// edges in one pass — the bulk path warm loads (abscache record decode)
+// use instead of per-edge AddEdge calls. from/to give each edge's
+// endpoint indices into internal (the caller already has them from the
+// record), letting adjacency be laid out CSR-style in two contiguous
+// backing arrays with no per-edge map traffic.
+func NewGraphFromEdges(internal []*ir.Instr, edges []*Edge, from, to []int) *Graph {
+	g := &Graph{
+		nodes:     append([]*ir.Instr(nil), internal...),
+		internal:  make(map[*ir.Instr]bool, len(internal)),
+		external:  map[*ir.Instr]bool{},
+		out:       make(map[*ir.Instr][]*Edge, len(internal)),
+		in:        make(map[*ir.Instr][]*Edge, len(internal)),
+		edgeCount: len(edges),
+	}
+	for _, in := range internal {
+		g.internal[in] = true
+	}
+	outOff := make([]int32, len(internal)+1)
+	inOff := make([]int32, len(internal)+1)
+	for i := range edges {
+		outOff[from[i]+1]++
+		inOff[to[i]+1]++
+	}
+	for i := 0; i < len(internal); i++ {
+		outOff[i+1] += outOff[i]
+		inOff[i+1] += inOff[i]
+	}
+	outBack := make([]*Edge, len(edges))
+	inBack := make([]*Edge, len(edges))
+	outNext := make([]int32, len(internal))
+	inNext := make([]int32, len(internal))
+	for i, e := range edges {
+		f, t := from[i], to[i]
+		outBack[outOff[f]+outNext[f]] = e
+		outNext[f]++
+		inBack[inOff[t]+inNext[t]] = e
+		inNext[t]++
+	}
+	for i, in := range internal {
+		if s, e := outOff[i], outOff[i+1]; e > s {
+			g.out[in] = outBack[s:e:e]
+		}
+		if s, e := inOff[i], inOff[i+1]; e > s {
+			g.in[in] = inBack[s:e:e]
+		}
+	}
+	return g
+}
+
 // AddInternal registers in as an internal node.
 func (g *Graph) AddInternal(in *ir.Instr) {
 	if g.internal[in] {

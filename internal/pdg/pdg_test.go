@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"noelle/internal/ir"
+	"noelle/internal/irtext"
 	"noelle/internal/minic"
 	"noelle/internal/passes"
 	"noelle/internal/pdg"
@@ -221,5 +222,85 @@ func TestInternalExternalNodes(t *testing.T) {
 	}
 	if len(g.InternalNodes()) != 2 || len(g.ExternalNodes()) != 0 {
 		t.Error("node listings wrong")
+	}
+}
+
+func TestExtractAfterPrintParse(t *testing.T) {
+	m := compile(t, `
+int g;
+int helper(int x) { return x * 2 + g; }
+int main() {
+  int i;
+  for (i = 0; i < 4; i = i + 1) { g = g + helper(i); }
+  return g;
+}`)
+	m.AssignIDs()
+	b := pdg.NewBuilder(m)
+	graphs := map[*ir.Function]*pdg.Graph{}
+	for _, f := range m.Functions {
+		if !f.IsDeclaration() {
+			graphs[f] = b.FunctionPDG(f)
+		}
+	}
+	pdg.Embed(m, graphs)
+
+	// A fresh process parses the printed module; assigned IDs are gone
+	// (-1), which is exactly the state Reload cannot handle but Extract
+	// must: it re-derives the syntactic numbering itself.
+	back, err := irtext.Parse(ir.Print(m))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	got, err := pdg.Extract(back)
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	for _, f := range m.Functions {
+		if f.IsDeclaration() {
+			continue
+		}
+		bf := back.FunctionByName(f.Nam)
+		g := got[bf]
+		if g == nil {
+			t.Fatalf("extract lost @%s", f.Nam)
+		}
+		if g.NumEdges() != graphs[f].NumEdges() || g.NumNodes() != graphs[f].NumNodes() {
+			t.Errorf("@%s: extracted %d nodes/%d edges, embedded %d/%d",
+				f.Nam, g.NumNodes(), g.NumEdges(), graphs[f].NumNodes(), graphs[f].NumEdges())
+		}
+	}
+
+	// A module without embedded metadata extracts to nothing.
+	pdg.Clean(back)
+	if gone, err := pdg.Extract(back); err != nil || gone != nil {
+		t.Fatalf("extract after clean = %v, %v; want nil, nil", gone, err)
+	}
+}
+
+func TestExtractRejectsCorruptMetadata(t *testing.T) {
+	m := compile(t, `int main() { return 1 + 2; }`)
+	m.SetMD("noelle.pdg.main", "0>999:0M")
+	if _, err := pdg.Extract(m); err == nil {
+		t.Error("Extract accepted an out-of-range instruction reference")
+	}
+	m.SetMD("noelle.pdg.main", "not-an-edge")
+	if _, err := pdg.Extract(m); err == nil {
+		t.Error("Extract accepted malformed metadata")
+	}
+}
+
+func TestCleanStripsPDGKeys(t *testing.T) {
+	m := compile(t, `int main() { return 0; }`)
+	m.SetMD("noelle.pdg.main", "")
+	m.SetMD("noelle.profile", "x")
+	m.SetMD("other.key", "keep")
+	f := m.FunctionByName("main")
+	f.SetMD("noelle.pdg.note", "x")
+	pdg.Clean(m)
+	if m.MD.Has("noelle.pdg.main") || m.MD.Has("noelle.profile") || f.MD.Has("noelle.pdg.note") {
+		t.Error("Clean left noelle.* metadata behind")
+	}
+	if !m.MD.Has("other.key") {
+		t.Error("Clean removed non-noelle metadata")
 	}
 }

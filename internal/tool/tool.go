@@ -177,6 +177,12 @@ func Run(ctx context.Context, t Tool, n *core.Noelle, opts Options) (Report, err
 // against the mutated IR. It returns the reports of the stages that ran,
 // stopping at the first stage error, verification failure, or context
 // cancellation.
+//
+// When the manager carries a persistent abstraction store, the
+// precompute stage and every rebuild populate it, and pending store
+// state is flushed after each transforming stage and at pipeline end —
+// transformed functions re-fingerprint, so their stale records are
+// simply never requested again (noelle-cache gc sweeps them).
 func RunPipeline(ctx context.Context, n *core.Noelle, names []string, opts Options) ([]Report, error) {
 	tools := make([]Tool, 0, len(names))
 	for _, name := range names {
@@ -206,7 +212,13 @@ func RunPipeline(ctx context.Context, n *core.Noelle, names []string, opts Optio
 				return reports, fmt.Errorf("%s: transformed module malformed: %w", t.Name(), err)
 			}
 			n.InvalidateModule()
+			if err := n.FlushStore(); err != nil {
+				return reports, fmt.Errorf("%s: flushing abstraction store: %w", t.Name(), err)
+			}
 		}
+	}
+	if err := n.FlushStore(); err != nil {
+		return reports, fmt.Errorf("tool: flushing abstraction store: %w", err)
 	}
 	return reports, nil
 }

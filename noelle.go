@@ -30,11 +30,20 @@
 //
 // The manager is safe for concurrent use; n.PrecomputePDGs(ctx, workers)
 // materializes every function PDG across a worker pool up front.
+//
+// Setting Options.CacheDir points the manager at a persistent
+// content-addressed abstraction store (internal/abscache): function PDGs
+// are fingerprinted structurally, looked up on disk before being built,
+// and persisted after a cold build, so a second load of the same program
+// reconstructs every PDG without re-running the alias analyses. Open a
+// store explicitly with OpenStore and attach it with WithStore to share
+// one across managers; inspect it with the noelle-cache CLI.
 package noelle
 
 import (
 	"context"
 
+	"noelle/internal/abscache"
 	"noelle/internal/core"
 	"noelle/internal/interp"
 	"noelle/internal/ir"
@@ -74,9 +83,26 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 // DefaultToolOptions mirrors the noelle-load flag defaults.
 func DefaultToolOptions() ToolOptions { return tool.DefaultOptions() }
 
+// Store is the persistent content-addressed abstraction store
+// (internal/abscache): function PDGs and loop summaries keyed by
+// structural fingerprint, behind an in-memory LRU.
+type Store = abscache.Store
+
 // Load loads the NOELLE layer over a module without computing anything;
-// abstractions materialize on first request.
+// abstractions materialize on first request. Set opts.CacheDir to load
+// warm from (and populate) a persistent abstraction store.
 func Load(m *Module, opts Options) *Noelle { return core.New(m, opts) }
+
+// OpenStore opens (creating if needed) the persistent abstraction store
+// rooted at dir for module m.
+func OpenStore(dir string, m *Module) (*Store, error) { return abscache.Open(dir, m, 0) }
+
+// WithStore attaches an already-open persistent store to the manager and
+// returns the manager (fluent form of n.SetStore).
+func WithStore(n *Noelle, s *Store) *Noelle {
+	n.SetStore(s)
+	return n
+}
 
 // Tools returns every registered custom tool, sorted by name.
 func Tools() []Tool { return tool.Tools() }

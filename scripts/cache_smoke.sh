@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# cache_smoke.sh — two-process warm-load smoke check for the persistent
+# abstraction store (make cache-smoke).
+#
+# Process 1 runs noelle-load cold with -cache-dir, populating the store.
+# Process 2 runs the identical invocation and must load every PDG warm:
+# the stats file noelle-cache surfaces must show last.misses=0 and
+# last.hits > 0 for the second session.
+set -euo pipefail
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+cache="$workdir/cache"
+
+cat > "$workdir/prog.c" <<'EOF'
+int table[128];
+
+int fill(int seed) {
+  int s = 0;
+  for (int i = 0; i < 128; i = i + 1) {
+    table[i] = seed + i;
+    s = s + table[i];
+  }
+  return s;
+}
+
+int main() {
+  int s = fill(3);
+  print_i64(s);
+  return 0;
+}
+EOF
+
+go run ./cmd/noelle-whole-ir -o "$workdir/whole.nir" "$workdir/prog.c"
+
+echo "== run 1 (cold) =="
+go run ./cmd/noelle-load -tools licm -cache-dir "$cache" -o /dev/null "$workdir/whole.nir"
+
+echo "== run 2 (warm) =="
+go run ./cmd/noelle-load -tools licm -cache-dir "$cache" -o /dev/null "$workdir/whole.nir"
+
+echo "== noelle-cache stats =="
+stats=$(go run ./cmd/noelle-cache -dir "$cache" stats)
+echo "$stats"
+go run ./cmd/noelle-cache -dir "$cache" ls
+
+last_misses=$(echo "$stats" | sed -n 's/^last.misses=//p')
+last_hits=$(echo "$stats" | sed -n 's/^last.hits=//p')
+if [ "$last_misses" != "0" ]; then
+  echo "FAIL: warm run missed $last_misses records" >&2
+  exit 1
+fi
+if [ -z "$last_hits" ] || [ "$last_hits" -lt 1 ]; then
+  echo "FAIL: warm run reported no store hits" >&2
+  exit 1
+fi
+echo "OK: warm run loaded $last_hits PDGs from the store with zero misses"
