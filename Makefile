@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-cache cache-smoke
+.PHONY: build test vet race bench bench-cache bench-parallel cache-smoke
 
 build:
 	$(GO) build ./...
@@ -11,9 +11,10 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The manager's concurrency guarantees are only meaningful under -race.
+# The manager's and the parallel runtime's concurrency guarantees are
+# only meaningful under -race; interp + doall cover the dispatch path.
 race:
-	$(GO) test -race ./internal/core/... ./internal/tools/ ./internal/abscache/
+	$(GO) test -race ./internal/core/... ./internal/tools/ ./internal/abscache/ ./internal/interp/ ./internal/tools/doall/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
@@ -28,3 +29,9 @@ bench-cache:
 # noelle-cache stats).
 cache-smoke:
 	bash scripts/cache_smoke.sh
+
+# Seq-vs-parallel wall-clock of the interpreter's dispatch runtime on the
+# DOALL-transformed bundled parallel benchmark, recorded as JSON. The
+# speedup column only means something on a multi-core machine.
+bench-parallel:
+	$(GO) run ./scripts/benchparallel -workers 4 -o BENCH_parallel.json

@@ -4,7 +4,12 @@
 // honouring its embedded link options, and running it; -emit writes the
 // final IR image instead of executing.
 //
-// Usage: noelle-bin whole.nir [-emit out.nir]
+// Modules produced by the parallelizing tools contain noelle_dispatch
+// calls; those run their task workers concurrently on real cores by
+// default. -seq falls back to sequential worker-order execution (for
+// debugging), and -workers caps how many workers run simultaneously.
+//
+// Usage: noelle-bin [-seq] [-workers N] [-emit out.nir] whole.nir
 package main
 
 import (
@@ -19,9 +24,11 @@ import (
 
 func main() {
 	emit := flag.String("emit", "", "write the executable IR image instead of running")
+	seq := flag.Bool("seq", false, "run dispatched tasks sequentially (debugging fallback)")
+	workers := flag.Int("workers", 0, "cap on simultaneously-running dispatch workers (0 = GOMAXPROCS)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: noelle-bin whole.nir")
+		fmt.Fprintln(os.Stderr, "usage: noelle-bin [-seq] [-workers N] [-emit out.nir] whole.nir")
 		os.Exit(2)
 	}
 	m, err := toolio.ReadModule(flag.Arg(0))
@@ -41,6 +48,8 @@ func main() {
 		return
 	}
 	it := interp.New(m)
+	it.SeqDispatch = *seq
+	it.DispatchWorkers = *workers
 	code, err := it.Run()
 	if err != nil {
 		toolio.Fatal(err)

@@ -2,7 +2,13 @@
 // evaluation from this repository (see DESIGN.md's per-experiment index
 // and EXPERIMENTS.md for the recorded results).
 //
-// Usage: noelle-eval [-only table1|table2|table3|table4|fig3|fig4|goviv|fig5|spec|dead]
+// Usage: noelle-eval [-only table1|table2|table3|table4|fig3|fig4|goviv|fig5|spec|dead|wallclock]
+//
+// The wallclock artifact complements the simulated Figure-5 numbers with
+// *measured* speedups: it DOALL-transforms the bundled parallel benchmark
+// and races the interpreter's parallel dispatch against its -seq
+// fallback. -workers picks the top worker count of the sweep, -seq turns
+// the parallel leg into a sequential control run.
 package main
 
 import (
@@ -17,6 +23,9 @@ import (
 func main() {
 	only := flag.String("only", "", "emit a single artifact")
 	cores := flag.Int("cores", 12, "core count for the speedup figures")
+	workers := flag.Int("workers", 4, "top worker count for the wallclock artifact's sweep")
+	seq := flag.Bool("seq", false, "wallclock artifact: run the parallel leg sequentially too (debugging control)")
+	wallSize := flag.Int("wall-size", 0, "wallclock artifact: array length per loop (0 = default)")
 	flag.Parse()
 
 	emit := func(name string, gen func() (string, error)) {
@@ -90,4 +99,19 @@ func main() {
 		}
 		return eval.FormatDeadStudy(rows), nil
 	})
+	// wallclock is explicit-only: it is a timing measurement, so it is not
+	// part of the default (deterministic) artifact sweep.
+	if *only == "wallclock" {
+		counts := eval.WorkerSweep(*workers)
+		if counts == nil {
+			fmt.Fprintf(os.Stderr, "wallclock: -workers must be >= 1 (got %d)\n", *workers)
+			os.Exit(2)
+		}
+		rows, err := eval.WallClockStudy(*wallSize, counts, 0, *seq)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wallclock: error: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(eval.FormatWallClock(rows, *wallSize))
+	}
 }

@@ -41,6 +41,8 @@ func main() {
 	optimize := flag.Bool("optimize", true, "enable tools' optional optimization stages (e.g. HELIX's SCD header shrinking)")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size for the parallel PDG precompute (0 keeps the layer fully demand-driven; tools that never request a PDG then pay nothing)")
 	cacheDir := flag.String("cache-dir", "", "persistent abstraction store directory: PDGs are loaded by structural fingerprint instead of rebuilt, and new builds are persisted for later runs (inspect with noelle-cache)")
+	seq := flag.Bool("seq", false, "run dispatched tasks sequentially when a tool executes the module (the parallel runtime's debugging fallback)")
+	dispatchWorkers := flag.Int("dispatch-workers", 0, "cap on simultaneously-running dispatch workers when a tool executes the module (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
@@ -77,6 +79,8 @@ func main() {
 	topts.Budget = *budget
 	topts.Optimize = *optimize
 	topts.PrecomputeWorkers = *workers
+	topts.SeqDispatch = *seq
+	topts.DispatchWorkers = *dispatchWorkers
 
 	reports, err := tool.RunPipeline(context.Background(), n, names, topts)
 	for _, rep := range reports {

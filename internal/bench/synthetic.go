@@ -53,3 +53,58 @@ func Synthetic(nFuncs, nGlobals int) (*ir.Module, error) {
 // WholeProgram returns the bundled whole-program-scale module (about 12k
 // instructions across 120 functions) used by the warm-load benchmarks.
 func WholeProgram() (*ir.Module, error) { return Synthetic(120, 48) }
+
+// ParallelProgram generates the bundled whole-program benchmark for the
+// parallel interpreter runtime: its execution is dominated by DOALL-able
+// loops (independent array maps and privatizable reductions, every store
+// indexed directly by the governing IV so disjointness is provable, with
+// arithmetic-heavy bodies), so after the doall tool rewrites them into
+// dispatched tasks, wall-clock time tracks how well noelle_dispatch uses
+// real cores. size is the array length each loop sweeps (0 picks the
+// default used by the seq-vs-parallel wall-clock study).
+func ParallelProgram(size int) (*ir.Module, error) {
+	if size <= 0 {
+		size = 65536
+	}
+	src := fmt.Sprintf(`
+int a[%[1]d];
+int b[%[1]d];
+int c[%[1]d];
+int main() {
+  int n = %[1]d;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    b[i] = (i * 7 + 3) %% 4093 + 1;
+  }
+  for (i = 0; i < n; i = i + 1) {
+    int x = b[i];
+    int y = x * 3 + i;
+    int z = (x * x + y * y) %% 65521;
+    int w = (z * 13 + x * 7) %% 4093;
+    a[i] = z + w * 2 + y %% 127;
+  }
+  int s = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int u = a[i] * b[i] + i;
+    int v = (u %% 8191) * (a[i] %% 31 + 1);
+    s = s + u %% 127 + v %% 61;
+  }
+  int t = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int p = (a[i] + b[i]) * 5 + i * 11;
+    int q = (p * p) %% 32749;
+    c[i] = q + p %% 97;
+    t = t + q %% 53;
+  }
+  print_i64(s);
+  print_i64(t);
+  return (s + t) %% 251;
+}
+`, size)
+	m, err := minic.Compile(fmt.Sprintf("parallel-%d", size), src)
+	if err != nil {
+		return nil, err
+	}
+	passes.Optimize(m)
+	return m, nil
+}

@@ -154,10 +154,13 @@ func Solve(f *ir.Function, p *Problem) *Result {
 		Out:     make(map[*ir.Block]BitVec, len(f.Blocks)),
 	}
 
-	// Per-block gen/kill.
+	// Per-block gen/kill — over every block of the function, not just the
+	// reachable ones: an unreachable block can still branch into reachable
+	// code (so its Out participates in a reachable meet) and its
+	// instructions can still be queried through InstrIn.
 	gen := map[*ir.Block]BitVec{}
 	kill := map[*ir.Block]BitVec{}
-	for _, b := range cfg.RPO {
+	for _, b := range f.Blocks {
 		g, k := NewBitVec(p.NumBits), NewBitVec(p.NumBits)
 		instrs := b.Instrs
 		if p.Direction == Backward {
@@ -172,6 +175,9 @@ func Solve(f *ir.Function, p *Problem) *Result {
 		gen[b], kill[b] = g, k
 	}
 
+	// Priority order: reverse postorder (or postorder for backward
+	// problems) over the reachable blocks, then any unreachable blocks in
+	// function order so they also converge instead of holding nil vectors.
 	order := cfg.RPO
 	if p.Direction == Backward {
 		order = make([]*ir.Block, len(cfg.RPO))
@@ -179,12 +185,17 @@ func Solve(f *ir.Function, p *Problem) *Result {
 			order[len(order)-1-i] = b
 		}
 	}
+	for _, b := range f.Blocks {
+		if !cfg.Reachable(b) {
+			order = append(order, b)
+		}
+	}
 
 	full := NewBitVec(p.NumBits)
 	for i := range full {
 		full[i] = ^uint64(0)
 	}
-	for _, b := range cfg.RPO {
+	for _, b := range f.Blocks {
 		res.In[b] = NewBitVec(p.NumBits)
 		res.Out[b] = NewBitVec(p.NumBits)
 		if p.Meet == Intersect {
@@ -294,6 +305,12 @@ func applyInstr(p *Problem, in *ir.Instr, g, k BitVec) {
 func (r *Result) InstrIn(in *ir.Instr) BitVec {
 	b := in.Parent
 	p := r.Problem
+	if _, ok := r.In[b]; !ok {
+		// The instruction is not in the solved function (Solve initializes
+		// every block, reachable or not): return a correctly-sized empty
+		// vector instead of cloning nil into a zero-length one.
+		return NewBitVec(p.NumBits)
+	}
 	cur := r.In[b].Clone()
 	if p.Direction == Forward {
 		for _, x := range b.Instrs {

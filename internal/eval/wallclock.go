@@ -1,0 +1,169 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"noelle/internal/bench"
+	"noelle/internal/core"
+	"noelle/internal/interp"
+	"noelle/internal/ir"
+	"noelle/internal/loops"
+	"noelle/internal/machine"
+	"noelle/internal/profiler"
+	"noelle/internal/tools/doall"
+)
+
+// WallRow is one worker count's measured-vs-modeled comparison on the
+// bundled whole-program parallel benchmark: the modeled column is the
+// machine simulator's whole-program DOALL speedup at that core count, the
+// measured column is real wall-clock of the DOALL-transformed module
+// under the parallel interpreter runtime against its -seq fallback.
+type WallRow struct {
+	Workers  int
+	Modeled  float64
+	SeqWall  time.Duration
+	ParWall  time.Duration
+	Measured float64
+	// Identical confirms the parallel run produced byte-identical output
+	// and the same memory image as the sequential fallback.
+	Identical bool
+}
+
+// WorkerSweep returns the worker counts the wall-clock study measures:
+// powers of two strictly below top, then top itself. It returns nil when
+// top < 1 (callers treat that as a usage error — a zero core count would
+// divide by zero in the machine simulator).
+func WorkerSweep(top int) []int {
+	if top < 1 {
+		return nil
+	}
+	var counts []int
+	for w := 2; w < top; w *= 2 {
+		counts = append(counts, w)
+	}
+	return append(counts, top)
+}
+
+// WallClockStudy runs the seq-vs-parallel dispatch study over the bundled
+// parallel benchmark (bench.ParallelProgram(size)) for each worker count.
+// dispatchCap bounds how many workers run simultaneously (0 means
+// GOMAXPROCS); forceSeq replaces the parallel leg with a second
+// sequential run (the -seq debugging control: measured speedups then
+// hover around 1x).
+func WallClockStudy(size int, workerCounts []int, dispatchCap int, forceSeq bool) ([]WallRow, error) {
+	// Compile and profile once: the program and its training profile are
+	// identical across worker counts; only the machine config and the
+	// baked-in transform cores vary per row.
+	m, err := bench.ParallelProgram(size)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := profiler.Collect(m)
+	if err != nil {
+		return nil, err
+	}
+	prof.Embed()
+	totalSeq := prof.TotalCycles
+
+	var rows []WallRow
+	for _, workers := range workerCounts {
+		row, err := wallClockAt(m, totalSeq, size, workers, dispatchCap, forceSeq)
+		if err != nil {
+			return nil, fmt.Errorf("workers=%d: %w", workers, err)
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+func wallClockAt(m *ir.Module, totalSeq int64, size, workers, dispatchCap int, forceSeq bool) (*WallRow, error) {
+	row := &WallRow{Workers: workers}
+
+	// ---- modeled: simulate DOALL over the unmodified module ----
+	opts := core.DefaultOptions()
+	opts.Cores = workers
+	opts.MinHotness = 0.01
+	n := core.New(m, opts)
+	cfg := machine.DefaultConfig(n.Arch(), workers)
+	seqs, pars := planTechnique(n, func(ls *loops.LS) (map[*ir.Instr]int, int, bool) {
+		if doall.Eligible(n.Loop(ls)) != nil {
+			return nil, 0, false
+		}
+		return map[*ir.Instr]int{}, 1, true
+	}, func(inv *machine.Invocation) int64 {
+		return machine.SimulateDOALL(inv, cfg, 8)
+	})
+	row.Modeled = machine.Speedup(totalSeq, seqs, pars)
+
+	// ---- measured: transform a fresh copy, then race seq vs parallel ----
+	tm, err := bench.ParallelProgram(size)
+	if err != nil {
+		return nil, err
+	}
+	topts := core.DefaultOptions()
+	topts.Cores = workers
+	topts.MinHotness = 0
+	if _, err := doall.Run(core.New(tm, topts)); err != nil {
+		return nil, err
+	}
+	if err := ir.Verify(tm); err != nil {
+		return nil, fmt.Errorf("transformed module malformed: %w", err)
+	}
+
+	// Best-of-3 per mode, matching the acceptance test's methodology: the
+	// first run pays warm-up (page allocation, GC), and a single sample
+	// would let one GC pause land entirely in one leg.
+	run := func(seqMode bool) (*interp.Interp, time.Duration, error) {
+		var last *interp.Interp
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			it := interp.New(tm)
+			it.SeqDispatch = seqMode
+			it.DispatchWorkers = dispatchCap
+			start := time.Now()
+			if _, err := it.Run(); err != nil {
+				return nil, 0, err
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			last = it
+		}
+		return last, best, nil
+	}
+	seqIt, seqD, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	parIt, parD, err := run(forceSeq)
+	if err != nil {
+		return nil, err
+	}
+	row.SeqWall, row.ParWall = seqD, parD
+	row.Measured = float64(seqD) / float64(parD)
+	row.Identical = seqIt.Output.String() == parIt.Output.String() &&
+		seqIt.MemoryFingerprint() == parIt.MemoryFingerprint()
+	return row, nil
+}
+
+// FormatWallClock renders the study.
+func FormatWallClock(rows []WallRow, size int) string {
+	var b strings.Builder
+	if size <= 0 {
+		size = 65536
+	}
+	fmt.Fprintf(&b, "Wall-clock vs modeled DOALL speedups (bundled parallel benchmark, %d-element sweeps)\n", size)
+	fmt.Fprintf(&b, "  %-8s %9s %12s %12s %9s %s\n", "workers", "modeled", "seq wall", "par wall", "measured", "output")
+	for _, r := range rows {
+		okay := "identical"
+		if !r.Identical {
+			okay = "DIVERGED"
+		}
+		fmt.Fprintf(&b, "  %-8d %8.2fx %12s %12s %8.2fx %s\n",
+			r.Workers, r.Modeled, r.SeqWall.Round(time.Millisecond), r.ParWall.Round(time.Millisecond), r.Measured, okay)
+	}
+	b.WriteString("  (measured = -seq fallback time / parallel-dispatch time of the same transformed module)\n")
+	return b.String()
+}

@@ -1,8 +1,10 @@
 // Package interp executes IR modules in a flat memory model. It stands in
 // for the paper's native execution substrate: the profiler runs it to
 // collect hotness statistics, transformation tests run it to check semantic
-// equivalence, and the multicore timing simulator consumes the
-// per-instruction cost attribution it produces.
+// equivalence, the multicore timing simulator consumes the
+// per-instruction cost attribution it produces, and the noelle_dispatch
+// extern runs parallelized task workers concurrently on real cores over
+// forked execution contexts that share one memory image (see README.md).
 package interp
 
 import "noelle/internal/ir"

@@ -19,48 +19,40 @@ const (
 	ExternClockSet = "clock_set"
 	// ExternDispatch is the parallel runtime's task dispatcher:
 	// dispatch(task, env, nworkers) runs task(env, w, nworkers) for every
-	// worker w. The interpreter executes workers sequentially in worker
-	// order — semantically equivalent for correctly-parallelized tasks,
-	// while the machine package models the parallel timing.
+	// worker w. Workers execute concurrently over forked execution
+	// contexts that share the module's memory image (see parallel.go);
+	// Interp.SeqDispatch falls back to sequential worker-order execution.
 	ExternDispatch = "noelle_dispatch"
 )
 
+// Default externs are registered with their exact arity: a malformed
+// module that declares (and calls) one of them with the wrong signature
+// gets an error instead of an index-out-of-range panic in the host body.
 func registerDefaultExterns(it *Interp) {
-	it.RegisterExtern(ExternPrintI64, func(it *Interp, args []uint64) (uint64, error) {
+	it.RegisterExternArity(ExternPrintI64, 1, func(it *Interp, args []uint64) (uint64, error) {
 		fmt.Fprintf(&it.Output, "%d\n", int64(args[0]))
 		return 0, nil
 	})
-	it.RegisterExtern(ExternPrintF64, func(it *Interp, args []uint64) (uint64, error) {
+	it.RegisterExternArity(ExternPrintF64, 1, func(it *Interp, args []uint64) (uint64, error) {
 		fmt.Fprintf(&it.Output, "%g\n", math.Float64frombits(args[0]))
 		return 0, nil
 	})
-	it.RegisterExtern(ExternGuard, func(it *Interp, args []uint64) (uint64, error) {
+	it.RegisterExternArity(ExternGuard, 1, func(it *Interp, args []uint64) (uint64, error) {
 		it.GuardCalls++
 		if !it.ValidAddress(int64(args[0])) {
 			it.GuardFailures++
 		}
 		return 0, nil
 	})
-	it.RegisterExtern(ExternCallback, func(it *Interp, args []uint64) (uint64, error) {
+	it.RegisterExternArity(ExternCallback, 0, func(it *Interp, args []uint64) (uint64, error) {
 		it.Callbacks++
 		return 0, nil
 	})
-	it.RegisterExtern(ExternClockSet, func(it *Interp, args []uint64) (uint64, error) {
+	it.RegisterExternArity(ExternClockSet, 1, func(it *Interp, args []uint64) (uint64, error) {
 		it.ClockSets++
 		return 0, nil
 	})
-	it.RegisterExtern(ExternDispatch, func(it *Interp, args []uint64) (uint64, error) {
-		idx := int64(args[0])
-		if idx < 0 || idx >= int64(len(it.fnTable)) {
-			return 0, fmt.Errorf("interp: dispatch of invalid function id %d", idx)
-		}
-		task := it.fnTable[idx]
-		nworkers := int64(args[2])
-		for w := int64(0); w < nworkers; w++ {
-			if _, err := it.Call(task, []uint64{args[1], uint64(w), args[2]}); err != nil {
-				return 0, err
-			}
-		}
-		return 0, nil
+	it.RegisterExternArity(ExternDispatch, 3, func(it *Interp, args []uint64) (uint64, error) {
+		return it.dispatch(args)
 	})
 }

@@ -1,0 +1,224 @@
+package interp
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"noelle/internal/ir"
+)
+
+// pageShardCount spreads the page map over independently-locked shards so
+// concurrent dispatch workers touching different pages never contend on
+// one lock. Must be a power of two.
+const pageShardCount = 64
+
+// pageStore is the concurrency-safe page map shared by every execution
+// context of one module image. Pages are created on first touch and live
+// for the image's lifetime (freeing an allocation only retires its range
+// from the allocation table), so a []uint64 obtained from the store stays
+// valid forever and can be cached lock-free by execution contexts.
+//
+// The store synchronizes the page *directory* only. Cell reads and writes
+// on a page are plain slice accesses: correctly-parallelized tasks write
+// disjoint cells (reductions are privatized per worker through ENV slots),
+// so concurrent accesses to one page land on different elements, which the
+// Go memory model permits without synchronization — and a genuine
+// same-cell conflict is a real bug in the parallelized program that the
+// race detector should surface, not one the runtime should hide.
+type pageStore struct {
+	shards [pageShardCount]pageShard
+}
+
+type pageShard struct {
+	mu    sync.RWMutex
+	pages map[int64][]uint64
+}
+
+func (ps *pageStore) shard(page int64) *pageShard {
+	return &ps.shards[uint64(page)%pageShardCount]
+}
+
+// get returns the page's cell array, or nil if the page was never written.
+func (ps *pageStore) get(page int64) []uint64 {
+	s := ps.shard(page)
+	s.mu.RLock()
+	p := s.pages[page]
+	s.mu.RUnlock()
+	return p
+}
+
+// getOrCreate returns the page's cell array, allocating it on first touch.
+func (ps *pageStore) getOrCreate(page int64) []uint64 {
+	s := ps.shard(page)
+	s.mu.RLock()
+	p := s.pages[page]
+	s.mu.RUnlock()
+	if p != nil {
+		return p
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p := s.pages[page]; p != nil {
+		return p // another worker touched it first
+	}
+	p = make([]uint64, pageCells)
+	if s.pages == nil {
+		s.pages = map[int64][]uint64{}
+	}
+	s.pages[page] = p
+	return p
+}
+
+// image is the module's shared execution state: memory pages, the
+// allocation table, global/function layout, and the extern registry. One
+// image backs the root interpreter and every worker context the parallel
+// dispatcher forks from it; the mutable parts are concurrency-safe, the
+// rest is immutable after New.
+type image struct {
+	mod   *ir.Module
+	pages pageStore
+
+	// heapMu guards the bump allocator and the live-allocation table.
+	heapMu  sync.RWMutex
+	nextPtr int64
+	allocs  map[int64]int64 // start -> size (live allocations)
+
+	// Immutable after New.
+	globalAddr map[*ir.Global]int64
+	fnTable    []*ir.Function
+	fnIndex    map[*ir.Function]int64
+
+	// externMu guards the extern registry; registration normally happens
+	// before Run, but lookups from concurrent workers must still be safe.
+	externMu    sync.RWMutex
+	externs     map[string]Extern
+	externArity map[string]int
+}
+
+// alloc reserves size bytes (rounded up to cells) and tracks the range.
+func (img *image) alloc(size int64) int64 {
+	if size < 8 {
+		size = 8
+	}
+	size = (size + 7) &^ 7
+	img.heapMu.Lock()
+	addr := img.nextPtr
+	img.nextPtr += size
+	img.allocs[addr] = size
+	img.heapMu.Unlock()
+	return addr
+}
+
+func (img *image) free(addr int64) {
+	img.heapMu.Lock()
+	delete(img.allocs, addr)
+	img.heapMu.Unlock()
+}
+
+// validAddress reports whether addr falls inside a live allocation.
+func (img *image) validAddress(addr int64) bool {
+	img.heapMu.RLock()
+	defer img.heapMu.RUnlock()
+	for start, size := range img.allocs {
+		if addr >= start && addr < start+size {
+			return true
+		}
+	}
+	return false
+}
+
+func (img *image) writeCell(addr int64, v uint64) {
+	cell := addr >> 3
+	img.pages.getOrCreate(cell / pageCells)[cell%pageCells] = v
+}
+
+func (img *image) readCell(addr int64) uint64 {
+	cell := addr >> 3
+	if p := img.pages.get(cell / pageCells); p != nil {
+		return p[cell%pageCells]
+	}
+	return 0
+}
+
+// registerExtern installs fn for declarations named name. arity < 0 skips
+// the argument-count check (for host functions with variable arity).
+func (img *image) registerExtern(name string, arity int, fn Extern) {
+	img.externMu.Lock()
+	img.externs[name] = fn
+	if arity >= 0 {
+		img.externArity[name] = arity
+	} else {
+		delete(img.externArity, name)
+	}
+	img.externMu.Unlock()
+}
+
+func (img *image) lookupExtern(name string) (fn Extern, arity int, ok bool) {
+	img.externMu.RLock()
+	defer img.externMu.RUnlock()
+	fn, ok = img.externs[name]
+	arity = -1
+	if a, has := img.externArity[name]; has {
+		arity = a
+	}
+	return fn, arity, ok
+}
+
+// fingerprint hashes the contents of all global storage; semantic
+// equivalence tests compare fingerprints of original vs transformed runs.
+func (img *image) fingerprint() uint64 {
+	type ga struct {
+		name string
+		addr int64
+		size int64
+	}
+	var gs []ga
+	for g, a := range img.globalAddr {
+		gs = append(gs, ga{g.Nam, a, int64(g.Elem.Size())})
+	}
+	sort.Slice(gs, func(i, j int) bool { return gs[i].name < gs[j].name })
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	for _, g := range gs {
+		for off := int64(0); off < g.size; off += 8 {
+			mix(img.readCell(g.addr + off))
+		}
+	}
+	return h
+}
+
+// newImage lays out m's globals and functions into a fresh image.
+func newImage(m *ir.Module) *image {
+	img := &image{
+		mod:         m,
+		nextPtr:     8, // keep 0 as a null page
+		allocs:      map[int64]int64{},
+		globalAddr:  map[*ir.Global]int64{},
+		fnIndex:     map[*ir.Function]int64{},
+		externs:     map[string]Extern{},
+		externArity: map[string]int{},
+	}
+	for _, f := range m.Functions {
+		img.fnIndex[f] = int64(len(img.fnTable))
+		img.fnTable = append(img.fnTable, f)
+	}
+	for _, g := range m.Globals {
+		addr := img.alloc(int64(g.Elem.Size()))
+		img.globalAddr[g] = addr
+		scalar := g.ScalarElem()
+		if scalar.IsFloat() {
+			for i, v := range g.FInit {
+				img.writeCell(addr+int64(i)*8, math.Float64bits(v))
+			}
+		} else {
+			for i, v := range g.Init {
+				img.writeCell(addr+int64(i)*8, uint64(v))
+			}
+		}
+	}
+	return img
+}

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 
 	"noelle/internal/ir"
@@ -15,7 +14,18 @@ var ErrStepLimit = errors.New("interp: step limit exceeded")
 
 const pageCells = 1024 // 8 KiB pages
 
-// Interp executes one module. Create with New, run with Run or Call.
+const defaultMaxSteps = 200_000_000
+
+// pageCacheSize is the per-context direct-mapped cache of page arrays:
+// once a page exists its cell array never moves, so a context can keep
+// the mapping and skip the shared store's lock on repeated touches.
+const pageCacheSize = 8
+
+// Interp is one execution context over a module image: a private call
+// stack, step/cycle counters, output buffer, and hook set. New returns
+// the root context (which also owns the image); the parallel dispatcher
+// forks additional worker contexts that share the image's memory, global
+// layout, and extern registry. Create with New, run with Run or Call.
 type Interp struct {
 	Mod   *ir.Module
 	Cost  CostModel
@@ -25,8 +35,18 @@ type Interp struct {
 	// MaxSteps bounds execution (0 means the default of 200M).
 	MaxSteps int64
 
+	// SeqDispatch forces the noelle_dispatch extern to run task workers
+	// sequentially in this context (the -seq debugging fallback). The
+	// default executes them concurrently on real cores.
+	SeqDispatch bool
+	// DispatchWorkers caps how many dispatch workers run simultaneously
+	// (0 means GOMAXPROCS). Worker invocations beyond the cap queue.
+	DispatchWorkers int
+
 	// InstrHook, when set, observes every executed instruction after its
 	// effects are applied. Profilers and the timing harness hook here.
+	// Installing any hook makes noelle_dispatch take the sequential path,
+	// so hooks always observe the canonical sequential event order.
 	InstrHook func(in *ir.Instr)
 	// BlockHook observes every basic-block entry.
 	BlockHook func(b *ir.Block)
@@ -36,136 +56,104 @@ type Interp struct {
 	// Output accumulates the text produced by print externs.
 	Output strings.Builder
 
-	pages   map[int64][]uint64
-	nextPtr int64
-	allocs  map[int64]int64 // start -> size (live allocations)
-
-	globalAddr map[*ir.Global]int64
-	fnTable    []*ir.Function
-	fnIndex    map[*ir.Function]int64
-
-	externs map[string]Extern
-
 	// Extern counters (used by CARAT, COOS, TIME evaluations).
 	GuardCalls    int64
 	GuardFailures int64
 	Callbacks     int64
 	ClockSets     int64
+
+	img *image
+
+	// pool is the dispatch tree's shared step budget; nil on root
+	// contexts (see stepPool in parallel.go).
+	pool *stepPool
+
+	// Direct-mapped cache over img.pages (see pageCacheSize).
+	cacheKeys  [pageCacheSize]int64
+	cachePages [pageCacheSize][]uint64
 }
 
 // Extern is a host implementation of a declared function.
 type Extern func(it *Interp, args []uint64) (uint64, error)
 
-// New prepares an interpreter for m: assigns IDs, lays out globals, and
-// registers the default externs.
+// New prepares a root interpreter context for m: assigns IDs, lays out
+// globals into a fresh shared image, and registers the default externs.
 func New(m *ir.Module) *Interp {
 	it := &Interp{
-		Mod:        m,
-		Cost:       DefaultCostModel(),
-		MaxSteps:   200_000_000,
-		pages:      map[int64][]uint64{},
-		nextPtr:    8, // keep 0 as a null page
-		allocs:     map[int64]int64{},
-		globalAddr: map[*ir.Global]int64{},
-		fnIndex:    map[*ir.Function]int64{},
-		externs:    map[string]Extern{},
-	}
-	for _, f := range m.Functions {
-		it.fnIndex[f] = int64(len(it.fnTable))
-		it.fnTable = append(it.fnTable, f)
-	}
-	for _, g := range m.Globals {
-		addr := it.alloc(int64(g.Elem.Size()))
-		it.globalAddr[g] = addr
-		scalar := g.ScalarElem()
-		if scalar.IsFloat() {
-			for i, v := range g.FInit {
-				it.writeCell(addr+int64(i)*8, math.Float64bits(v))
-			}
-		} else {
-			for i, v := range g.Init {
-				it.writeCell(addr+int64(i)*8, uint64(v))
-			}
-		}
+		Mod:      m,
+		Cost:     DefaultCostModel(),
+		MaxSteps: defaultMaxSteps,
+		img:      newImage(m),
 	}
 	registerDefaultExterns(it)
 	return it
 }
 
 // RegisterExtern installs (or replaces) a host function for declarations
-// named name.
-func (it *Interp) RegisterExtern(name string, fn Extern) { it.externs[name] = fn }
+// named name, with no argument-count validation. Register before Run;
+// registration is synchronized but a replacement mid-dispatch is not
+// observed by workers already inside the extern.
+func (it *Interp) RegisterExtern(name string, fn Extern) {
+	it.img.registerExtern(name, -1, fn)
+}
+
+// RegisterExternArity installs a host function that requires exactly
+// arity arguments; calls with any other count fail with an error instead
+// of the extern body indexing out of range.
+func (it *Interp) RegisterExternArity(name string, arity int, fn Extern) {
+	it.img.registerExtern(name, arity, fn)
+}
 
 // GlobalAddr returns the address of g's storage.
-func (it *Interp) GlobalAddr(g *ir.Global) int64 { return it.globalAddr[g] }
-
-// alloc reserves size bytes (rounded up to cells) and tracks the range.
-func (it *Interp) alloc(size int64) int64 {
-	if size < 8 {
-		size = 8
-	}
-	size = (size + 7) &^ 7
-	addr := it.nextPtr
-	it.nextPtr += size
-	it.allocs[addr] = size
-	return addr
-}
-
-func (it *Interp) free(addr int64) { delete(it.allocs, addr) }
+func (it *Interp) GlobalAddr(g *ir.Global) int64 { return it.img.globalAddr[g] }
 
 // ValidAddress reports whether addr falls inside a live allocation.
-func (it *Interp) ValidAddress(addr int64) bool {
-	for start, size := range it.allocs {
-		if addr >= start && addr < start+size {
-			return true
-		}
-	}
-	return false
-}
+func (it *Interp) ValidAddress(addr int64) bool { return it.img.validAddress(addr) }
+
+// alloc reserves size bytes in the shared image.
+func (it *Interp) alloc(size int64) int64 { return it.img.alloc(size) }
+
+func (it *Interp) free(addr int64) { it.img.free(addr) }
 
 func (it *Interp) writeCell(addr int64, v uint64) {
 	cell := addr >> 3
 	page := cell / pageCells
-	p, ok := it.pages[page]
-	if !ok {
-		p = make([]uint64, pageCells)
-		it.pages[page] = p
+	slot := uint64(page) % pageCacheSize
+	p := it.cachePages[slot]
+	if p == nil || it.cacheKeys[slot] != page {
+		p = it.img.pages.getOrCreate(page)
+		it.cacheKeys[slot], it.cachePages[slot] = page, p
 	}
 	p[cell%pageCells] = v
 }
 
 func (it *Interp) readCell(addr int64) uint64 {
 	cell := addr >> 3
-	if p, ok := it.pages[cell/pageCells]; ok {
-		return p[cell%pageCells]
+	page := cell / pageCells
+	slot := uint64(page) % pageCacheSize
+	p := it.cachePages[slot]
+	if p == nil || it.cacheKeys[slot] != page {
+		p = it.img.pages.get(page)
+		if p == nil {
+			return 0
+		}
+		it.cacheKeys[slot], it.cachePages[slot] = page, p
 	}
-	return 0
+	return p[cell%pageCells]
 }
 
 // MemoryFingerprint hashes the contents of all global storage; semantic
 // equivalence tests compare fingerprints of original vs transformed runs.
-func (it *Interp) MemoryFingerprint() uint64 {
-	type ga struct {
-		name string
-		addr int64
-		size int64
+func (it *Interp) MemoryFingerprint() uint64 { return it.img.fingerprint() }
+
+// stepBudget resolves the effective step limit (0 meaning the default;
+// negative budgets — a forked worker with no grant yet — fall through to
+// the slow path, which draws from the dispatch tree's shared pool).
+func (it *Interp) stepBudget() int64 {
+	if it.MaxSteps == 0 {
+		return defaultMaxSteps
 	}
-	var gs []ga
-	for g, a := range it.globalAddr {
-		gs = append(gs, ga{g.Nam, a, int64(g.Elem.Size())})
-	}
-	sort.Slice(gs, func(i, j int) bool { return gs[i].name < gs[j].name })
-	h := uint64(14695981039346656037)
-	mix := func(v uint64) {
-		h ^= v
-		h *= 1099511628211
-	}
-	for _, g := range gs {
-		for off := int64(0); off < g.size; off += 8 {
-			mix(it.readCell(g.addr + off))
-		}
-	}
-	return h
+	return it.MaxSteps
 }
 
 // Run executes @main with no arguments and returns its integer result.
@@ -181,9 +169,12 @@ func (it *Interp) Run() (int64, error) {
 // Call executes f with raw argument bits and returns the raw result bits.
 func (it *Interp) Call(f *ir.Function, args []uint64) (uint64, error) {
 	if f.IsDeclaration() {
-		ext, ok := it.externs[f.Nam]
+		ext, arity, ok := it.img.lookupExtern(f.Nam)
 		if !ok {
 			return 0, fmt.Errorf("interp: call to undefined extern @%s", f.Nam)
+		}
+		if arity >= 0 && len(args) != arity {
+			return 0, fmt.Errorf("interp: extern @%s: %d args, want %d", f.Nam, len(args), arity)
 		}
 		it.Cycles += it.Cost.ExternFix
 		return ext(it, args)
@@ -202,10 +193,7 @@ func (it *Interp) Call(f *ir.Function, args []uint64) (uint64, error) {
 		}
 	}()
 
-	maxSteps := it.MaxSteps
-	if maxSteps == 0 {
-		maxSteps = 200_000_000
-	}
+	maxSteps := it.stepBudget()
 
 	block := f.Entry()
 	var prev *ir.Block
@@ -240,7 +228,10 @@ func (it *Interp) Call(f *ir.Function, args []uint64) (uint64, error) {
 
 		for _, in := range block.Instrs[block.FirstNonPhi():] {
 			if it.Steps >= maxSteps {
-				return 0, ErrStepLimit
+				var ok bool
+				if maxSteps, ok = it.extendStepBudget(); !ok {
+					return 0, ErrStepLimit
+				}
 			}
 			it.Steps++
 			it.Cycles += it.Cost.Cost(in)
@@ -385,10 +376,10 @@ func (it *Interp) callee(frame map[ir.Value]uint64, in *ir.Instr) (*ir.Function,
 		return nil, err
 	}
 	idx := int64(bits)
-	if idx < 0 || idx >= int64(len(it.fnTable)) {
+	if idx < 0 || idx >= int64(len(it.img.fnTable)) {
 		return nil, fmt.Errorf("interp: indirect call to invalid function id %d", idx)
 	}
-	return it.fnTable[idx], nil
+	return it.img.fnTable[idx], nil
 }
 
 // value resolves an operand to its raw bits.
@@ -400,9 +391,9 @@ func (it *Interp) value(frame map[ir.Value]uint64, v ir.Value) (uint64, error) {
 		}
 		return uint64(x.Int), nil
 	case *ir.Global:
-		return uint64(it.globalAddr[x]), nil
+		return uint64(it.img.globalAddr[x]), nil
 	case *ir.Function:
-		return uint64(it.fnIndex[x]), nil
+		return uint64(it.img.fnIndex[x]), nil
 	default:
 		bits, ok := frame[v]
 		if !ok {

@@ -1,0 +1,217 @@
+// Parallel dispatch runtime: the noelle_dispatch extern runs each task
+// invocation in its own goroutine over a forked worker context. Worker
+// contexts have private call stacks, step/cycle counters, and output
+// buffers, and share the module's memory image through the
+// concurrency-safe page store; after the barrier the parent aggregates
+// every worker in worker order, so a parallel dispatch is observationally
+// identical to the sequential fallback (same output bytes, same Steps and
+// Cycles totals, same memory image). Hooked contexts (profiling, cost
+// attribution) dispatch sequentially so hooks keep the canonical order.
+
+package interp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"noelle/internal/ir"
+)
+
+// maxDispatchFanout bounds a single dispatch's worker count. Real modules
+// dispatch over the core count baked in at transform time; a worker count
+// this large can only come from a malformed or hostile module, and
+// erroring out beats allocating per-worker state for it.
+const maxDispatchFanout = 1 << 20
+
+// stepPool is the shared step budget of one dispatch tree: every worker
+// (and nested dispatch workers) draws chunks from the same pool, so the
+// whole tree executes at most the parent's unspent budget — matching the
+// sequential fallback's cumulative bound — without an atomic operation
+// per instruction.
+type stepPool struct {
+	remaining atomic.Int64
+	chunk     int64
+}
+
+// newStepPool sizes chunks so even a tiny budget splits across workers
+// (stranding is at most one chunk per worker).
+func newStepPool(budget, nworkers int64) *stepPool {
+	chunk := budget / (8 * nworkers)
+	if chunk < 64 {
+		chunk = 64
+	}
+	if chunk > 65536 {
+		chunk = 65536
+	}
+	p := &stepPool{chunk: chunk}
+	p.remaining.Store(budget)
+	return p
+}
+
+// take grants up to one chunk of steps, or 0 when the pool is exhausted.
+// Accounting is exact: failed takes debit nothing, the final partial
+// chunk grants precisely what remains, and refunds (Add of a worker's
+// unused grant) become available to later takers.
+func (p *stepPool) take() int64 {
+	for {
+		rem := p.remaining.Load()
+		if rem <= 0 {
+			return 0
+		}
+		grant := p.chunk
+		if grant > rem {
+			grant = rem
+		}
+		if p.remaining.CompareAndSwap(rem, rem-grant) {
+			return grant
+		}
+	}
+}
+
+// extendStepBudget is the slow path of the execution loop's step check:
+// worker contexts top up from the dispatch tree's shared pool; root
+// contexts (no pool) are simply out of budget. It also absorbs the case
+// where an inner frame already extended the budget (the caller's cached
+// limit was stale).
+func (it *Interp) extendStepBudget() (int64, bool) {
+	if limit := it.stepBudget(); it.Steps < limit {
+		return limit, true
+	}
+	if it.pool == nil {
+		return 0, false
+	}
+	grant := it.pool.take()
+	if grant == 0 {
+		return 0, false
+	}
+	it.MaxSteps = it.Steps + grant
+	return it.MaxSteps, true
+}
+
+// fork creates a worker context sharing this context's image. The worker
+// inherits the cost model and dispatch configuration; it starts with no
+// step grant and draws from pool as it executes. Workers never carry
+// hooks: a hooked context dispatches sequentially instead (see dispatch).
+func (it *Interp) fork(pool *stepPool) *Interp {
+	return &Interp{
+		Mod:             it.Mod,
+		Cost:            it.Cost,
+		SeqDispatch:     it.SeqDispatch,
+		DispatchWorkers: it.DispatchWorkers,
+		img:             it.img,
+		pool:            pool,
+		MaxSteps:        -1, // nothing granted yet: first step hits the pool
+	}
+}
+
+// absorb folds a finished worker into the parent: counters and output are
+// accumulated. Callers absorb workers in worker order; the result is
+// byte-identical to a sequential dispatch.
+func (it *Interp) absorb(w *Interp) {
+	if it.pool != nil && it.MaxSteps > 0 {
+		// The absorber is itself a worker holding an active grant: the
+		// sub-workers' steps were already debited from the shared pool by
+		// their own takes, so shift the local quota with them — otherwise
+		// the next budget check would discard (and strand) the unused
+		// remainder of the current grant.
+		it.MaxSteps += w.Steps
+	}
+	it.Steps += w.Steps
+	it.Cycles += w.Cycles
+	it.GuardCalls += w.GuardCalls
+	it.GuardFailures += w.GuardFailures
+	it.Callbacks += w.Callbacks
+	it.ClockSets += w.ClockSets
+	it.Output.WriteString(w.Output.String())
+}
+
+// hooked reports whether any observation hook is installed.
+func (it *Interp) hooked() bool {
+	return it.InstrHook != nil || it.BlockHook != nil || it.EdgeHook != nil
+}
+
+// dispatch implements the noelle_dispatch extern: run task(env, w,
+// nworkers) for every worker w in [0, nworkers). Workers run concurrently
+// on real cores unless SeqDispatch is set, there is at most one worker,
+// or a hook is installed — hooked runs (profiling, cost attribution) take
+// the sequential path so hooks observe the canonical sequential event
+// order without the runtime buffering O(steps) of events per worker; the
+// observable result is identical either way.
+func (it *Interp) dispatch(args []uint64) (uint64, error) {
+	idx := int64(args[0])
+	if idx < 0 || idx >= int64(len(it.img.fnTable)) {
+		return 0, fmt.Errorf("interp: dispatch of invalid function id %d", idx)
+	}
+	task := it.img.fnTable[idx]
+	nworkers := int64(args[2])
+	if nworkers < 0 || nworkers > maxDispatchFanout {
+		return 0, fmt.Errorf("interp: dispatch with unreasonable worker count %d", nworkers)
+	}
+	if it.SeqDispatch || nworkers <= 1 || it.hooked() {
+		for w := int64(0); w < nworkers; w++ {
+			if _, err := it.Call(task, []uint64{args[1], uint64(w), args[2]}); err != nil {
+				return 0, fmt.Errorf("interp: dispatch worker %d: %w", w, err)
+			}
+		}
+		return 0, nil
+	}
+	return it.dispatchParallel(task, args[1], nworkers)
+}
+
+// dispatchParallel runs the task's worker invocations across a bounded
+// pool of goroutines — at most DispatchWorkers (default GOMAXPROCS) run
+// at once, and worker contexts are forked lazily as each invocation is
+// claimed, so a huge nworkers costs memory proportional to the
+// concurrency cap, not the fan-out. All workers run to completion (the
+// shared step pool bounds total work by the unspent budget) even when one
+// fails; aggregation and error selection happen after the barrier, in
+// worker order, so runs are deterministic.
+func (it *Interp) dispatchParallel(task *ir.Function, envBits uint64, nworkers int64) (uint64, error) {
+	workers := make([]*Interp, nworkers)
+	errs := make([]error, nworkers)
+	pool := it.pool
+	if pool == nil {
+		// Root of a dispatch tree: the pool holds this context's unspent
+		// budget. Nested dispatches reuse the tree's pool.
+		pool = newStepPool(it.stepBudget()-it.Steps, nworkers)
+	}
+	par := int64(it.DispatchWorkers)
+	if par <= 0 {
+		par = int64(runtime.GOMAXPROCS(0))
+	}
+	if par > nworkers {
+		par = nworkers
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := int64(0); g < par; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				w := next.Add(1) - 1
+				if w >= nworkers {
+					return
+				}
+				wk := it.fork(pool)
+				workers[w] = wk
+				_, errs[w] = wk.Call(task, []uint64{envBits, uint64(w), uint64(nworkers)})
+				if unused := wk.MaxSteps - wk.Steps; wk.MaxSteps > 0 && unused > 0 {
+					pool.remaining.Add(unused) // return the stranded grant
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, wk := range workers {
+		it.absorb(wk)
+	}
+	for w, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("interp: dispatch worker %d: %w", w, err)
+		}
+	}
+	return 0, nil
+}

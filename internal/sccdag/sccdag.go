@@ -9,6 +9,8 @@
 package sccdag
 
 import (
+	"fmt"
+
 	"noelle/internal/graph"
 	"noelle/internal/ir"
 	"noelle/internal/pdg"
@@ -29,15 +31,18 @@ const (
 	Reducible
 )
 
-// String renders the kind.
+// String renders the kind; out-of-range values render as "invalid(N)"
+// instead of masquerading as a legitimate classification.
 func (k Kind) String() string {
 	switch k {
 	case Independent:
 		return "independent"
 	case Sequential:
 		return "sequential"
-	default:
+	case Reducible:
 		return "reducible"
+	default:
+		return fmt.Sprintf("invalid(%d)", int(k))
 	}
 }
 

@@ -1,0 +1,185 @@
+package sccdag_test
+
+import (
+	"testing"
+
+	"noelle/internal/core"
+	"noelle/internal/ir"
+	"noelle/internal/loops"
+	"noelle/internal/minic"
+	"noelle/internal/passes"
+	"noelle/internal/sccdag"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[sccdag.Kind]string{
+		sccdag.Independent: "independent",
+		sccdag.Sequential:  "sequential",
+		sccdag.Reducible:   "reducible",
+		sccdag.Kind(3):     "invalid(3)",
+		sccdag.Kind(-1):    "invalid(-1)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+// loopsOf compiles src and returns the fully-analyzed loops of main.
+func loopsOf(t *testing.T, src string) []*loops.Loop {
+	t.Helper()
+	m, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	passes.Optimize(m)
+	opts := core.DefaultOptions()
+	opts.MinHotness = 0
+	n := core.New(m, opts)
+	f := m.FunctionByName("main")
+	var out []*loops.Loop
+	for _, ls := range n.LoopStructures(f) {
+		out = append(out, n.Loop(ls))
+	}
+	if len(out) == 0 {
+		t.Fatalf("no loops found:\n%s", ir.Print(m))
+	}
+	return out
+}
+
+func TestIVCycleClassification(t *testing.T) {
+	ls := loopsOf(t, `
+int a[64];
+int main() {
+  int i;
+  for (i = 0; i < 64; i = i + 1) { a[i] = i * 3; }
+  return a[10];
+}`)
+	dag := ls[0].SCCDAG
+	var ivNodes, seqNonIV int
+	for _, n := range dag.Nodes {
+		if n.IsIV {
+			ivNodes++
+			if n.Kind != sccdag.Sequential {
+				t.Errorf("IV cycle classified %s, want sequential (flagged for cloning)", n.Kind)
+			}
+			if len(n.Carried) == 0 {
+				t.Error("IV cycle has no recorded carried edges")
+			}
+		}
+	}
+	if ivNodes == 0 {
+		t.Fatal("no IV cycle node found")
+	}
+	for _, n := range dag.SequentialNodes() {
+		if !n.IsIV {
+			seqNonIV++
+		}
+	}
+	if seqNonIV != 0 {
+		t.Errorf("independent map loop has %d truly-sequential SCCs, want 0", seqNonIV)
+	}
+	// The store must sit in an Independent node.
+	storeIndependent := false
+	for in, n := range dag.NodeOf {
+		if in.Opcode == ir.OpStore && n.Kind == sccdag.Independent {
+			storeIndependent = true
+		}
+	}
+	if !storeIndependent {
+		t.Error("the disjoint store was not classified Independent")
+	}
+}
+
+func TestReductionClassification(t *testing.T) {
+	all := loopsOf(t, `
+int a[64];
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 64; i = i + 1) { a[i] = i; }
+  for (i = 0; i < 64; i = i + 1) { s = s + a[i]; }
+  return s;
+}`)
+	reducible := 0
+	for _, l := range all {
+		for _, n := range l.SCCDAG.Nodes {
+			if n.Kind == sccdag.Reducible {
+				reducible++
+				if n.HasMemoryCarried {
+					t.Error("register reduction flagged as memory-carried")
+				}
+				hasPhi := false
+				for _, in := range n.Instrs {
+					if in.Opcode == ir.OpPhi {
+						hasPhi = true
+					}
+				}
+				if !hasPhi {
+					t.Error("reducible SCC has no anchoring phi")
+				}
+			}
+		}
+	}
+	if reducible == 0 {
+		t.Fatal("sum reduction was not classified Reducible")
+	}
+}
+
+func TestMemoryCarriedClassification(t *testing.T) {
+	all := loopsOf(t, `
+int a[64];
+int main() {
+  int i;
+  for (i = 1; i < 64; i = i + 1) { a[i] = a[i - 1] + 1; }
+  return a[63];
+}`)
+	memCarried := 0
+	for _, l := range all {
+		for _, n := range l.SCCDAG.Nodes {
+			if n.HasMemoryCarried {
+				memCarried++
+				if n.Kind != sccdag.Sequential {
+					t.Errorf("memory-carried recurrence classified %s, want sequential", n.Kind)
+				}
+				if n.IsIV {
+					t.Error("memory-carried recurrence flagged as an IV cycle")
+				}
+			}
+		}
+		if l.IsDOALL() {
+			t.Error("loop with a memory-carried recurrence reported DOALL-able")
+		}
+	}
+	if memCarried == 0 {
+		t.Fatal("a[i] = a[i-1] recurrence produced no memory-carried SCC")
+	}
+}
+
+func TestTopoOrderRespectsDependences(t *testing.T) {
+	ls := loopsOf(t, `
+int a[64];
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 64; i = i + 1) { s = s + a[i] * 2; }
+  return s;
+}`)
+	dag := ls[0].SCCDAG
+	pos := map[*sccdag.Node]int{}
+	order := dag.TopoOrder()
+	if len(order) != len(dag.Nodes) {
+		t.Fatalf("TopoOrder returned %d nodes, DAG has %d", len(order), len(dag.Nodes))
+	}
+	for i, n := range order {
+		pos[n] = i
+	}
+	for _, n := range dag.Nodes {
+		for _, succ := range dag.Succs[n] {
+			if succ != n && pos[succ] < pos[n] {
+				t.Errorf("successor scheduled before its producer")
+			}
+		}
+	}
+}

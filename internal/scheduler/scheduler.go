@@ -16,15 +16,33 @@ import (
 )
 
 // Scheduler provides PDG-guarded code motion for one function.
+//
+// Invalidation contract: the PDG the scheduler is constructed over
+// describes the function as it was at construction time. Every successful
+// motion (MoveBefore, ReorderBlock, ShrinkHeader) preserves the
+// dependences the PDG records, so further motions through the *same*
+// scheduler stay legal — but any analysis that reads instruction
+// placement (control dependences, loop membership, block-level queries)
+// is stale once Mutated reports true. Callers must invalidate cached
+// abstractions for the function (core.Noelle.InvalidateFunction) before
+// requesting new ones, as the HELIX tool does after ShrinkHeader.
 type Scheduler struct {
 	Fn  *ir.Function
 	PDG *pdg.Graph
+
+	mutated bool
 }
 
 // New returns a scheduler for f guarded by its dependence graph g.
 func New(f *ir.Function, g *pdg.Graph) *Scheduler {
 	return &Scheduler{Fn: f, PDG: g}
 }
+
+// Mutated reports whether any motion changed the function since the
+// scheduler was created — i.e. whether cached abstractions derived from
+// the function (including the PDG's placement-dependent facts) must be
+// invalidated before further analysis.
+func (s *Scheduler) Mutated() bool { return s.mutated }
 
 // dependsOn reports whether b transitively depends on a through
 // non-control PDG edges within the given block (used for local reorder
@@ -92,6 +110,7 @@ func (s *Scheduler) MoveBefore(in, pos *ir.Instr) bool {
 	b := in.Parent
 	b.Remove(in)
 	b.InsertBefore(in, pos)
+	s.mutated = true
 	return true
 }
 
@@ -161,6 +180,9 @@ func (s *Scheduler) ReorderBlock(b *ir.Block, priority func(*ir.Instr) int) bool
 		}
 		b.Instrs[start+i] = in
 	}
+	if changed {
+		s.mutated = true
+	}
 	return changed
 }
 
@@ -179,7 +201,10 @@ func NewLoopScheduler(s *Scheduler, ls *loops.LS) *LoopScheduler {
 // value computations not used by the header's own branch decision, not
 // used outside the loop, and free of memory side effects. HELIX applies
 // this to minimize the sequential segment that runs at the head of every
-// iteration. Returns the number of instructions moved.
+// iteration. Returns the number of instructions moved; when that is
+// non-zero the scheduler reports Mutated and the caller must invalidate
+// the function's cached abstractions (see the Scheduler invalidation
+// contract) before deriving loop structure or dependences again.
 func (l *LoopScheduler) ShrinkHeader() int {
 	header := l.LS.Header
 	// The in-loop successor of the header's branch.
@@ -233,11 +258,14 @@ func (l *LoopScheduler) ShrinkHeader() int {
 			return moved
 		}
 		header.Remove(pick)
-		pick.Parent = body
-		idx := body.FirstNonPhi()
-		body.Instrs = append(body.Instrs, nil)
-		copy(body.Instrs[idx+1:], body.Instrs[idx:])
-		body.Instrs[idx] = pick
+		// Sink through the block API (which keeps Parent consistent) to
+		// the top of the body, right after its phis.
+		if idx := body.FirstNonPhi(); idx < len(body.Instrs) {
+			body.InsertBefore(pick, body.Instrs[idx])
+		} else {
+			body.Append(pick)
+		}
+		l.mutated = true
 		moved++
 	}
 }

@@ -38,6 +38,13 @@ type Options struct {
 	// materialize function PDGs before the first tool runs (0 disables
 	// the precompute stage).
 	PrecomputeWorkers int
+	// SeqDispatch forces tools that execute the module under the
+	// interpreter (e.g. COOS's gap validation) to run dispatched tasks
+	// sequentially — the interpreter's -seq debugging fallback.
+	SeqDispatch bool
+	// DispatchWorkers caps how many dispatch workers the interpreter runs
+	// simultaneously when a tool executes the module (0 = GOMAXPROCS).
+	DispatchWorkers int
 }
 
 // DefaultOptions mirrors the historical noelle-load flag defaults.

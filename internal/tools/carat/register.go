@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"noelle/internal/core"
+	"noelle/internal/interp"
 	"noelle/internal/tool"
 )
 
@@ -19,9 +20,9 @@ func (caratTool) Describe() string {
 }
 func (caratTool) Transforms() bool { return true }
 
-func (caratTool) Run(_ context.Context, n *core.Noelle, _ tool.Options) (tool.Report, error) {
+func (caratTool) Run(_ context.Context, n *core.Noelle, opts tool.Options) (tool.Report, error) {
 	r := Run(n)
-	return tool.Report{
+	rep := tool.Report{
 		Summary: fmt.Sprintf("%d accesses, %d proven, %d guards (%d elided, %d hoisted)",
 			r.Accesses, r.Proven, r.Guards, r.Elided, r.Hoisted),
 		Metrics: map[string]int64{
@@ -31,5 +32,24 @@ func (caratTool) Run(_ context.Context, n *core.Noelle, _ tool.Options) (tool.Re
 			"elided":   int64(r.Elided),
 			"hoisted":  int64(r.Hoisted),
 		},
-	}, nil
+	}
+	// Measured validation: execute the instrumented program and report
+	// the dynamic guard behaviour. Guard counters are per-worker and fold
+	// deterministically at the dispatch barrier, so this run honours the
+	// pipeline's execution options (noelle-load -seq/-dispatch-workers).
+	// Modules without a main (library inputs) skip the run; an execution
+	// failure is surfaced in the report without aborting the pipeline.
+	if n.Mod.FunctionByName("main") != nil {
+		it := interp.New(n.Mod)
+		it.SeqDispatch = opts.SeqDispatch
+		it.DispatchWorkers = opts.DispatchWorkers
+		if _, err := it.Run(); err != nil {
+			rep.Detail = append(rep.Detail, fmt.Sprintf("guard validation run failed: %v", err))
+			rep.Metrics["guard_run_failed"] = 1
+		} else {
+			rep.Metrics["guard_calls"] = it.GuardCalls
+			rep.Metrics["guard_failures"] = it.GuardFailures
+		}
+	}
+	return rep, nil
 }

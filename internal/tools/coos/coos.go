@@ -251,6 +251,10 @@ func summarize(f *ir.Function, cbFn *ir.Function, budget int64) *summary {
 // metric for this tool.
 func MeasureMaxGap(m *ir.Module) (maxGap int64, callbacks int64, err error) {
 	it := interp.New(m)
+	// Gap measurement orders callbacks against one global clock; dispatch
+	// must therefore run sequentially (the closure below is not
+	// worker-safe, and a per-worker notion of "gap" is meaningless).
+	it.SeqDispatch = true
 	var last int64
 	it.RegisterExtern(interp.ExternCallback, func(it *interp.Interp, args []uint64) (uint64, error) {
 		gap := it.Cycles - last

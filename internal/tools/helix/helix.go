@@ -76,12 +76,13 @@ func PlanLoop(n *core.Noelle, ls *loops.LS, optimize bool) *Plan {
 		// small as possible.
 		sc := n.Scheduler(ls.Fn)
 		lsched := scheduler.NewLoopScheduler(sc, ls)
-		moved := lsched.ShrinkHeader()
-		if moved > 0 {
+		lsched.ShrinkHeader()
+		if lsched.Mutated() {
+			// The scheduler's invalidation contract: code moved, so every
+			// cached abstraction over the function is stale.
 			n.InvalidateFunction(ls.Fn)
 			l = n.Loop(ls)
 		}
-		defer func() {}()
 	}
 
 	p := &Plan{LS: ls, Loop: l, SegmentOf: map[*ir.Instr]int{}}

@@ -137,9 +137,23 @@ func ParseIR(src string) (*Module, error) { return irtext.Parse(src) }
 func PrintIR(m *Module) string { return ir.Print(m) }
 
 // Run executes a module's @main under the reference interpreter and
-// returns its exit code and output.
+// returns its exit code and output. Modules produced by the
+// parallelizing tools contain noelle_dispatch calls whose task workers
+// run concurrently on real cores; use RunSeq to force the sequential
+// debugging fallback (both produce byte-identical output for
+// correctly-parallelized modules).
 func Run(m *Module) (int64, string, error) {
 	it := interp.New(m)
+	code, err := it.Run()
+	return code, it.Output.String(), err
+}
+
+// RunSeq executes a module like Run but with sequential dispatch: task
+// workers of parallelized loops run one after another in worker order
+// (the interpreter's -seq fallback).
+func RunSeq(m *Module) (int64, string, error) {
+	it := interp.New(m)
+	it.SeqDispatch = true
 	code, err := it.Run()
 	return code, it.Output.String(), err
 }

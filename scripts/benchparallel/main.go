@@ -1,0 +1,97 @@
+// benchparallel records the seq-vs-parallel wall-clock of the parallel
+// interpreter runtime into a JSON artifact (make bench-parallel →
+// BENCH_parallel.json). The measurement itself is eval.WallClockStudy —
+// the same harness behind `noelle-eval -only wallclock` — which
+// DOALL-transforms the bundled parallel benchmark and races
+// noelle_dispatch's parallel backend against the -seq fallback, checking
+// byte-identical output and memory fingerprints along the way.
+//
+// Usage: go run ./scripts/benchparallel [-workers 4] [-size 0]
+//
+//	[-o BENCH_parallel.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"noelle/internal/eval"
+)
+
+// Row is one worker count's measurement.
+type Row struct {
+	Workers   int     `json:"workers"`
+	Modeled   float64 `json:"modeled_speedup"`
+	SeqMS     float64 `json:"seq_ms"`
+	ParMS     float64 `json:"par_ms"`
+	Speedup   float64 `json:"speedup"`
+	Identical bool    `json:"identical"` // output bytes AND memory fingerprint
+}
+
+// Artifact is the written JSON document.
+type Artifact struct {
+	Benchmark   string `json:"benchmark"`
+	Size        int    `json:"size"`
+	CPUs        int    `json:"cpus"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Rows        []Row  `json:"rows"`
+	GeneratedBy string `json:"generated_by"`
+}
+
+func main() {
+	workers := flag.Int("workers", 4, "top worker count of the sweep (powers of two up to this)")
+	size := flag.Int("size", 0, "array length per loop (0 = bundled default)")
+	out := flag.String("o", "BENCH_parallel.json", "output JSON path")
+	flag.Parse()
+
+	if err := run(*workers, *size, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchparallel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topWorkers, size int, out string) error {
+	counts := eval.WorkerSweep(topWorkers)
+	if counts == nil {
+		return fmt.Errorf("-workers must be >= 1 (got %d)", topWorkers)
+	}
+
+	rows, err := eval.WallClockStudy(size, counts, 0, false)
+	if err != nil {
+		return err
+	}
+
+	art := Artifact{
+		Benchmark:   "bench.ParallelProgram",
+		Size:        size,
+		CPUs:        runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GeneratedBy: "make bench-parallel",
+	}
+	if art.Size == 0 {
+		art.Size = 65536
+	}
+	for _, r := range rows {
+		art.Rows = append(art.Rows, Row{
+			Workers:   r.Workers,
+			Modeled:   r.Modeled,
+			SeqMS:     float64(r.SeqWall.Microseconds()) / 1000,
+			ParMS:     float64(r.ParWall.Microseconds()) / 1000,
+			Speedup:   r.Measured,
+			Identical: r.Identical,
+		})
+		fmt.Fprintf(os.Stderr, "workers=%d modeled=%.2fx seq=%v par=%v measured=%.2fx identical=%v\n",
+			r.Workers, r.Modeled, r.SeqWall.Round(time.Millisecond), r.ParWall.Round(time.Millisecond),
+			r.Measured, r.Identical)
+	}
+
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(data, '\n'), 0o644)
+}
