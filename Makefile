@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-cache bench-parallel cache-smoke
+.PHONY: build test vet race bench bench-cache bench-parallel bench-pipeline cache-smoke
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,10 @@ vet:
 	$(GO) vet ./...
 
 # The manager's and the parallel runtime's concurrency guarantees are
-# only meaningful under -race; interp + doall cover the dispatch path.
+# only meaningful under -race; interp + queue + the three parallelizers
+# cover the dispatch and communication paths.
 race:
-	$(GO) test -race ./internal/core/... ./internal/tools/ ./internal/abscache/ ./internal/interp/ ./internal/tools/doall/
+	$(GO) test -race ./internal/core/... ./internal/tools/ ./internal/abscache/ ./internal/interp/ ./internal/queue/ ./internal/tools/doall/ ./internal/tools/dswp/ ./internal/tools/helix/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
@@ -35,3 +36,9 @@ cache-smoke:
 # speedup column only means something on a multi-core machine.
 bench-parallel:
 	$(GO) run ./scripts/benchparallel -workers 4 -o BENCH_parallel.json
+
+# Seq/DSWP/HELIX wall-clock of the queue communication runtime on the
+# bundled pipeline benchmark (stages over bounded queues, signal-guarded
+# iterations), next to the SimulateDSWP/SimulateHELIX modeled numbers.
+bench-pipeline:
+	$(GO) run ./scripts/benchpipeline -cores 4 -o BENCH_pipeline.json

@@ -339,7 +339,7 @@ func BenchmarkAblationHelixSched(b *testing.B) {
 				opts := core.DefaultOptions()
 				opts.MinHotness = 0
 				n := core.New(m, opts)
-				res := helix.Run(n, optimized)
+				res := helix.Run(n, optimized, helix.Exec{})
 				par = 0
 				for _, p := range res.Plans {
 					_, pp, err := helix.Simulate(n, p, 12)

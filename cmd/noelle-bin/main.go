@@ -8,8 +8,12 @@
 // calls; those run their task workers concurrently on real cores by
 // default. -seq falls back to sequential worker-order execution (for
 // debugging), and -workers caps how many workers run simultaneously.
+// Pipelined modules (dswp/helix -exec-plans) also create queues and
+// signals through the communication runtime; -queue-cap overrides the
+// queue capacity baked into the module (backpressure only — results are
+// identical at any capacity).
 //
-// Usage: noelle-bin [-seq] [-workers N] [-emit out.nir] whole.nir
+// Usage: noelle-bin [-seq] [-workers N] [-queue-cap N] [-emit out.nir] whole.nir
 package main
 
 import (
@@ -26,9 +30,10 @@ func main() {
 	emit := flag.String("emit", "", "write the executable IR image instead of running")
 	seq := flag.Bool("seq", false, "run dispatched tasks sequentially (debugging fallback)")
 	workers := flag.Int("workers", 0, "cap on simultaneously-running dispatch workers (0 = GOMAXPROCS)")
+	queueCap := flag.Int("queue-cap", 0, "override the capacity of the module's communication queues (0 = respect the module)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: noelle-bin [-seq] [-workers N] [-emit out.nir] whole.nir")
+		fmt.Fprintln(os.Stderr, "usage: noelle-bin [-seq] [-workers N] [-queue-cap N] [-emit out.nir] whole.nir")
 		os.Exit(2)
 	}
 	m, err := toolio.ReadModule(flag.Arg(0))
@@ -50,6 +55,7 @@ func main() {
 	it := interp.New(m)
 	it.SeqDispatch = *seq
 	it.DispatchWorkers = *workers
+	it.QueueCap = *queueCap
 	code, err := it.Run()
 	if err != nil {
 		toolio.Fatal(err)

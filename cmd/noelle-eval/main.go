@@ -5,10 +5,16 @@
 // Usage: noelle-eval [-only table1|table2|table3|table4|fig3|fig4|goviv|fig5|spec|dead|wallclock]
 //
 // The wallclock artifact complements the simulated Figure-5 numbers with
-// *measured* speedups: it DOALL-transforms the bundled parallel benchmark
-// and races the interpreter's parallel dispatch against its -seq
-// fallback. -workers picks the top worker count of the sweep, -seq turns
-// the parallel leg into a sequential control run.
+// *measured* speedups, covering all three parallelization techniques:
+// it DOALL-transforms the bundled parallel benchmark and races the
+// interpreter's parallel dispatch against its -seq fallback, then lowers
+// the bundled pipeline benchmark with DSWP (stages over internal/queue
+// queues) and HELIX (signal-guarded iterations) and reports measured
+// pipeline speedups next to the SimulateDSWP/SimulateHELIX numbers.
+// -workers picks the top worker count of the sweep (and the pipeline
+// core count), -wall-size the per-loop iteration count, -queue-cap the
+// communication queue bound, and -seq turns every parallel leg into a
+// sequential control run.
 package main
 
 import (
@@ -24,8 +30,9 @@ func main() {
 	only := flag.String("only", "", "emit a single artifact")
 	cores := flag.Int("cores", 12, "core count for the speedup figures")
 	workers := flag.Int("workers", 4, "top worker count for the wallclock artifact's sweep")
-	seq := flag.Bool("seq", false, "wallclock artifact: run the parallel leg sequentially too (debugging control)")
-	wallSize := flag.Int("wall-size", 0, "wallclock artifact: array length per loop (0 = default)")
+	seq := flag.Bool("seq", false, "wallclock artifact: run the parallel legs sequentially too (debugging control)")
+	wallSize := flag.Int("wall-size", 0, "wallclock artifact: array length / iteration count per loop (0 = default)")
+	queueCap := flag.Int("queue-cap", 0, "wallclock artifact: bound on the pipeline communication queues (0 = default)")
 	flag.Parse()
 
 	emit := func(name string, gen func() (string, error)) {
@@ -113,5 +120,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(eval.FormatWallClock(rows, *wallSize))
+		prows, err := eval.PipelineWallClockStudy(*wallSize, *workers, 0, *queueCap, *seq)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wallclock: pipeline error: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(eval.FormatPipelineWallClock(prows, *wallSize))
 	}
 }

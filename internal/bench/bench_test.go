@@ -10,8 +10,11 @@ import (
 	"noelle/internal/core"
 	"noelle/internal/interp"
 	"noelle/internal/ir"
+	"noelle/internal/profiler"
 	"noelle/internal/tools/baseline"
 	"noelle/internal/tools/doall"
+	"noelle/internal/tools/dswp"
+	"noelle/internal/tools/helix"
 )
 
 // outputsEquivalent compares program outputs line by line. Float lines may
@@ -157,5 +160,75 @@ func TestConservativeBaselineExtractsLittle(t *testing.T) {
 	}
 	if totalParallelized > 3 {
 		t.Errorf("conservative baseline parallelized %d loops; expected near zero", totalParallelized)
+	}
+}
+
+// TestPipelineProgramShape checks the queue-runtime benchmark: its hot
+// loop must resist DOALL (the recurrence serializes it) while both
+// pipelining techniques plan — and lower — it.
+func TestPipelineProgramShape(t *testing.T) {
+	pipelineModule := func() *ir.Module {
+		m, err := bench.PipelineProgram(512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, err := profiler.Collect(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof.Embed()
+		return m
+	}
+	m := pipelineModule()
+	opts := core.DefaultOptions()
+	opts.MinHotness = 0.2 // the wall-clock study's threshold: main loop only
+	opts.Cores = 4
+	n := core.New(m, opts)
+
+	hot := n.HotLoops()
+	if len(hot) != 1 {
+		t.Fatalf("hot loops at 0.2 threshold = %d, want 1 (the pipeline loop)", len(hot))
+	}
+	if err := doall.Eligible(n.Loop(hot[0])); err == nil {
+		t.Error("pipeline loop is DOALL-able; the benchmark no longer exercises queues")
+	}
+
+	dres := dswp.Run(n, dswp.Exec{Enabled: true})
+	if len(dres.Lowered) != 1 {
+		t.Fatalf("dswp lowered %d loops, want 1 (rejections %v, not lowered %v)",
+			len(dres.Lowered), dres.Rejections, dres.NotLowered)
+	}
+	if dres.Lowered[0].Stages < 2 {
+		t.Errorf("pipeline loop lowered with %d stages", dres.Lowered[0].Stages)
+	}
+
+	m2 := pipelineModule()
+	n2 := core.New(m2, opts)
+	hres := helix.Run(n2, false, helix.Exec{Enabled: true})
+	if len(hres.Lowered) != 1 {
+		t.Fatalf("helix lowered %d loops, want 1 (rejections %v, not lowered %v)",
+			len(hres.Lowered), hres.Rejections, hres.NotLowered)
+	}
+	if hres.Lowered[0].Segments < 1 {
+		t.Errorf("pipeline loop lowered with %d sequential segments", hres.Lowered[0].Segments)
+	}
+
+	// Both transformed modules still compute the original answer.
+	ref := pipelineModule()
+	it0 := interp.New(ref)
+	if _, err := it0.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for name, tm := range map[string]*ir.Module{"dswp": m, "helix": m2} {
+		it := interp.New(tm)
+		if _, err := it.Run(); err != nil {
+			t.Fatalf("%s-transformed run: %v", name, err)
+		}
+		if it.Output.String() != it0.Output.String() {
+			t.Errorf("%s-transformed output %q != original %q", name, it.Output.String(), it0.Output.String())
+		}
+		if it.MemoryFingerprint() != it0.MemoryFingerprint() {
+			t.Errorf("%s-transformed memory diverged", name)
+		}
 	}
 }

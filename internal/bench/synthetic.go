@@ -108,3 +108,60 @@ int main() {
 	passes.Optimize(m)
 	return m, nil
 }
+
+// PipelineProgram generates the bundled whole-program benchmark for the
+// queue-based communication runtime: its hot loop is NOT DOALL-able — an
+// order-sensitive recurrence (acc = acc*3 + f(i) mod M defeats reduction
+// recognition) rides behind a long Independent arithmetic chain — so the
+// pipelining techniques are the only way to parallelize it. DSWP splits
+// the chain into balanced stages connected by internal/queue queues;
+// HELIX overlaps the chain across iterations while ticket signals
+// serialize the recurrence. The modulus-heavy chain makes the loop
+// dominate the profile (rem costs 24 model cycles), keeping the cheap
+// init/checksum loops below the hotness threshold the wall-clock study
+// uses. size is the iteration count (0 picks the bundled default).
+func PipelineProgram(size int) (*ir.Module, error) {
+	if size <= 0 {
+		size = 65536
+	}
+	src := fmt.Sprintf(`
+int b[%[1]d];
+int c[%[1]d];
+int main() {
+  int n = %[1]d;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    b[i] = (i * 7 + 3) %% 4093 + 1;
+  }
+  int acc = 1;
+  for (i = 0; i < n; i = i + 1) {
+    int x = b[i];
+    int t1 = x * 3 + i;
+    int t2 = (t1 * t1 + x) %% 65521;
+    int t3 = t2 * 5 + t1;
+    int t4 = (t3 * t3 + t2) %% 32749;
+    int t5 = t4 * 7 + t3;
+    int t6 = (t5 * t5 + t4) %% 16381;
+    int t7 = t6 * 11 + t5;
+    int t8 = (t7 * t7 + t6) %% 8191;
+    int t9 = t8 * 13 + t7;
+    int t10 = (t9 * t9 + t8) %% 4093;
+    acc = (acc * 3 + t10) %% 65521;
+    c[i] = t10 + t8 %% 127;
+  }
+  print_i64(acc);
+  int s = 0;
+  for (i = 0; i < n; i = i + 1) {
+    s = s + c[i] %% 31;
+  }
+  print_i64(s);
+  return (acc + s) %% 251;
+}
+`, size)
+	m, err := minic.Compile(fmt.Sprintf("pipeline-%d", size), src)
+	if err != nil {
+		return nil, err
+	}
+	passes.Optimize(m)
+	return m, nil
+}

@@ -157,3 +157,50 @@ func NewTask(m *ir.Module, name string, e *Environment) *Task {
 func (t *Task) EnvSlotAddr(bld *ir.Builder, s *Slot) ir.Value {
 	return bld.CreatePtrAdd(t.EnvPtr, ir.ConstInt(int64(s.Index)), fmt.Sprintf("env.slot%d", s.Index))
 }
+
+// LoadLiveIns emits (into bld, normally at the task's entry) a typed
+// load of every live-in slot and returns the remapping from the
+// original SSA values to their in-task copies — the standard preamble
+// of every generated task body.
+func (t *Task) LoadLiveIns(bld *ir.Builder) map[ir.Value]ir.Value {
+	remap := map[ir.Value]ir.Value{}
+	for _, s := range t.Env.Slots {
+		if s.Kind != LiveIn {
+			continue
+		}
+		addr := t.EnvSlotAddr(bld, s)
+		raw := bld.CreateLoad(addr, fmt.Sprintf("in%d", s.Index))
+		remap[s.Value] = FromBits(bld, raw, s.Value.Type())
+	}
+	return remap
+}
+
+// ToBits emits the cast flattening v into the raw i64 an environment cell
+// (or a communication queue) carries.
+func ToBits(bld *ir.Builder, v ir.Value) ir.Value {
+	switch v.Type().Kind {
+	case ir.F64Kind:
+		return bld.CreateCast(ir.OpFBits, v, "")
+	case ir.I1Kind:
+		return bld.CreateCast(ir.OpZExt, v, "")
+	case ir.PtrKind:
+		return bld.CreateCast(ir.OpP2I, v, "")
+	default:
+		return v
+	}
+}
+
+// FromBits emits the cast recovering a value of type ty from the raw i64
+// cell contents raw.
+func FromBits(bld *ir.Builder, raw ir.Value, ty *ir.Type) ir.Value {
+	switch ty.Kind {
+	case ir.F64Kind:
+		return bld.CreateCast(ir.OpBitsF, raw, "")
+	case ir.I1Kind:
+		return bld.CreateCast(ir.OpTrunc, raw, "")
+	case ir.PtrKind:
+		return bld.CreateIntToPtr(raw, ty.Elem, "")
+	default:
+		return raw
+	}
+}

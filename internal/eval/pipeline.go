@@ -1,0 +1,220 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"noelle/internal/bench"
+	"noelle/internal/core"
+	"noelle/internal/interp"
+	"noelle/internal/ir"
+	"noelle/internal/loops"
+	"noelle/internal/machine"
+	"noelle/internal/profiler"
+	"noelle/internal/tools/dswp"
+	"noelle/internal/tools/helix"
+)
+
+// pipelineHotness is the loop-selection threshold of the pipeline study:
+// high enough that only the benchmark's dominant (non-DOALL-able) loop
+// qualifies, so the cheap init/checksum sweeps stay sequential instead
+// of paying per-iteration dispatch overhead for trivial bodies.
+const pipelineHotness = 0.2
+
+// PipelineRow is one technique's measured-vs-modeled comparison on the
+// bundled pipeline benchmark (bench.PipelineProgram): the modeled column
+// is the machine simulator's whole-program speedup (SimulateDSWP over
+// the queue-calibrated config, SimulateHELIX over the default one), the
+// measured column is real wall-clock of the lowered module under the
+// parallel interpreter runtime against its -seq fallback.
+type PipelineRow struct {
+	Technique string // "dswp" or "helix"
+	Cores     int
+	// Parts is NumStages for DSWP, sequential segments for HELIX.
+	Parts    int
+	Modeled  float64
+	SeqWall  time.Duration
+	ParWall  time.Duration
+	Measured float64
+	// Identical confirms the parallel run produced byte-identical output
+	// and the same memory image as the sequential fallback.
+	Identical bool
+	// QueueOps counts the communication operations the parallel run
+	// drove (queue pushes+pops for DSWP, signal waits+fires for HELIX).
+	QueueOps int64
+}
+
+// PipelineWallClockStudy lowers the bundled pipeline benchmark with DSWP
+// and HELIX and races each lowered module's parallel dispatch against
+// its -seq fallback, next to the corresponding simulated speedup.
+// dispatchCap bounds how many workers run simultaneously (0 means
+// GOMAXPROCS); queueCap bounds the generated queues (0 = default);
+// forceSeq turns the parallel leg into a sequential control run.
+func PipelineWallClockStudy(size, cores, dispatchCap, queueCap int, forceSeq bool) ([]PipelineRow, error) {
+	var rows []PipelineRow
+	for _, tech := range []string{"dswp", "helix"} {
+		row, err := pipelineRow(tech, size, cores, dispatchCap, queueCap, forceSeq)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", tech, err)
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+// pipelineModule compiles and profiles a fresh copy of the benchmark.
+func pipelineModule(size int) (*ir.Module, int64, error) {
+	m, err := bench.PipelineProgram(size)
+	if err != nil {
+		return nil, 0, err
+	}
+	prof, err := profiler.Collect(m)
+	if err != nil {
+		return nil, 0, err
+	}
+	prof.Embed()
+	return m, prof.TotalCycles, nil
+}
+
+func pipelineManager(m *ir.Module, cores int) *core.Noelle {
+	opts := core.DefaultOptions()
+	opts.Cores = cores
+	opts.MinHotness = pipelineHotness
+	return core.New(m, opts)
+}
+
+func pipelineRow(tech string, size, cores, dispatchCap, queueCap int, forceSeq bool) (*PipelineRow, error) {
+	row := &PipelineRow{Technique: tech, Cores: cores}
+
+	// ---- modeled: simulate the plan over the unmodified module ----
+	m, totalSeq, err := pipelineModule(size)
+	if err != nil {
+		return nil, err
+	}
+	n := pipelineManager(m, cores)
+	cm := interp.DefaultCostModel()
+	calCfg := machine.CalibratedConfig(n.Arch(), cores, cm)
+	defCfg := machine.DefaultConfig(n.Arch(), cores)
+	var seqs, pars []int64
+	if tech == "dswp" {
+		seqs, pars = planTechnique(n, func(ls *loops.LS) (map[*ir.Instr]int, int, bool) {
+			p, _ := dswp.PlanLoop(n, ls)
+			if p == nil {
+				return nil, 0, false
+			}
+			if p.NumStages > row.Parts {
+				row.Parts = p.NumStages
+			}
+			return p.SegmentOf, p.NumStages, true
+		}, func(inv *machine.Invocation) int64 {
+			return machine.SimulateDSWP(inv, calCfg)
+		})
+	} else {
+		seqs, pars = planTechnique(n, func(ls *loops.LS) (map[*ir.Instr]int, int, bool) {
+			p, _ := helix.PlanLoop(n, ls, false)
+			if p == nil {
+				return nil, 0, false
+			}
+			if p.NumSeq > row.Parts {
+				row.Parts = p.NumSeq
+			}
+			return p.SegmentOf, p.NumSegments(), true
+		}, func(inv *machine.Invocation) int64 {
+			return machine.SimulateHELIX(inv, defCfg)
+		})
+	}
+	row.Modeled = machine.Speedup(totalSeq, seqs, pars)
+
+	// ---- measured: lower a fresh copy, then race seq vs parallel ----
+	tm, _, err := pipelineModule(size)
+	if err != nil {
+		return nil, err
+	}
+	tn := pipelineManager(tm, cores)
+	if tech == "dswp" {
+		res := dswp.Run(tn, dswp.Exec{Enabled: true, QueueCap: queueCap})
+		if len(res.Lowered) == 0 {
+			return nil, fmt.Errorf("nothing lowered (rejections %v, not lowered %v)", res.Rejections, res.NotLowered)
+		}
+	} else {
+		res := helix.Run(tn, false, helix.Exec{Enabled: true})
+		if len(res.Lowered) == 0 {
+			return nil, fmt.Errorf("nothing lowered (rejections %v, not lowered %v)", res.Rejections, res.NotLowered)
+		}
+	}
+	if err := ir.Verify(tm); err != nil {
+		return nil, fmt.Errorf("lowered module malformed: %w", err)
+	}
+
+	// The HELIX leg dispatches one worker per iteration; capping the
+	// in-flight workers at the core count is what makes "cores" mean the
+	// same thing in the model and the measurement. DSWP's fan-out is its
+	// stage count, already <= cores.
+	workerCap := dispatchCap
+	if tech == "helix" && workerCap <= 0 {
+		workerCap = cores
+	}
+
+	// Best-of-3 per mode (the first run pays warm-up, and a single
+	// sample would let one GC pause land entirely in one leg).
+	run := func(seqMode bool) (*interp.Interp, time.Duration, error) {
+		var last *interp.Interp
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			it := interp.New(tm)
+			it.SeqDispatch = seqMode
+			it.DispatchWorkers = workerCap
+			start := time.Now()
+			if _, err := it.Run(); err != nil {
+				return nil, 0, err
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			last = it
+		}
+		return last, best, nil
+	}
+	seqIt, seqD, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	parIt, parD, err := run(forceSeq)
+	if err != nil {
+		return nil, err
+	}
+	row.SeqWall, row.ParWall = seqD, parD
+	row.Measured = float64(seqD) / float64(parD)
+	row.Identical = seqIt.Output.String() == parIt.Output.String() &&
+		seqIt.MemoryFingerprint() == parIt.MemoryFingerprint() &&
+		seqIt.Steps == parIt.Steps && seqIt.Cycles == parIt.Cycles
+	_, pushes, pops, waits, fires := parIt.CommStats()
+	row.QueueOps = pushes + pops + waits + fires
+	return row, nil
+}
+
+// FormatPipelineWallClock renders the study.
+func FormatPipelineWallClock(rows []PipelineRow, size int) string {
+	var b strings.Builder
+	if size <= 0 {
+		size = 65536
+	}
+	fmt.Fprintf(&b, "Wall-clock vs modeled pipeline speedups (bundled pipeline benchmark, %d iterations)\n", size)
+	fmt.Fprintf(&b, "  %-7s %6s %6s %9s %12s %12s %9s %10s %s\n",
+		"tech", "cores", "parts", "modeled", "seq wall", "par wall", "measured", "comm ops", "output")
+	for _, r := range rows {
+		okay := "identical"
+		if !r.Identical {
+			okay = "DIVERGED"
+		}
+		fmt.Fprintf(&b, "  %-7s %6d %6d %8.2fx %12s %12s %8.2fx %10d %s\n",
+			r.Technique, r.Cores, r.Parts, r.Modeled,
+			r.SeqWall.Round(time.Millisecond), r.ParWall.Round(time.Millisecond),
+			r.Measured, r.QueueOps, okay)
+	}
+	b.WriteString("  (parts = DSWP stages / HELIX sequential segments; modeled = SimulateDSWP on the\n")
+	b.WriteString("   queue-calibrated config / SimulateHELIX; measured = -seq wall / parallel wall\n")
+	b.WriteString("   of the same lowered module, stages and iterations on real goroutine workers)\n")
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package eval_test
+
+import (
+	"os"
+	"runtime"
+	"testing"
+
+	"noelle/internal/eval"
+)
+
+// TestPipelineWallClockStudySmoke runs the pipeline study at a small
+// size and checks its correctness properties: both techniques lower the
+// benchmark, both modeled speedups clear 1x, the parallel leg is
+// byte-identical to the sequential fallback, and real communication
+// traffic flowed.
+func TestPipelineWallClockStudySmoke(t *testing.T) {
+	rows, err := eval.PipelineWallClockStudy(2048, 2, 0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want dswp + helix", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Errorf("%s: parallel leg diverged from the sequential fallback", r.Technique)
+		}
+		if r.Modeled <= 1 {
+			t.Errorf("%s: modeled speedup %.2fx, want > 1x", r.Technique, r.Modeled)
+		}
+		if r.Parts < 1 {
+			t.Errorf("%s: no pipeline parts planned", r.Technique)
+		}
+		if r.QueueOps == 0 {
+			t.Errorf("%s: no communication operations recorded", r.Technique)
+		}
+	}
+}
+
+// TestPipelineMeasuredSpeedup is the acceptance bar for the executable
+// pipelines: on a real multi-core machine the DSWP-lowered benchmark
+// must beat its own sequential fallback in wall-clock. Skipped where the
+// hardware cannot show a speedup (shared/1-core runners), like the DOALL
+// equivalent in internal/interp.
+func TestPipelineMeasuredSpeedup(t *testing.T) {
+	if os.Getenv("NOELLE_SKIP_SPEEDUP_TEST") != "" {
+		t.Skip("NOELLE_SKIP_SPEEDUP_TEST set (noisy shared-runner CI)")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs for the pipeline speedup bar, have %d", runtime.NumCPU())
+	}
+	rows, err := eval.PipelineWallClockStudy(0, 4, 0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Fatalf("%s: parallel leg diverged", r.Technique)
+		}
+		if r.Technique == "dswp" && r.Measured <= 1.05 {
+			t.Errorf("dswp measured speedup %.2fx, want > 1.05x on %d CPUs",
+				r.Measured, runtime.NumCPU())
+		}
+	}
+}

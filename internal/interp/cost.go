@@ -29,6 +29,18 @@ type CostModel struct {
 	Phi       int64
 	Alloca    int64
 	ExternFix int64 // fixed cost of runtime externs (print etc.)
+
+	// Communication runtime externs (internal/queue) are charged per
+	// operation so pipelined schedules pay a modeled cost for every
+	// cross-stage value and segment signal; machine.CalibratedConfig
+	// derives its QueueLatency from these entries.
+	QueueCreate  int64
+	QueuePush    int64
+	QueuePop     int64
+	QueueClose   int64
+	SignalCreate int64
+	SignalWait   int64
+	SignalFire   int64
 }
 
 // DefaultCostModel returns the cost model used throughout the evaluation.
@@ -49,6 +61,40 @@ func DefaultCostModel() CostModel {
 		Phi:       0,
 		Alloca:    1,
 		ExternFix: 10,
+
+		QueueCreate:  40,
+		QueuePush:    12,
+		QueuePop:     12,
+		QueueClose:   8,
+		SignalCreate: 20,
+		SignalWait:   10,
+		SignalFire:   8,
+	}
+}
+
+// ExternCost returns the cycles charged for calling the named extern:
+// communication runtime externs have per-op entries, everything else pays
+// the fixed extern cost. Charged at the call site in both sequential and
+// parallel dispatch, so Cycles totals stay mode-independent (time spent
+// blocked on a queue or signal is wall-clock, not modeled cycles).
+func (c CostModel) ExternCost(name string) int64 {
+	switch name {
+	case ExternQueueCreate:
+		return c.QueueCreate
+	case ExternQueuePush:
+		return c.QueuePush
+	case ExternQueuePop:
+		return c.QueuePop
+	case ExternQueueClose:
+		return c.QueueClose
+	case ExternSignalCreate:
+		return c.SignalCreate
+	case ExternSignalWait:
+		return c.SignalWait
+	case ExternSignalFire:
+		return c.SignalFire
+	default:
+		return c.ExternFix
 	}
 }
 

@@ -23,6 +23,22 @@ const (
 	// contexts that share the module's memory image (see parallel.go);
 	// Interp.SeqDispatch falls back to sequential worker-order execution.
 	ExternDispatch = "noelle_dispatch"
+
+	// Communication runtime externs (backed by internal/queue): bounded
+	// SPSC queues carry cross-stage values between DSWP pipeline stages,
+	// ticket signals order HELIX sequential segments across iterations.
+	// Handles are allocated on the shared image, so every worker context
+	// of a dispatch sees the same queues; operations issued by parallel
+	// workers block (backpressure / ticket order), operations issued
+	// sequentially never block — pushes grow the queue, and a pop or wait
+	// that would park is a deterministic error instead of a deadlock.
+	ExternQueueCreate  = "noelle_queue_create"  // create(capacity) -> qid
+	ExternQueuePush    = "noelle_queue_push"    // push(qid, value)
+	ExternQueuePop     = "noelle_queue_pop"     // pop(qid) -> value
+	ExternQueueClose   = "noelle_queue_close"   // close(qid)
+	ExternSignalCreate = "noelle_signal_create" // create(start) -> sid
+	ExternSignalWait   = "noelle_signal_wait"   // wait(sid, ticket)
+	ExternSignalFire   = "noelle_signal_fire"   // fire(sid, ticket)
 )
 
 // Default externs are registered with their exact arity: a malformed
@@ -54,5 +70,33 @@ func registerDefaultExterns(it *Interp) {
 	})
 	it.RegisterExternArity(ExternDispatch, 3, func(it *Interp, args []uint64) (uint64, error) {
 		return it.dispatch(args)
+	})
+	it.RegisterExternArity(ExternQueueCreate, 1, func(it *Interp, args []uint64) (uint64, error) {
+		capacity := int(int64(args[0]))
+		if it.QueueCap > 0 {
+			capacity = it.QueueCap // runtime override (noelle-bin -queue-cap)
+		}
+		return uint64(it.img.comm.CreateQueue(capacity)), nil
+	})
+	it.RegisterExternArity(ExternQueuePush, 2, func(it *Interp, args []uint64) (uint64, error) {
+		it.QueuePushes++
+		return 0, it.img.comm.Push(int64(args[0]), args[1], it.pushBlocks)
+	})
+	it.RegisterExternArity(ExternQueuePop, 1, func(it *Interp, args []uint64) (uint64, error) {
+		it.QueuePops++
+		return it.img.comm.Pop(int64(args[0]), it.parWorker)
+	})
+	it.RegisterExternArity(ExternQueueClose, 1, func(it *Interp, args []uint64) (uint64, error) {
+		return 0, it.img.comm.Close(int64(args[0]))
+	})
+	it.RegisterExternArity(ExternSignalCreate, 1, func(it *Interp, args []uint64) (uint64, error) {
+		return uint64(it.img.comm.CreateSignal(int64(args[0]))), nil
+	})
+	it.RegisterExternArity(ExternSignalWait, 2, func(it *Interp, args []uint64) (uint64, error) {
+		it.SignalWaits++
+		return 0, it.img.comm.Wait(int64(args[0]), int64(args[1]), it.parWorker)
+	})
+	it.RegisterExternArity(ExternSignalFire, 2, func(it *Interp, args []uint64) (uint64, error) {
+		return 0, it.img.comm.Fire(int64(args[0]), int64(args[1]))
 	})
 }

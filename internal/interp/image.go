@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"noelle/internal/ir"
+	"noelle/internal/queue"
 )
 
 // pageShardCount spreads the page map over independently-locked shards so
@@ -94,6 +95,12 @@ type image struct {
 	externMu    sync.RWMutex
 	externs     map[string]Extern
 	externArity map[string]int
+
+	// comm is the inter-worker communication runtime (bounded queues and
+	// ticket signals, internal/queue). Like the page store it is shared
+	// by every execution context of the image; handles created by the
+	// dispatching context are visible to all its workers.
+	comm *queue.Runtime
 }
 
 // alloc reserves size bytes (rounded up to cells) and tracks the range.
@@ -201,6 +208,7 @@ func newImage(m *ir.Module) *image {
 		fnIndex:     map[*ir.Function]int64{},
 		externs:     map[string]Extern{},
 		externArity: map[string]int{},
+		comm:        queue.NewRuntime(),
 	}
 	for _, f := range m.Functions {
 		img.fnIndex[f] = int64(len(img.fnTable))

@@ -42,6 +42,10 @@ type Interp struct {
 	// DispatchWorkers caps how many dispatch workers run simultaneously
 	// (0 means GOMAXPROCS). Worker invocations beyond the cap queue.
 	DispatchWorkers int
+	// QueueCap overrides the capacity baked into noelle_queue_create
+	// calls (0 respects the module's value). Capacity only shapes
+	// backpressure, never results, so overriding it is always safe.
+	QueueCap int
 
 	// InstrHook, when set, observes every executed instruction after its
 	// effects are applied. Profilers and the timing harness hook here.
@@ -61,6 +65,25 @@ type Interp struct {
 	GuardFailures int64
 	Callbacks     int64
 	ClockSets     int64
+
+	// Communication runtime counters (queue/signal externs issued from
+	// this context; folded into the parent at the dispatch barrier).
+	QueuePushes int64
+	QueuePops   int64
+	SignalWaits int64
+
+	// parWorker marks contexts forked by the parallel dispatcher: their
+	// queue pops and signal waits block (the producer or firing iteration
+	// is live on another goroutine), while sequential contexts use the
+	// never-blocking fallback mode.
+	parWorker bool
+	// pushBlocks additionally bounds this worker's queue pushes at
+	// capacity. Set only when the dispatch runs every worker on its own
+	// resident goroutine (cap >= fan-out): backpressure against a
+	// consumer that has not started yet — because its worker index is
+	// still queued behind the goroutine cap — would deadlock, so capped
+	// dispatches fall back to growing pushes.
+	pushBlocks bool
 
 	img *image
 
@@ -146,6 +169,13 @@ func (it *Interp) readCell(addr int64) uint64 {
 // equivalence tests compare fingerprints of original vs transformed runs.
 func (it *Interp) MemoryFingerprint() uint64 { return it.img.fingerprint() }
 
+// CommStats reports the image's communication runtime counters: handles
+// created, queue pushes/pops, signal waits/fires, summed over every
+// execution context of the run.
+func (it *Interp) CommStats() (creates, pushes, pops, waits, fires int64) {
+	return it.img.comm.Stats()
+}
+
 // stepBudget resolves the effective step limit (0 meaning the default;
 // negative budgets — a forked worker with no grant yet — fall through to
 // the slow path, which draws from the dispatch tree's shared pool).
@@ -176,7 +206,7 @@ func (it *Interp) Call(f *ir.Function, args []uint64) (uint64, error) {
 		if arity >= 0 && len(args) != arity {
 			return 0, fmt.Errorf("interp: extern @%s: %d args, want %d", f.Nam, len(args), arity)
 		}
-		it.Cycles += it.Cost.ExternFix
+		it.Cycles += it.Cost.ExternCost(f.Nam)
 		return ext(it, args)
 	}
 	if len(args) != len(f.Params) {

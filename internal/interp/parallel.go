@@ -11,12 +11,14 @@
 package interp
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"noelle/internal/ir"
+	"noelle/internal/queue"
 )
 
 // maxDispatchFanout bounds a single dispatch's worker count. Real modules
@@ -94,14 +96,20 @@ func (it *Interp) extendStepBudget() (int64, bool) {
 // inherits the cost model and dispatch configuration; it starts with no
 // step grant and draws from pool as it executes. Workers never carry
 // hooks: a hooked context dispatches sequentially instead (see dispatch).
-func (it *Interp) fork(pool *stepPool) *Interp {
+// pushBlocks enables bounded (backpressuring) queue pushes; it is only
+// safe when every worker of the dispatch is resident on its own
+// goroutine (see dispatchParallel).
+func (it *Interp) fork(pool *stepPool, pushBlocks bool) *Interp {
 	return &Interp{
 		Mod:             it.Mod,
 		Cost:            it.Cost,
 		SeqDispatch:     it.SeqDispatch,
 		DispatchWorkers: it.DispatchWorkers,
+		QueueCap:        it.QueueCap,
 		img:             it.img,
 		pool:            pool,
+		parWorker:       true, // pops and waits from workers block
+		pushBlocks:      pushBlocks,
 		MaxSteps:        -1, // nothing granted yet: first step hits the pool
 	}
 }
@@ -124,6 +132,9 @@ func (it *Interp) absorb(w *Interp) {
 	it.GuardFailures += w.GuardFailures
 	it.Callbacks += w.Callbacks
 	it.ClockSets += w.ClockSets
+	it.QueuePushes += w.QueuePushes
+	it.QueuePops += w.QueuePops
+	it.SignalWaits += w.SignalWaits
 	it.Output.WriteString(w.Output.String())
 }
 
@@ -184,6 +195,14 @@ func (it *Interp) dispatchParallel(task *ir.Function, envBits uint64, nworkers i
 	if par > nworkers {
 		par = nworkers
 	}
+	// Bounded (blocking) pushes are only deadlock-free when every worker
+	// is resident on its own goroutine: under a tighter cap, a producer
+	// parked on a full queue would wait for a consumer whose worker index
+	// is still queued behind the cap. Capped dispatches therefore fall
+	// back to growing pushes; pops and waits still block, which stays
+	// live because the runtime's protocol flows from lower to higher
+	// worker indices and claims are handed out in worker order.
+	pushBlocks := par >= nworkers
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for g := int64(0); g < par; g++ {
@@ -195,11 +214,18 @@ func (it *Interp) dispatchParallel(task *ir.Function, envBits uint64, nworkers i
 				if w >= nworkers {
 					return
 				}
-				wk := it.fork(pool)
+				wk := it.fork(pool, pushBlocks)
 				workers[w] = wk
 				_, errs[w] = wk.Call(task, []uint64{envBits, uint64(w), uint64(nworkers)})
 				if unused := wk.MaxSteps - wk.Steps; wk.MaxSteps > 0 && unused > 0 {
 					pool.remaining.Add(unused) // return the stranded grant
+				}
+				if errs[w] != nil && !errors.Is(errs[w], queue.ErrAborted) {
+					// Deterministic teardown: sibling workers may be parked
+					// on a queue or signal this worker will never serve.
+					// Aborting the communication runtime releases them all
+					// (with ErrAborted), so the barrier below is reached.
+					it.img.comm.Abort(errs[w])
 				}
 			}
 		}()
@@ -208,10 +234,26 @@ func (it *Interp) dispatchParallel(task *ir.Function, envBits uint64, nworkers i
 	for _, wk := range workers {
 		it.absorb(wk)
 	}
+	// Error selection stays deterministic under teardown: ErrAborted
+	// failures are echoes of some other worker's root cause, so the
+	// lowest-indexed *non-abort* error wins; only if every failure is an
+	// echo (impossible today, but cheap to guard) does the lowest abort
+	// error surface.
+	var abortEcho error
+	abortWorker := int64(-1)
 	for w, err := range errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, queue.ErrAborted) {
 			return 0, fmt.Errorf("interp: dispatch worker %d: %w", w, err)
 		}
+		if abortEcho == nil {
+			abortEcho, abortWorker = err, int64(w)
+		}
+	}
+	if abortEcho != nil {
+		return 0, fmt.Errorf("interp: dispatch worker %d: %w", abortWorker, abortEcho)
 	}
 	return 0, nil
 }

@@ -1,0 +1,230 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+
+	"noelle/internal/interp"
+)
+
+// pipelineSrc is a hand-written two-stage DSWP-shaped module: stage 0
+// computes a value per iteration and pushes it, stage 1 pops, accumulates
+// into a global, and the main function folds the result. It exercises
+// queue creation from the dispatching context, cross-worker value flow,
+// close-on-exit, and the sequential fallback's unbounded queue mode (the
+// whole stream is pushed before stage 1 runs when -seq).
+const pipelineSrc = `module "m"
+global @acc : i64 zeroinit
+declare @print_i64 : fn(i64) void
+declare @noelle_dispatch : fn(fn(ptr<i64>, i64, i64) void, ptr<i64>, i64) void
+declare @noelle_queue_create : fn(i64) i64
+declare @noelle_queue_push : fn(i64, i64) void
+declare @noelle_queue_pop : fn(i64) i64
+declare @noelle_queue_close : fn(i64) void
+func @task(%env: ptr<i64>, %w: i64, %nw: i64) void {
+entry:
+  %q = load i64, %env
+  %isprod = eq %w, 0
+  condbr %isprod, produce, consume
+produce:
+  %i = phi i64 [ 0, entry ], [ %inext, produce ]
+  %v = mul %i, 3
+  call void @noelle_queue_push(%q, %v)
+  %inext = add %i, 1
+  %pc = lt %inext, 500
+  condbr %pc, produce, pdone
+pdone:
+  call void @noelle_queue_close(%q)
+  ret void
+consume:
+  %j = phi i64 [ 0, entry ], [ %jnext, consume ]
+  %s = phi i64 [ 0, entry ], [ %snext, consume ]
+  %got = call i64 @noelle_queue_pop(%q)
+  %snext = add %s, %got
+  %jnext = add %j, 1
+  %cc = lt %jnext, 500
+  condbr %cc, consume, cdone
+cdone:
+  store i64 %snext, @acc
+  ret void
+}
+func @main() i64 {
+entry:
+  %env = alloca i64, 1
+  %q = call i64 @noelle_queue_create(8)
+  store i64 %q, %env
+  call void @noelle_dispatch(@task, %env, 2)
+  %r = load i64, @acc
+  call void @print_i64(%r)
+  %m = rem %r, 251
+  ret %m
+}`
+
+func TestQueueExternPipelineSeqParIdentical(t *testing.T) {
+	m := parse(t, pipelineSrc)
+	seq, par, rSeq, rPar := runModes(t, m)
+	if rSeq != rPar {
+		t.Errorf("exit code: seq %d, par %d", rSeq, rPar)
+	}
+	if seq.Output.String() != par.Output.String() {
+		t.Errorf("output diverged: seq %q, par %q", seq.Output.String(), par.Output.String())
+	}
+	want := "374250\n" // sum of 3*i for i in [0,500)
+	if seq.Output.String() != want {
+		t.Errorf("output = %q, want %q", seq.Output.String(), want)
+	}
+	if seq.Steps != par.Steps || seq.Cycles != par.Cycles {
+		t.Errorf("counters diverged: seq (%d steps, %d cycles), par (%d, %d)",
+			seq.Steps, seq.Cycles, par.Steps, par.Cycles)
+	}
+	if seq.MemoryFingerprint() != par.MemoryFingerprint() {
+		t.Error("memory fingerprints diverged")
+	}
+	// Both contexts drove the same number of queue operations.
+	_, pushes, pops, _, _ := par.CommStats()
+	if pushes != 500 || pops != 500 {
+		t.Errorf("comm stats = (%d pushes, %d pops), want 500 each", pushes, pops)
+	}
+	if par.QueuePushes != 500 || par.QueuePops != 500 {
+		t.Errorf("context counters = (%d pushes, %d pops), want 500 each", par.QueuePushes, par.QueuePops)
+	}
+}
+
+// TestQueueWorkerErrorTeardown is the determinism contract's teardown
+// half: when one worker dies, a sibling parked on a queue that will never
+// be served must be released, the dispatch must return the root-cause
+// error (not the abort echo), and none of it may deadlock.
+func TestQueueWorkerErrorTeardown(t *testing.T) {
+	m := parse(t, `module "m"
+declare @noelle_dispatch : fn(fn(ptr<i64>, i64, i64) void, ptr<i64>, i64) void
+declare @noelle_queue_create : fn(i64) i64
+declare @noelle_queue_pop : fn(i64) i64
+func @task(%env: ptr<i64>, %w: i64, %nw: i64) void {
+entry:
+  %isbad = eq %w, 0
+  condbr %isbad, bad, wait
+bad:
+  %boom = div 7, 0
+  ret void
+wait:
+  %q = load i64, %env
+  %v = call i64 @noelle_queue_pop(%q)
+  ret void
+}
+func @main() i64 {
+entry:
+  %env = alloca i64, 1
+  %q = call i64 @noelle_queue_create(4)
+  store i64 %q, %env
+  call void @noelle_dispatch(@task, %env, 3)
+  ret 0
+}`)
+	var first string
+	for i := 0; i < 4; i++ {
+		_, err := interp.New(m).Run()
+		if err == nil {
+			t.Fatal("worker error did not surface")
+		}
+		if !strings.Contains(err.Error(), "division by zero") {
+			t.Fatalf("error is not the root cause: %v", err)
+		}
+		if i == 0 {
+			first = err.Error()
+		} else if err.Error() != first {
+			t.Fatalf("teardown error not deterministic: %q vs %q", first, err.Error())
+		}
+	}
+}
+
+// A sequential context must never block: popping an empty queue errors
+// deterministically instead of deadlocking.
+func TestQueueSequentialPopEmptyErrors(t *testing.T) {
+	m := parse(t, `module "m"
+declare @noelle_queue_create : fn(i64) i64
+declare @noelle_queue_pop : fn(i64) i64
+func @main() i64 {
+entry:
+  %q = call i64 @noelle_queue_create(4)
+  %v = call i64 @noelle_queue_pop(%q)
+  ret %v
+}`)
+	if _, err := interp.New(m).Run(); err == nil {
+		t.Fatal("sequential pop of empty queue did not error")
+	}
+}
+
+func TestQueueExternArity(t *testing.T) {
+	m := parse(t, `module "m"
+declare @noelle_queue_push : fn(i64) void
+func @main() i64 {
+entry:
+  call void @noelle_queue_push(3)
+  ret 0
+}`)
+	if _, err := interp.New(m).Run(); err == nil {
+		t.Fatal("one-arg queue push did not error")
+	}
+}
+
+// TestSignalExternsOrderIterations runs a HELIX-shaped per-iteration
+// dispatch: each worker is one iteration, guarded by a ticket signal so
+// the shared cell updates in iteration order in both modes.
+func TestSignalExternsOrderIterations(t *testing.T) {
+	m := parse(t, `module "m"
+global @acc : i64 zeroinit
+declare @print_i64 : fn(i64) void
+declare @noelle_dispatch : fn(fn(ptr<i64>, i64, i64) void, ptr<i64>, i64) void
+declare @noelle_signal_create : fn(i64) i64
+declare @noelle_signal_wait : fn(i64, i64) void
+declare @noelle_signal_fire : fn(i64, i64) void
+func @iter(%env: ptr<i64>, %w: i64, %nw: i64) void {
+entry:
+  %sid = load i64, %env
+  call void @noelle_signal_wait(%sid, %w)
+  %old = load i64, @acc
+  %scaled = mul %old, 3
+  %new = add %scaled, %w
+  store i64 %new, @acc
+  %next = add %w, 1
+  call void @noelle_signal_fire(%sid, %next)
+  ret void
+}
+func @main() i64 {
+entry:
+  %env = alloca i64, 1
+  %sid = call i64 @noelle_signal_create(0)
+  store i64 %sid, %env
+  call void @noelle_dispatch(@iter, %env, 12)
+  %r = load i64, @acc
+  call void @print_i64(%r)
+  ret 0
+}`)
+	seq, par, _, _ := runModes(t, m)
+	// acc = fold(acc*3 + w) is order-sensitive: any out-of-order segment
+	// execution changes the value.
+	if seq.Output.String() != par.Output.String() {
+		t.Errorf("output diverged: seq %q, par %q", seq.Output.String(), par.Output.String())
+	}
+	if seq.MemoryFingerprint() != par.MemoryFingerprint() {
+		t.Error("memory fingerprints diverged")
+	}
+	if seq.Steps != par.Steps || seq.Cycles != par.Cycles {
+		t.Errorf("counters diverged: seq (%d steps, %d cycles), par (%d, %d)",
+			seq.Steps, seq.Cycles, par.Steps, par.Cycles)
+	}
+}
+
+// The QueueCap override changes backpressure but never results.
+func TestQueueCapOverride(t *testing.T) {
+	for _, cap := range []int{0, 1, 1024} {
+		m := parse(t, pipelineSrc)
+		it := interp.New(m)
+		it.QueueCap = cap
+		if _, err := it.Run(); err != nil {
+			t.Fatalf("cap=%d: %v", cap, err)
+		}
+		if got := it.Output.String(); got != "374250\n" {
+			t.Fatalf("cap=%d: output %q", cap, got)
+		}
+	}
+}

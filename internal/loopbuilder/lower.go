@@ -1,0 +1,86 @@
+package loopbuilder
+
+import (
+	"noelle/internal/ir"
+	"noelle/internal/loops"
+)
+
+// ReplaceLoop rewires the CFG around a single-exit loop whose work has
+// been rewritten into out-of-loop form (a dispatched task, a pipeline):
+// exit-block phis take their loop-incoming values from finals via the
+// pre-header edge, remaining out-of-loop uses of loop-defined values are
+// remapped to finals, the pre-header jumps straight to the exit, and the
+// loop blocks are removed. finals maps each live-out instruction to its
+// reconstructed post-loop value; loop values absent from finals are left
+// alone (their uses must already be gone). Shared by the doall, dswp,
+// and helix task generators.
+func ReplaceLoop(ls *loops.LS, pre *ir.Block, finals map[*ir.Instr]ir.Value) {
+	f := ls.Fn
+	exit := ls.Exits[0]
+	header := ls.Header
+	for _, phi := range exit.Phis() {
+		for i, b := range phi.Blocks {
+			if b == header {
+				if v, ok := phi.Ops[i].(*ir.Instr); ok && finals[v] != nil {
+					phi.Ops[i] = finals[v]
+				}
+				phi.Blocks[i] = pre
+			}
+		}
+	}
+	f.Instrs(func(user *ir.Instr) bool {
+		if ls.ContainsInstr(user) {
+			return true
+		}
+		for i, op := range user.Ops {
+			if d, ok := op.(*ir.Instr); ok && finals[d] != nil && ls.ContainsInstr(d) {
+				user.Ops[i] = finals[d]
+			}
+		}
+		return true
+	})
+	pre.ReplaceSuccessor(header, exit)
+	for _, b := range ls.Blocks() {
+		b.Instrs = nil
+		f.RemoveBlock(b)
+	}
+}
+
+// CloneShell appends an operand-less copy of in to nb: same opcode,
+// type, name, alloca shape, and metadata. Task generators clone loop
+// bodies in two passes — shells first, operands once the communication
+// values they may need exist.
+func CloneShell(in *ir.Instr, nb *ir.Block) *ir.Instr {
+	ni := &ir.Instr{
+		Opcode:      in.Opcode,
+		Ty:          in.Ty,
+		Nam:         in.Nam,
+		AllocaElem:  in.AllocaElem,
+		AllocaCount: in.AllocaCount,
+		Parent:      nb,
+		ID:          -1,
+		MD:          in.MD.Clone(),
+	}
+	nb.Instrs = append(nb.Instrs, ni)
+	return ni
+}
+
+// InstrsAlive reports whether every instruction in lists still belongs
+// to fn. Task generators use it to detect stale plans: an earlier
+// lowering removes loop bodies wholesale, and a plan referencing removed
+// code must be refused, not lowered.
+func InstrsAlive(fn *ir.Function, lists ...[]*ir.Instr) bool {
+	live := map[*ir.Instr]bool{}
+	fn.Instrs(func(in *ir.Instr) bool {
+		live[in] = true
+		return true
+	})
+	for _, l := range lists {
+		for _, in := range l {
+			if !live[in] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -20,7 +20,17 @@ type Loop struct {
 	// after it (the Environment abstraction allocates one slot per entry).
 	LiveIn  []ir.Value
 	LiveOut []*ir.Instr
+
+	// clonable caches clonableControl's result for the task generators.
+	clonable map[*ir.Instr]bool
 }
+
+// Clonable reports whether in is loop control a parallelizer may
+// replicate per worker (IV update cycles, derived-IV arithmetic,
+// comparisons over IVs and invariants, and the branches they drive) —
+// the instructions every DSWP stage clones so each stage steers its own
+// copy of the loop.
+func (l *Loop) Clonable(in *ir.Instr) bool { return l.clonable[in] }
 
 // NewLoop builds the full loop abstraction from a function PDG. impureCall
 // is the oracle used for invariant calls (nil = all calls impure).
@@ -43,6 +53,7 @@ func NewLoop(ls *LS, fpdg *pdg.Graph, impureCall func(*ir.Instr) bool) *Loop {
 		SCCDAG:     dag,
 		LiveIn:     LiveIns(ls),
 		LiveOut:    LiveOuts(ls),
+		clonable:   clonable,
 	}
 }
 

@@ -7,7 +7,10 @@
 // composes the result into a whole-program speedup via Amdahl's law.
 package machine
 
-import "noelle/internal/arch"
+import (
+	"noelle/internal/arch"
+	"noelle/internal/interp"
+)
 
 // Config carries the simulation parameters shared by all schedules.
 type Config struct {
@@ -31,6 +34,27 @@ func DefaultConfig(d *arch.Description, cores int) Config {
 		QueueLatency:     d.AvgLatency(cores) + 10,
 		ReduceOverhead:   30,
 	}
+}
+
+// QueueOpCycles is the measured cost-model price of moving one value
+// across a DSWP stage boundary under the interpreter's communication
+// runtime: the producer's noelle_queue_push and the consumer's
+// noelle_queue_pop extern bodies, plus the call overhead of each. The
+// QueueLatency calibration test (machine_test.go) pins this formula to
+// what execution actually charges.
+func QueueOpCycles(cm interp.CostModel) int64 {
+	return cm.QueuePush + cm.QueuePop + 2*cm.CallOver
+}
+
+// CalibratedConfig is DefaultConfig with QueueLatency calibrated against
+// the executable queue runtime: the simulated push-to-pop time is the
+// cross-core signal latency plus exactly what the interpreter charges
+// for the push/pop extern pair, so SimulateDSWP's modeled pipeline times
+// and the measured pipeline runs price a stage boundary consistently.
+func CalibratedConfig(d *arch.Description, cores int, cm interp.CostModel) Config {
+	cfg := DefaultConfig(d, cores)
+	cfg.QueueLatency = d.AvgLatency(cores) + QueueOpCycles(cm)
+	return cfg
 }
 
 // Invocation holds the measured per-iteration, per-segment costs of one

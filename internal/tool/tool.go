@@ -45,11 +45,35 @@ type Options struct {
 	// DispatchWorkers caps how many dispatch workers the interpreter runs
 	// simultaneously when a tool executes the module (0 = GOMAXPROCS).
 	DispatchWorkers int
+	// ExecutePlans makes the pipelining parallelizers (dswp, helix) lower
+	// their plans to executable form — task functions communicating over
+	// the internal/queue runtime, launched through noelle_dispatch —
+	// instead of stopping at planning + simulation.
+	ExecutePlans bool
+	// QueueCapacity bounds the communication queues the lowered pipelines
+	// create (0 = queue.DefaultCapacity). Capacity shapes backpressure
+	// only, never results.
+	QueueCapacity int
 }
 
 // DefaultOptions mirrors the historical noelle-load flag defaults.
 func DefaultOptions() Options {
 	return Options{Budget: 4000, Optimize: true}
+}
+
+// LoopRejection records why a parallelizer passed over one hot loop —
+// the per-loop answer to "why wasn't this loop parallelized?" that
+// noelle-load surfaces in tool detail lines. The pipelining tools use
+// it both for planning rejections and for plans that could not be
+// lowered to executable form.
+type LoopRejection struct {
+	Fn     string
+	Header string
+	Reason string
+}
+
+func (r LoopRejection) String() string {
+	return fmt.Sprintf("@%s/%s: %s", r.Fn, r.Header, r.Reason)
 }
 
 // Report is the uniform result every custom tool returns: one summary
@@ -102,6 +126,25 @@ type Tool interface {
 	Transforms() bool
 	// Run executes the tool over the manager's module.
 	Run(ctx context.Context, n *core.Noelle, opts Options) (Report, error)
+}
+
+// ConditionalTransformer is an optional Tool extension for tools whose
+// Run mutates the module only under certain options (e.g. the
+// pipelining parallelizers: planning is read-only, -exec-plans is not).
+// When implemented, the pipeline runner consults it instead of the
+// static Transforms(), so a plan-only stage does not pay module
+// verification, abstraction invalidation, and a store flush for a
+// module it never touched.
+type ConditionalTransformer interface {
+	TransformsWith(opts Options) bool
+}
+
+// transforms resolves whether t may mutate the module under opts.
+func transforms(t Tool, opts Options) bool {
+	if ct, ok := t.(ConditionalTransformer); ok {
+		return ct.TransformsWith(opts)
+	}
+	return t.Transforms()
 }
 
 var (
@@ -214,7 +257,7 @@ func RunPipeline(ctx context.Context, n *core.Noelle, names []string, opts Optio
 		if err != nil {
 			return reports, fmt.Errorf("%s: %w", t.Name(), err)
 		}
-		if t.Transforms() {
+		if transforms(t, opts) {
 			if err := ir.Verify(n.Mod); err != nil {
 				return reports, fmt.Errorf("%s: transformed module malformed: %w", t.Name(), err)
 			}

@@ -176,7 +176,6 @@ func isReconstructibleLiveOut(l *loops.Loop, out *ir.Instr) bool {
 // transform rewrites the loop into a dispatched task.
 func transform(n *core.Noelle, l *loops.Loop, taskName string) error {
 	ls := l.LS
-	f := ls.Fn
 	m := n.Mod
 	cores := int64(n.Opts.Cores)
 	giv := l.IVs.GoverningIV()
@@ -186,34 +185,10 @@ func transform(n *core.Noelle, l *loops.Loop, taskName string) error {
 	bld.SetInsertionBefore(pre.Terminator())
 
 	// ---- trip count in the pre-header ----
-	start := giv.Start
-	step := *giv.StepConst
-	bound := giv.ExitBound
-	// Normalize the compare so the IV is the first operand.
-	cmpOp := giv.ExitCmp.Opcode
-	if !operandInSCC(giv, giv.ExitCmp.Ops[0]) {
-		cmpOp, _ = cmpOp.SwappedCompare()
+	tc, err := loopbuilder.EmitTripCount(bld, giv)
+	if err != nil {
+		return err
 	}
-	span := bld.CreateBinOp(ir.OpSub, bound, start, "doall.span")
-	var tc ir.Value
-	sgn := int64(1)
-	if step < 0 {
-		sgn = -1
-	}
-	switch cmpOp {
-	case ir.OpLt, ir.OpGt:
-		num := bld.CreateBinOp(ir.OpAdd, span, ir.ConstInt(step-sgn), "")
-		tc = bld.CreateBinOp(ir.OpDiv, num, ir.ConstInt(step), "doall.tc")
-	case ir.OpLe, ir.OpGe:
-		num := bld.CreateBinOp(ir.OpAdd, span, ir.ConstInt(step-sgn), "")
-		d := bld.CreateBinOp(ir.OpDiv, num, ir.ConstInt(step), "")
-		tc = bld.CreateBinOp(ir.OpAdd, d, ir.ConstInt(1), "doall.tc")
-	case ir.OpNe:
-		tc = bld.CreateBinOp(ir.OpDiv, span, ir.ConstInt(step), "doall.tc")
-	}
-	// Clamp negative trip counts to zero.
-	neg := bld.CreateCmp(ir.OpLt, tc, ir.ConstInt(0), "")
-	tc = bld.CreateSelect(neg, ir.ConstInt(0), tc, "doall.tcc")
 
 	// ---- environment layout ----
 	eb := env.NewBuilder()
@@ -270,34 +245,7 @@ func transform(n *core.Noelle, l *loops.Loop, taskName string) error {
 	}
 
 	// ---- rewire the CFG around the dead loop ----
-	exit := ls.Exits[0]
-	header := ls.Header
-	// Exit-block phis merge loop values: replace the loop's incoming edge
-	// with one from the pre-header carrying the reconstructed value.
-	for _, phi := range exit.Phis() {
-		for i, b := range phi.Blocks {
-			if b == header {
-				if v, ok := phi.Ops[i].(*ir.Instr); ok && finals[v] != nil {
-					phi.Ops[i] = finals[v]
-				}
-				phi.Blocks[i] = pre
-			}
-		}
-	}
-	// Replace all other out-of-loop uses of loop values.
-	f.Instrs(func(user *ir.Instr) bool {
-		if ls.ContainsInstr(user) {
-			return true
-		}
-		for i, op := range user.Ops {
-			if d, ok := op.(*ir.Instr); ok && finals[d] != nil && ls.ContainsInstr(d) {
-				user.Ops[i] = finals[d]
-			}
-		}
-		return true
-	})
-	pre.ReplaceSuccessor(header, exit)
-	removeLoopBlocks(f, ls)
+	loopbuilder.ReplaceLoop(ls, pre, finals)
 	return nil
 }
 
@@ -314,35 +262,10 @@ func operandInSCC(iv *loops.IV, v ir.Value) bool {
 	return false
 }
 
-func toBits(bld *ir.Builder, v ir.Value) ir.Value {
-	switch v.Type().Kind {
-	case ir.F64Kind:
-		return bld.CreateCast(ir.OpFBits, v, "")
-	case ir.I1Kind:
-		return bld.CreateCast(ir.OpZExt, v, "")
-	case ir.PtrKind:
-		return bld.CreateCast(ir.OpP2I, v, "")
-	default:
-		return v
-	}
-}
+// toBits and fromBits are the environment cell casts, shared with the
+// other task generators through the env package.
+func toBits(bld *ir.Builder, v ir.Value) ir.Value { return env.ToBits(bld, v) }
 
 func fromBits(bld *ir.Builder, raw ir.Value, ty *ir.Type) ir.Value {
-	switch ty.Kind {
-	case ir.F64Kind:
-		return bld.CreateCast(ir.OpBitsF, raw, "")
-	case ir.I1Kind:
-		return bld.CreateCast(ir.OpTrunc, raw, "")
-	case ir.PtrKind:
-		return bld.CreateIntToPtr(raw, ty.Elem, "")
-	default:
-		return raw
-	}
-}
-
-func removeLoopBlocks(f *ir.Function, ls *loops.LS) {
-	for _, b := range ls.Blocks() {
-		b.Instrs = nil
-		f.RemoveBlock(b)
-	}
+	return env.FromBits(bld, raw, ty)
 }

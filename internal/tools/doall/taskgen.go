@@ -1,10 +1,9 @@
 package doall
 
 import (
-	"fmt"
-
 	"noelle/internal/env"
 	"noelle/internal/ir"
+	"noelle/internal/loopbuilder"
 	"noelle/internal/loops"
 )
 
@@ -22,12 +21,7 @@ func buildTaskBody(l *loops.Loop, task *env.Task, e *env.Environment, tcSlot *en
 	bld.SetInsertionBlock(entry)
 
 	// Live-in loads, typed back from the raw cells.
-	remap := map[ir.Value]ir.Value{}
-	for _, s := range e.Slots {
-		addr := task.EnvSlotAddr(bld, s)
-		raw := bld.CreateLoad(addr, fmt.Sprintf("in%d", s.Index))
-		remap[s.Value] = fromBits(bld, raw, s.Value.Type())
-	}
+	remap := task.LoadLiveIns(bld)
 	mapVal := func(v ir.Value) ir.Value {
 		if nv, ok := remap[v]; ok {
 			return nv
@@ -67,18 +61,7 @@ func buildTaskBody(l *loops.Loop, task *env.Task, e *env.Environment, tcSlot *en
 	for _, b := range loopBlocks {
 		nb := bmap[b]
 		for _, in := range b.Instrs {
-			ni := &ir.Instr{
-				Opcode:      in.Opcode,
-				Ty:          in.Ty,
-				Nam:         in.Nam,
-				AllocaElem:  in.AllocaElem,
-				AllocaCount: in.AllocaCount,
-				Parent:      nb,
-				ID:          -1,
-				MD:          in.MD.Clone(),
-			}
-			nb.Instrs = append(nb.Instrs, ni)
-			imap[in] = ni
+			imap[in] = loopbuilder.CloneShell(in, nb)
 		}
 	}
 	remapOperand := func(v ir.Value) ir.Value {

@@ -4,15 +4,25 @@
 // creating unidirectional pipeline communication. Stages are formed by
 // greedily packing SCCs in dependence order while balancing their
 // profile-weighted cost.
+//
+// Beyond planning, the tool can lower a plan to executable form
+// (taskgen.go): each stage becomes a worker function running its own
+// copy of the loop control, stages exchange cross-stage SSA values over
+// the bounded queues of the internal/queue runtime, and a
+// noelle_dispatch call runs the stages concurrently on real cores.
 package dswp
 
 import (
+	"fmt"
+
 	"noelle/internal/core"
 	"noelle/internal/interp"
 	"noelle/internal/ir"
+	"noelle/internal/loopbuilder"
 	"noelle/internal/loops"
 	"noelle/internal/machine"
 	"noelle/internal/sccdag"
+	"noelle/internal/tool"
 )
 
 // Plan assigns every loop instruction to a pipeline stage.
@@ -23,37 +33,110 @@ type Plan struct {
 	NumStages int
 }
 
-// Result lists the plans DSWP produced.
-type Result struct {
-	Plans    []*Plan
-	Rejected int
+// Rejection records why one hot loop was not planned (or, in transform
+// mode, planned but not lowered) — the shared per-loop rejection record
+// noelle-load surfaces.
+type Rejection = tool.LoopRejection
+
+// Lowered records one loop rewritten into executable pipeline form.
+type Lowered struct {
+	Fn       string
+	Header   string
+	TaskName string
+	Stages   int
 }
 
-// Run plans DSWP for every hot loop.
-func Run(n *core.Noelle) Result {
+// Result lists the plans DSWP produced, with per-loop rejection reasons
+// and (in transform mode) the loops lowered to dispatched stages.
+type Result struct {
+	Plans      []*Plan
+	Rejections []Rejection
+	// Lowered / NotLowered are populated only when Exec.Enabled: plans
+	// either became dispatched stage pipelines or record why not.
+	Lowered    []*Lowered
+	NotLowered []Rejection
+}
+
+// Rejected is the count of hot loops no plan was produced for.
+func (r *Result) Rejected() int { return len(r.Rejections) }
+
+// Exec configures the transform mode.
+type Exec struct {
+	// Enabled lowers every plan to per-stage worker functions connected
+	// by queues, executed through noelle_dispatch.
+	Enabled bool
+	// QueueCap bounds the generated queues (0 = queue.DefaultCapacity).
+	QueueCap int
+}
+
+// Run plans DSWP for every hot loop; with ex.Enabled the plans are then
+// lowered to executable pipelines.
+func Run(n *core.Noelle, ex Exec) Result {
 	n.Use(core.AbsENV)
 	n.Use(core.AbsTask)
 	n.Use(core.AbsDFE)
 	n.Use(core.AbsLB)
 	var res Result
 	for _, ls := range n.HotLoops() {
-		p := PlanLoop(n, ls)
+		p, err := PlanLoop(n, ls)
 		if p == nil {
-			res.Rejected++
+			res.Rejections = append(res.Rejections, Rejection{
+				Fn: ls.Fn.Nam, Header: ls.Header.Nam, Reason: err.Error(),
+			})
 			continue
 		}
 		res.Plans = append(res.Plans, p)
 	}
+	if !ex.Enabled {
+		return res
+	}
+	for i, p := range res.Plans {
+		rej := func(reason string) {
+			res.NotLowered = append(res.NotLowered, Rejection{
+				Fn: p.LS.Fn.Nam, Header: p.LS.Header.Nam, Reason: reason,
+			})
+		}
+		// A previous lowering may have rewritten an enclosing or nested
+		// loop out from under this plan.
+		if !loopIntact(p) {
+			rej("loop rewritten by an earlier lowering")
+			continue
+		}
+		if err := CanLower(p); err != nil {
+			rej(err.Error())
+			continue
+		}
+		name := fmt.Sprintf("dswp.task%d", i)
+		if err := transform(n, p, name, ex.QueueCap); err != nil {
+			rej(err.Error())
+			continue
+		}
+		res.Lowered = append(res.Lowered, &Lowered{
+			Fn: p.LS.Fn.Nam, Header: p.LS.Header.Nam, TaskName: name, Stages: p.NumStages,
+		})
+		n.InvalidateModule()
+	}
 	return res
 }
 
-// PlanLoop plans one specific loop.
-func PlanLoop(n *core.Noelle, ls *loops.LS) *Plan {
+// loopIntact reports whether every planned instruction still lives in
+// its function (earlier lowerings remove loop bodies wholesale).
+func loopIntact(p *Plan) bool {
+	planned := make([]*ir.Instr, 0, len(p.SegmentOf))
+	for in := range p.SegmentOf {
+		planned = append(planned, in)
+	}
+	return loopbuilder.InstrsAlive(p.LS.Fn, planned)
+}
+
+// PlanLoop plans one specific loop; a nil plan comes with the rejection
+// reason.
+func PlanLoop(n *core.Noelle, ls *loops.LS) (*Plan, error) {
 	l := n.Loop(ls)
 	dag := l.SCCDAG
 	order := dag.TopoOrder()
 	if len(order) < 2 {
-		return nil // nothing to pipeline
+		return nil, fmt.Errorf("single-SCC loop: nothing to pipeline")
 	}
 
 	// Weight each SCC by its static cost (the stage balancer's input).
@@ -75,7 +158,7 @@ func PlanLoop(n *core.Noelle, ls *loops.LS) *Plan {
 		stages = len(order)
 	}
 	if stages < 2 {
-		return nil
+		return nil, fmt.Errorf("needs >= 2 cores to pipeline (have %d)", n.Opts.Cores)
 	}
 	target := total / int64(stages)
 	if target < 1 {
@@ -101,9 +184,9 @@ func PlanLoop(n *core.Noelle, ls *loops.LS) *Plan {
 	}
 	p.NumStages = stage + 1
 	if p.NumStages < 2 {
-		return nil
+		return nil, fmt.Errorf("stage packing collapsed to one stage")
 	}
-	return p
+	return p, nil
 }
 
 // Simulate evaluates the plan's pipeline timing over measured costs.
@@ -112,7 +195,7 @@ func Simulate(n *core.Noelle, p *Plan, cores int) (seq, par int64, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	cfg := machine.DefaultConfig(n.Arch(), cores)
+	cfg := machine.CalibratedConfig(n.Arch(), cores, interp.DefaultCostModel())
 	seq = machine.SequentialCycles(invs)
 	par = machine.SimulateAll(invs, func(inv *machine.Invocation) int64 {
 		return machine.SimulateDSWP(inv, cfg)

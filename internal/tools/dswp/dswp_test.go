@@ -1,0 +1,367 @@
+package dswp_test
+
+import (
+	"strings"
+	"testing"
+
+	"noelle/internal/core"
+	"noelle/internal/interp"
+	"noelle/internal/ir"
+	"noelle/internal/minic"
+	"noelle/internal/passes"
+	"noelle/internal/tools/dswp"
+)
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	passes.Optimize(m)
+	return m
+}
+
+func newN(t *testing.T, m *ir.Module, cores int) *core.Noelle {
+	t.Helper()
+	opts := core.DefaultOptions()
+	opts.MinHotness = 0 // consider every loop
+	opts.Cores = cores
+	return core.New(m, opts)
+}
+
+// pipelineSrc has one hot loop with a long Independent chain feeding a
+// Sequential accumulator (the modulus defeats reduction recognition), so
+// DSWP has real stages to balance and a genuinely serial tail.
+const pipelineSrc = `
+int b[96];
+int c[96];
+int main() {
+  int i;
+  for (i = 0; i < 96; i = i + 1) { b[i] = i * 7 + 3; }
+  int acc = 0;
+  for (i = 0; i < 96; i = i + 1) {
+    int x = b[i] * 3 + i;
+    int y = x * x + 11;
+    int z = (y + x) * 5 + 1;
+    int w = z * z + y;
+    acc = (acc + w) % 9973;
+    c[i] = w % 127;
+  }
+  int s = 0;
+  for (i = 0; i < 96; i = i + 1) { s = s + c[i]; }
+  print_i64(acc);
+  print_i64(s);
+  return (acc + s) % 251;
+}`
+
+// ---------- planner ----------
+
+func planFirst(t *testing.T, src string, cores int) (*core.Noelle, *dswp.Plan) {
+	t.Helper()
+	m := compile(t, src)
+	n := newN(t, m, cores)
+	res := dswp.Run(n, dswp.Exec{})
+	if len(res.Plans) == 0 {
+		t.Fatalf("planned nothing (rejections: %v)", res.Rejections)
+	}
+	// The heaviest planned loop is the pipeline loop.
+	best := res.Plans[0]
+	for _, p := range res.Plans {
+		if len(p.SegmentOf) > len(best.SegmentOf) {
+			best = p
+		}
+	}
+	return n, best
+}
+
+func stageWeights(p *dswp.Plan) []int64 {
+	cm := interp.DefaultCostModel()
+	w := make([]int64, p.NumStages)
+	for in, s := range p.SegmentOf {
+		w[s] += cm.Cost(in)
+	}
+	return w
+}
+
+func TestPlanBalancesSkewedSCCCosts(t *testing.T) {
+	// Heavy SCCs up front (division costs 24x an add), light tail: the
+	// greedy packer must still spread work across both stages instead of
+	// packing everything into stage 0.
+	src := `
+int a[64];
+int b[64];
+int main() {
+  int i;
+  for (i = 0; i < 64; i = i + 1) { a[i] = i + 1; }
+  int acc = 0;
+  for (i = 0; i < 64; i = i + 1) {
+    int h1 = a[i] / 3;
+    int h2 = h1 / 5 + a[i];
+    int l1 = h2 + 1;
+    int l2 = l1 + i;
+    acc = (acc + l2) % 1009;
+  }
+  print_i64(acc);
+  return 0;
+}`
+	_, p := planFirst(t, src, 2)
+	if p.NumStages != 2 {
+		t.Fatalf("NumStages = %d, want 2", p.NumStages)
+	}
+	w := stageWeights(p)
+	for s, ws := range w {
+		if ws == 0 {
+			t.Errorf("stage %d is empty", s)
+		}
+	}
+	// Both stages carry a meaningful share: the heavier never exceeds
+	// ~4x the lighter (the divisions alone would be 10x+ the tail if the
+	// packer ignored cost).
+	hi, lo := w[0], w[1]
+	if lo > hi {
+		hi, lo = lo, hi
+	}
+	if lo*4 < hi {
+		t.Errorf("stages badly unbalanced: weights %v", w)
+	}
+}
+
+func TestPlanCoresExceedingSCCsClampStages(t *testing.T) {
+	_, p := planFirst(t, pipelineSrc, 64)
+	// Stages can never exceed the SCC count; with cores > len(order)
+	// every SCC gets its own stage, exercising the forced advance when
+	// nodesLeft == stagesLeft.
+	sccs := map[int]bool{}
+	for _, s := range p.SegmentOf {
+		sccs[s] = true
+	}
+	if p.NumStages != len(sccs) {
+		t.Errorf("NumStages = %d but %d distinct stages used", p.NumStages, len(sccs))
+	}
+	w := stageWeights(p)
+	for s, ws := range w {
+		if ws == 0 {
+			t.Errorf("stage %d is empty (forced advance failed)", s)
+		}
+	}
+}
+
+func TestPlanForcedAdvanceKeepsTrailingStagesFed(t *testing.T) {
+	// One dominant SCC followed by tiny ones: without the forced advance
+	// (nodesLeft == stagesLeft) the big SCC would absorb the target for
+	// every stage and the trailing stages would starve.
+	src := `
+int a[64];
+int main() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 64; i = i + 1) {
+    int h = (a[i] / 3) / 5;
+    int t1 = h + 1;
+    acc = (acc + t1) % 601;
+  }
+  print_i64(acc);
+  return 0;
+}`
+	_, p := planFirst(t, src, 3)
+	w := stageWeights(p)
+	if len(w) < 2 {
+		t.Fatalf("NumStages = %d, want >= 2", len(w))
+	}
+	for s, ws := range w {
+		if ws == 0 {
+			t.Errorf("stage %d starved: weights %v", s, w)
+		}
+	}
+}
+
+func TestPlanRejectionReasons(t *testing.T) {
+	m := compile(t, pipelineSrc)
+	n := newN(t, m, 1) // one core: nothing can pipeline
+	res := dswp.Run(n, dswp.Exec{})
+	if len(res.Plans) != 0 {
+		t.Fatalf("planned %d loops on one core", len(res.Plans))
+	}
+	if res.Rejected() == 0 {
+		t.Fatal("no rejection reasons recorded")
+	}
+	for _, rej := range res.Rejections {
+		if rej.Fn == "" || rej.Header == "" || rej.Reason == "" {
+			t.Errorf("incomplete rejection record: %+v", rej)
+		}
+		if !strings.Contains(rej.Reason, "cores") {
+			t.Errorf("reason %q does not explain the core count", rej.Reason)
+		}
+	}
+}
+
+// ---------- executable lowering ----------
+
+// runLowered compiles src, runs the original, lowers DSWP plans to queue
+// pipelines, and checks the transformed module is observationally
+// identical under both dispatch modes.
+func runLowered(t *testing.T, src string, cores, wantLowered int) *dswp.Result {
+	t.Helper()
+	m := compile(t, src)
+	orig := ir.CloneModule(m)
+	it0 := interp.New(orig)
+	r0, err := it0.Run()
+	if err != nil {
+		t.Fatalf("original run: %v", err)
+	}
+
+	n := newN(t, m, cores)
+	res := dswp.Run(n, dswp.Exec{Enabled: true})
+	if len(res.Lowered) != wantLowered {
+		t.Fatalf("lowered %d loops, want %d (not lowered: %v)\n%s",
+			len(res.Lowered), wantLowered, res.NotLowered, ir.Print(m))
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("transformed module malformed: %v\n%s", err, ir.Print(m))
+	}
+
+	run := func(seq bool) *interp.Interp {
+		it := interp.New(m)
+		it.SeqDispatch = seq
+		r, err := it.Run()
+		if err != nil {
+			t.Fatalf("transformed run (seq=%v): %v\n%s", seq, err, ir.Print(m))
+		}
+		if r != r0 {
+			t.Errorf("exit code changed (seq=%v): %d -> %d", seq, r0, r)
+		}
+		return it
+	}
+	seqIt := run(true)
+	parIt := run(false)
+	if it0.Output.String() != seqIt.Output.String() {
+		t.Errorf("output changed: %q -> %q", it0.Output.String(), seqIt.Output.String())
+	}
+	if seqIt.Output.String() != parIt.Output.String() {
+		t.Errorf("seq/par output diverged: %q vs %q", seqIt.Output.String(), parIt.Output.String())
+	}
+	if it0.MemoryFingerprint() != seqIt.MemoryFingerprint() {
+		t.Error("global memory state changed vs original")
+	}
+	if seqIt.MemoryFingerprint() != parIt.MemoryFingerprint() {
+		t.Error("seq/par memory fingerprints diverged")
+	}
+	if seqIt.Steps != parIt.Steps || seqIt.Cycles != parIt.Cycles {
+		t.Errorf("seq/par counters diverged: (%d steps, %d cycles) vs (%d, %d)",
+			seqIt.Steps, seqIt.Cycles, parIt.Steps, parIt.Cycles)
+	}
+	// The lowered pipeline really communicates through queues.
+	if _, pushes, pops, _, _ := parIt.CommStats(); pushes == 0 || pushes != pops {
+		t.Errorf("queue traffic unbalanced: %d pushes, %d pops", pushes, pops)
+	}
+	return &res
+}
+
+func TestLowerPipelineWithSequentialTail(t *testing.T) {
+	res := runLowered(t, pipelineSrc, 3, 3)
+	for _, lo := range res.Lowered {
+		if lo.Stages < 2 {
+			t.Errorf("lowered %s with %d stages", lo.TaskName, lo.Stages)
+		}
+	}
+}
+
+func TestLowerReductionConfinedToOneStage(t *testing.T) {
+	// A recognizable reduction (s += expr) stays an SSA cycle inside one
+	// stage — no privatization needed, the final value flows out through
+	// an environment cell.
+	runLowered(t, `
+int a[80];
+int main() {
+  int i;
+  for (i = 0; i < 80; i = i + 1) { a[i] = i * 3 + 1; }
+  int s = 0;
+  for (i = 0; i < 80; i = i + 1) {
+    int x = a[i] * a[i] + i;
+    int y = x * 7 + 2;
+    s = s + y;
+  }
+  print_i64(s);
+  return s % 200;
+}`, 2, 2)
+}
+
+func TestLowerTwoCrossStageValues(t *testing.T) {
+	// Both x and w cross stage boundaries into the serial tail, giving
+	// multiple value queues per boundary.
+	runLowered(t, `
+int b[64];
+int c[64];
+int main() {
+  int i;
+  for (i = 0; i < 64; i = i + 1) { b[i] = i + 2; }
+  int acc = 0;
+  int sum = 0;
+  for (i = 0; i < 64; i = i + 1) {
+    int x = b[i] * b[i] + 1;
+    int w = x * 3 + b[i];
+    acc = (acc + x) % 677;
+    sum = (sum + w) % 911;
+    c[i] = x + w;
+  }
+  print_i64(acc);
+  print_i64(sum);
+  int s2 = 0;
+  for (i = 0; i < 64; i = i + 1) { s2 = s2 + c[i]; }
+  print_i64(s2);
+  return 0;
+}`, 3, 3)
+}
+
+func TestLowerRejectsCallsInLoop(t *testing.T) {
+	m := compile(t, `
+int a[64];
+int helper(int v) { return v * 2 + 1; }
+int main() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 64; i = i + 1) {
+    int x = helper(i) + i * 3;
+    int y = x * x;
+    acc = (acc + y) % 811;
+  }
+  print_i64(acc);
+  return 0;
+}`)
+	n := newN(t, m, 2)
+	res := dswp.Run(n, dswp.Exec{Enabled: true})
+	found := false
+	for _, rej := range res.NotLowered {
+		if strings.Contains(rej.Reason, "call") {
+			found = true
+		}
+	}
+	if !found && len(res.Plans) > 0 {
+		t.Errorf("loop with a call was lowered or mis-reported: lowered=%d notLowered=%v",
+			len(res.Lowered), res.NotLowered)
+	}
+}
+
+// The queue capacity knob must not change results, only backpressure.
+func TestLowerQueueCapacityInvariance(t *testing.T) {
+	var outputs []string
+	for _, cap := range []int{1, 4, 4096} {
+		m := compile(t, pipelineSrc)
+		n := newN(t, m, 3)
+		res := dswp.Run(n, dswp.Exec{Enabled: true, QueueCap: cap})
+		if len(res.Lowered) == 0 {
+			t.Fatalf("cap=%d: nothing lowered", cap)
+		}
+		it := interp.New(m)
+		if _, err := it.Run(); err != nil {
+			t.Fatalf("cap=%d: %v", cap, err)
+		}
+		outputs = append(outputs, it.Output.String())
+	}
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			t.Errorf("output varies with queue capacity: %q vs %q", outputs[0], outputs[i])
+		}
+	}
+}

@@ -15,21 +15,41 @@ func init() { tool.Register(dswpTool{}) }
 
 func (dswpTool) Name() string { return "dswp" }
 func (dswpTool) Describe() string {
-	return "pipeline hot-loop SCCs across cores with unidirectional communication (aSCCDAG + PRO)"
+	return "pipeline hot-loop SCCs across cores with unidirectional queue communication (aSCCDAG + PRO)"
 }
-func (dswpTool) Transforms() bool { return false }
 
-func (dswpTool) Run(_ context.Context, n *core.Noelle, _ tool.Options) (tool.Report, error) {
-	r := Run(n)
+// Transforms is true because the executable mode (Options.ExecutePlans)
+// rewrites planned loops into dispatched stage pipelines; TransformsWith
+// narrows that to the runs that actually lower, so plan-only stages keep
+// the pipeline's cached abstractions.
+func (dswpTool) Transforms() bool { return true }
+
+func (dswpTool) TransformsWith(opts tool.Options) bool { return opts.ExecutePlans }
+
+func (dswpTool) Run(_ context.Context, n *core.Noelle, opts tool.Options) (tool.Report, error) {
+	r := Run(n, Exec{Enabled: opts.ExecutePlans, QueueCap: opts.QueueCapacity})
 	rep := tool.Report{
-		Summary: fmt.Sprintf("planned %d loops (rejected %d)", len(r.Plans), r.Rejected),
+		Summary: fmt.Sprintf("planned %d loops (rejected %d)", len(r.Plans), r.Rejected()),
 		Metrics: map[string]int64{
 			"planned":  int64(len(r.Plans)),
-			"rejected": int64(r.Rejected),
+			"rejected": int64(r.Rejected()),
 		},
 	}
 	for _, p := range r.Plans {
 		rep.Detail = append(rep.Detail, fmt.Sprintf("@%s/%s: %d stages", p.LS.Fn.Nam, p.LS.Header.Nam, p.NumStages))
+	}
+	for _, rej := range r.Rejections {
+		rep.Detail = append(rep.Detail, "rejected "+rej.String())
+	}
+	if opts.ExecutePlans {
+		rep.Summary += fmt.Sprintf(", lowered %d to queue pipelines", len(r.Lowered))
+		rep.Metrics["lowered"] = int64(len(r.Lowered))
+		for _, lo := range r.Lowered {
+			rep.Detail = append(rep.Detail, fmt.Sprintf("lowered @%s/%s -> %s (%d stages)", lo.Fn, lo.Header, lo.TaskName, lo.Stages))
+		}
+		for _, rej := range r.NotLowered {
+			rep.Detail = append(rep.Detail, "not lowered "+rej.String())
+		}
 	}
 	return rep, nil
 }

@@ -1,0 +1,452 @@
+package dswp
+
+import (
+	"fmt"
+
+	"noelle/internal/analysis"
+	"noelle/internal/core"
+	"noelle/internal/env"
+	"noelle/internal/interp"
+	"noelle/internal/ir"
+	"noelle/internal/loopbuilder"
+	"noelle/internal/loops"
+	"noelle/internal/queue"
+)
+
+// The executable lowering turns a stage plan into NOELLE task functions:
+// every stage clones the full loop-control skeleton (the Loop's clonable
+// set: IV cycles, derived-IV arithmetic, governing comparisons and
+// branches) so it can steer its own copy of the iteration space, keeps
+// only the instructions the plan assigned to it, and exchanges
+// cross-stage SSA values over bounded queues (internal/queue via the
+// noelle_queue_* externs). A token queue links each pair of adjacent
+// stages so stage s+1 starts iteration i only after stage s finished it,
+// which both pipelines the stages and carries the happens-before for
+// cross-stage memory dependences (loop-carried dependences never cross
+// stages — the aSCCDAG merges their endpoints into one SCC).
+//
+// Per iteration, each stage pops its token and its incoming values at
+// the top of the loop body and pushes its outgoing values plus the next
+// stage's token right before the back-branch; on exit it publishes its
+// live-outs to environment cells and closes its queues, so a consumer
+// expecting more values fails deterministically instead of parking
+// forever. The dispatching function creates the queues in the
+// pre-header, ships their handles through environment slots, and
+// launches one worker per stage with noelle_dispatch — byte-identical
+// output to the sequential fallback, for the same reasons dispatch
+// itself is deterministic.
+
+// xEdge is one cross-stage SSA dependence: the value flows from the
+// stage owning val to stage to over a dedicated queue, once per
+// iteration.
+type xEdge struct {
+	val  *ir.Instr
+	from int
+	to   int
+}
+
+// crossStageEdges lists the plan's cross-stage SSA dependences in
+// deterministic (block, instruction, operand) order, deduplicated per
+// (value, consuming stage).
+func crossStageEdges(p *Plan) []xEdge {
+	type key struct {
+		val *ir.Instr
+		to  int
+	}
+	seen := map[key]bool{}
+	var edges []xEdge
+	for _, b := range p.LS.Blocks() {
+		for _, in := range b.Instrs {
+			if p.Loop.Clonable(in) {
+				continue
+			}
+			t, owned := p.SegmentOf[in]
+			if !owned {
+				continue
+			}
+			for _, op := range in.Ops {
+				d, ok := op.(*ir.Instr)
+				if !ok || !p.LS.ContainsInstr(d) || p.Loop.Clonable(d) {
+					continue
+				}
+				s := p.SegmentOf[d]
+				if s == t || seen[key{d, t}] {
+					continue
+				}
+				seen[key{d, t}] = true
+				edges = append(edges, xEdge{val: d, from: s, to: t})
+			}
+		}
+	}
+	return edges
+}
+
+// bodyTop returns the header's unique in-loop successor — the first
+// block of every iteration's body, where incoming communication lands.
+func bodyTop(ls *loops.LS) *ir.Block {
+	var bt *ir.Block
+	for _, succ := range ls.Header.Successors() {
+		if !ls.Contains(succ) {
+			continue
+		}
+		if bt != nil {
+			return nil
+		}
+		bt = succ
+	}
+	if bt == ls.Header {
+		return nil
+	}
+	return bt
+}
+
+// CanLower checks whether a plan can be lowered to executable pipeline
+// form: the canonical loop shape the generator handles, fully replicable
+// control, communication points that execute exactly once per iteration,
+// and no calls (stage-grouped execution would reorder their I/O).
+func CanLower(p *Plan) error {
+	ls, l := p.LS, p.Loop
+	if len(ls.ExitingBlocks) != 1 || ls.ExitingBlocks[0] != ls.Header {
+		return fmt.Errorf("not header-exiting")
+	}
+	if len(ls.Latches) != 1 || len(ls.Exits) != 1 {
+		return fmt.Errorf("multiple latches or exits")
+	}
+	if l.IVs.GoverningIV() == nil {
+		return fmt.Errorf("no governing IV to replicate per stage")
+	}
+	latch := ls.Latches[0]
+	if latch == ls.Header {
+		return fmt.Errorf("single-block loop: no body to pipeline")
+	}
+	if bodyTop(ls) == nil {
+		return fmt.Errorf("no unique in-loop header successor")
+	}
+	for _, b := range ls.Blocks() {
+		if term := b.Terminator(); term != nil && !l.Clonable(term) {
+			return fmt.Errorf("non-replicable control in block %s", b.Nam)
+		}
+	}
+	for _, in := range ls.Header.Instrs {
+		if in.Opcode != ir.OpPhi && !l.Clonable(in) {
+			return fmt.Errorf("stage-owned instruction %s in the header", in.Ident())
+		}
+	}
+	var inErr error
+	ls.Instrs(func(in *ir.Instr) bool {
+		if in.Opcode == ir.OpCall {
+			inErr = fmt.Errorf("call %s inside the loop", in.Ident())
+			return false
+		}
+		// A phi cannot consume a cross-stage value: its incoming operand
+		// is evaluated on the edge, before the body-top pop that would
+		// carry the value into this stage.
+		if in.Opcode == ir.OpPhi && !l.Clonable(in) {
+			if t, owned := p.SegmentOf[in]; owned {
+				for _, op := range in.Ops {
+					d, ok := op.(*ir.Instr)
+					if !ok || !ls.ContainsInstr(d) || l.Clonable(d) || p.SegmentOf[d] == t {
+						continue
+					}
+					inErr = fmt.Errorf("phi %s consumes cross-stage value %s", in.Ident(), d.Ident())
+					return false
+				}
+			}
+		}
+		// Replicated control must be closed over replicable inputs:
+		// every loop-defined operand of a clonable instruction is itself
+		// clonable, otherwise a stage that does not own the operand
+		// would clone a dangling reference to deleted code.
+		if l.Clonable(in) {
+			for _, op := range in.Ops {
+				d, ok := op.(*ir.Instr)
+				if !ok || !ls.ContainsInstr(d) || l.Clonable(d) {
+					continue
+				}
+				inErr = fmt.Errorf("replicated control %s consumes stage-owned %s", in.Ident(), d.Ident())
+				return false
+			}
+		}
+		return true
+	})
+	if inErr != nil {
+		return inErr
+	}
+	for _, v := range l.LiveIn {
+		if v.Type().Kind == ir.FuncKind {
+			return fmt.Errorf("function-typed live-in %s", v.Ident())
+		}
+	}
+	// Communication executes in the body-top and latch blocks; producers
+	// must define their value on every iteration for the queues to stay
+	// balanced.
+	dom := analysis.NewDomTree(ls.Fn)
+	for _, e := range crossStageEdges(p) {
+		if e.from > e.to {
+			return fmt.Errorf("backward cross-stage dependence on %s", e.val.Ident())
+		}
+		if !dom.Dominates(e.val.Parent, latch) {
+			return fmt.Errorf("cross-stage value %s is not computed every iteration", e.val.Ident())
+		}
+	}
+	for _, out := range l.LiveOut {
+		if !l.Clonable(out) {
+			if _, owned := p.SegmentOf[out]; !owned {
+				return fmt.Errorf("live-out %s belongs to no stage", out.Ident())
+			}
+		}
+	}
+	return nil
+}
+
+// transform rewrites the planned loop into NumStages dispatched stage
+// workers connected by queues.
+func transform(n *core.Noelle, p *Plan, taskName string, queueCap int) error {
+	ls, l := p.LS, p.Loop
+	m := n.Mod
+	edges := crossStageEdges(p)
+
+	pre := loopbuilder.EnsurePreheader(ls)
+	bld := ir.NewBuilder()
+	bld.SetInsertionBefore(pre.Terminator())
+
+	i64 := ir.I64Type
+	qcreate := m.DeclareFunction(interp.ExternQueueCreate, ir.FuncOf(i64, i64))
+	qpush := m.DeclareFunction(interp.ExternQueuePush, ir.FuncOf(ir.VoidType, i64, i64))
+	qpop := m.DeclareFunction(interp.ExternQueuePop, ir.FuncOf(i64, i64))
+	qclose := m.DeclareFunction(interp.ExternQueueClose, ir.FuncOf(ir.VoidType, i64))
+	dispatch := m.DeclareFunction(interp.ExternDispatch,
+		ir.FuncOf(ir.VoidType, env.TaskSignature(), ir.PointerTo(i64), i64))
+
+	// ---- queue creation in the pre-header ----
+	capVal := int64(queueCap)
+	if capVal <= 0 {
+		capVal = queue.DefaultCapacity
+	}
+	valQ := make([]ir.Value, len(edges))
+	for i := range edges {
+		valQ[i] = bld.CreateCall(qcreate, []ir.Value{ir.ConstInt(capVal)}, fmt.Sprintf("q%d", i))
+	}
+	tokQ := make([]ir.Value, p.NumStages-1)
+	for i := range tokQ {
+		tokQ[i] = bld.CreateCall(qcreate, []ir.Value{ir.ConstInt(capVal)}, fmt.Sprintf("tq%d", i))
+	}
+
+	// ---- environment: live-ins, queue handles, live-out cells ----
+	eb := env.NewBuilder()
+	for _, v := range l.LiveIn {
+		eb.AddLiveIn(v)
+	}
+	for _, q := range valQ {
+		eb.AddLiveIn(q)
+	}
+	for _, q := range tokQ {
+		eb.AddLiveIn(q)
+	}
+	for _, out := range l.LiveOut {
+		eb.AddLiveOut(out)
+	}
+	e := eb.Build()
+	cells := e.NumSlots()
+	if cells < 1 {
+		cells = 1
+	}
+	envPtr := bld.CreateAlloca(i64, cells, "dswp.env")
+	for _, s := range e.Slots {
+		if s.Kind != env.LiveIn {
+			continue
+		}
+		addr := bld.CreatePtrAdd(envPtr, ir.ConstInt(int64(s.Index)), "")
+		bld.CreateStore(env.ToBits(bld, s.Value), addr)
+	}
+
+	// ---- stage workers + the worker-id demultiplexer ----
+	stages := make([]*env.Task, p.NumStages)
+	for s := 0; s < p.NumStages; s++ {
+		stages[s] = env.NewTask(m, fmt.Sprintf("%s.stage%d", taskName, s), e)
+		buildStage(p, stages[s], e, edges, valQ, tokQ, s, qpush, qpop, qclose)
+	}
+	wrapper := env.NewTask(m, taskName, e)
+	buildWrapper(wrapper, stages)
+
+	// ---- dispatch + live-out reconstruction ----
+	bld.SetInsertionBefore(pre.Terminator())
+	bld.CreateCall(dispatch, []ir.Value{wrapper.Fn, envPtr, ir.ConstInt(int64(p.NumStages))}, "")
+	finals := map[*ir.Instr]ir.Value{}
+	for _, out := range l.LiveOut {
+		slot := e.SlotOf(out)
+		addr := bld.CreatePtrAdd(envPtr, ir.ConstInt(int64(slot.Index)), "")
+		raw := bld.CreateLoad(addr, "")
+		finals[out] = env.FromBits(bld, raw, out.Ty)
+	}
+
+	// ---- rewire the CFG around the dead loop ----
+	loopbuilder.ReplaceLoop(ls, pre, finals)
+	return nil
+}
+
+// pubStageOf picks the stage that publishes a live-out: the owning stage
+// for stage-assigned values, stage 0 for replicated loop control (every
+// stage computes the same final value, so the choice is arbitrary but
+// must be unique).
+func pubStageOf(p *Plan, out *ir.Instr) int {
+	if p.Loop.Clonable(out) {
+		return 0
+	}
+	return p.SegmentOf[out]
+}
+
+// buildStage fills one stage worker: load live-ins, run a copy of the
+// loop restricted to this stage's instructions plus the replicated
+// control, pop incoming values at the body top, push outgoing values at
+// the latch, publish live-outs and close outgoing queues on exit.
+func buildStage(p *Plan, task *env.Task, e *env.Environment, edges []xEdge, valQ, tokQ []ir.Value, s int, qpush, qpop, qclose *ir.Function) {
+	ls, l := p.LS, p.Loop
+	entry := task.Fn.NewBlock("entry")
+	bld := ir.NewBuilder()
+	bld.SetInsertionBlock(entry)
+
+	// Live-in loads (queue handles travel as ordinary live-ins).
+	remap := task.LoadLiveIns(bld)
+	mapVal := func(v ir.Value) ir.Value {
+		if nv, ok := remap[v]; ok {
+			return nv
+		}
+		return v
+	}
+
+	keep := func(in *ir.Instr) bool {
+		return l.Clonable(in) || p.SegmentOf[in] == s
+	}
+
+	// Pass 1: clone the kept instructions block by block (operands are
+	// filled after the communication values exist).
+	bmap := map[*ir.Block]*ir.Block{}
+	imap := map[*ir.Instr]*ir.Instr{}
+	loopBlocks := ls.Blocks()
+	for _, b := range loopBlocks {
+		bmap[b] = task.Fn.NewBlock("t." + b.Nam)
+	}
+	done := task.Fn.NewBlock("done")
+	for _, b := range loopBlocks {
+		nb := bmap[b]
+		for _, in := range b.Instrs {
+			if !keep(in) {
+				continue
+			}
+			imap[in] = loopbuilder.CloneShell(in, nb)
+		}
+	}
+
+	// Pass 2: communication. Incoming pops sit at the top of the body
+	// (token first: its pop carries the happens-before edge for
+	// cross-stage memory dependences); outgoing pushes sit right before
+	// the back-branch (after every store of the iteration), token last.
+	bt := bodyTop(ls)
+	latch := ls.Latches[0]
+	btClone, latchClone := bmap[bt], bmap[latch]
+	popped := map[*ir.Instr]ir.Value{}
+	bld.SetInsertionBefore(btClone.Instrs[btClone.FirstNonPhi()])
+	if s > 0 {
+		bld.CreateCall(qpop, []ir.Value{mapVal(tokQ[s-1])}, "tok")
+	}
+	for i, ed := range edges {
+		if ed.to != s {
+			continue
+		}
+		raw := bld.CreateCall(qpop, []ir.Value{mapVal(valQ[i])}, fmt.Sprintf("pop%d", i))
+		popped[ed.val] = env.FromBits(bld, raw, ed.val.Type())
+	}
+	bld.SetInsertionBefore(latchClone.Terminator())
+	for i, ed := range edges {
+		if ed.from != s {
+			continue
+		}
+		bld.CreateCall(qpush, []ir.Value{mapVal(valQ[i]), env.ToBits(bld, imap[ed.val])}, "")
+	}
+	if s < p.NumStages-1 {
+		bld.CreateCall(qpush, []ir.Value{mapVal(tokQ[s]), ir.ConstInt(1)}, "")
+	}
+
+	// Pass 3: operands and control-flow targets. Phis route their entry
+	// edge to the stage's entry block; the loop exit edge lands on done.
+	remapOperand := func(v ir.Value) ir.Value {
+		if in, ok := v.(*ir.Instr); ok {
+			if ni, cloned := imap[in]; cloned {
+				return ni
+			}
+			if pv, ok2 := popped[in]; ok2 {
+				return pv
+			}
+		}
+		return mapVal(v)
+	}
+	for _, b := range loopBlocks {
+		for _, in := range b.Instrs {
+			ni, cloned := imap[in]
+			if !cloned {
+				continue
+			}
+			for _, op := range in.Ops {
+				ni.Ops = append(ni.Ops, remapOperand(op))
+			}
+			for _, tb := range in.Blocks {
+				switch {
+				case bmap[tb] != nil:
+					ni.Blocks = append(ni.Blocks, bmap[tb])
+				case in.Opcode == ir.OpPhi:
+					ni.Blocks = append(ni.Blocks, entry)
+				default:
+					ni.Blocks = append(ni.Blocks, done) // loop exit edge
+				}
+			}
+		}
+	}
+
+	bld.SetInsertionBlock(entry)
+	bld.CreateBr(bmap[ls.Header])
+
+	// done: publish this stage's live-outs, close outgoing queues, ret.
+	bld.SetInsertionBlock(done)
+	for _, out := range l.LiveOut {
+		if pubStageOf(p, out) != s {
+			continue
+		}
+		slot := e.SlotOf(out)
+		addr := task.EnvSlotAddr(bld, slot)
+		bld.CreateStore(env.ToBits(bld, ir.Value(imap[out])), addr)
+	}
+	for i, ed := range edges {
+		if ed.from == s {
+			bld.CreateCall(qclose, []ir.Value{mapVal(valQ[i])}, "")
+		}
+	}
+	if s < p.NumStages-1 {
+		bld.CreateCall(qclose, []ir.Value{mapVal(tokQ[s])}, "")
+	}
+	bld.CreateRet(nil)
+}
+
+// buildWrapper emits the dispatched task: a worker-id demultiplexer
+// calling the matching stage function (worker w runs stage w).
+func buildWrapper(w *env.Task, stages []*env.Task) {
+	bld := ir.NewBuilder()
+	cur := w.Fn.NewBlock("entry")
+	for s, st := range stages {
+		bld.SetInsertionBlock(cur)
+		args := []ir.Value{w.EnvPtr, w.WorkerID, w.NumWorkers}
+		if s == len(stages)-1 {
+			bld.CreateCall(st.Fn, args, "")
+			bld.CreateRet(nil)
+			return
+		}
+		run := w.Fn.NewBlock(fmt.Sprintf("run%d", s))
+		next := w.Fn.NewBlock(fmt.Sprintf("sel%d", s+1))
+		c := bld.CreateCmp(ir.OpEq, w.WorkerID, ir.ConstInt(int64(s)), "")
+		bld.CreateCondBr(c, run, next)
+		bld.SetInsertionBlock(run)
+		bld.CreateCall(st.Fn, args, "")
+		bld.CreateRet(nil)
+		cur = next
+	}
+}

@@ -6,15 +6,26 @@
 // live-ins and live-outs, aSCCDAG/INV/IV/RD to find the SCCs that must
 // serialize, SCD to shrink the sequential segments, and AR for the
 // signal latency between cores.
+//
+// Beyond planning, the tool can lower a plan to executable form
+// (taskgen.go): each iteration becomes one dispatched task invocation,
+// sequential segments are bracketed by the ticket signals of the
+// internal/queue runtime so their instances execute in iteration order
+// across workers, and register-carried sequential state is routed
+// through signal-guarded environment cells.
 package helix
 
 import (
+	"fmt"
+
 	"noelle/internal/core"
 	"noelle/internal/ir"
+	"noelle/internal/loopbuilder"
 	"noelle/internal/loops"
 	"noelle/internal/machine"
 	"noelle/internal/sccdag"
 	"noelle/internal/scheduler"
+	"noelle/internal/tool"
 )
 
 // Plan is the parallel schedule for one loop: instructions are assigned
@@ -36,15 +47,43 @@ type Plan struct {
 // NumSegments includes the trailing parallel segment.
 func (p *Plan) NumSegments() int { return p.NumSeq + 1 }
 
-// Result lists the plans HELIX produced.
+// Rejection records why one hot loop was not planned (or, in transform
+// mode, planned but not lowered) — the shared per-loop rejection record
+// noelle-load surfaces.
+type Rejection = tool.LoopRejection
+
+// Lowered records one loop rewritten into executable per-iteration form.
+type Lowered struct {
+	Fn       string
+	Header   string
+	TaskName string
+	Segments int
+}
+
+// Result lists the plans HELIX produced, with per-loop rejection reasons
+// and (in transform mode) the loops lowered to dispatched iterations.
 type Result struct {
-	Plans    []*Plan
-	Rejected int
+	Plans      []*Plan
+	Rejections []Rejection
+	// Lowered / NotLowered are populated only when Exec.Enabled.
+	Lowered    []*Lowered
+	NotLowered []Rejection
+}
+
+// Rejected is the count of hot loops no plan was produced for.
+func (r *Result) Rejected() int { return len(r.Rejections) }
+
+// Exec configures the transform mode.
+type Exec struct {
+	// Enabled lowers every plan to a per-iteration dispatched task with
+	// signal-guarded sequential segments.
+	Enabled bool
 }
 
 // Run plans HELIX parallelization for every hot loop. The `optimize` flag
-// controls the SCD header-shrinking pass (the ablation toggles it).
-func Run(n *core.Noelle, optimize bool) Result {
+// controls the SCD header-shrinking pass (the ablation toggles it); with
+// ex.Enabled the plans are then lowered to executable form.
+func Run(n *core.Noelle, optimize bool, ex Exec) Result {
 	n.Use(core.AbsENV)
 	n.Use(core.AbsTask)
 	n.Use(core.AbsDFE)
@@ -53,22 +92,63 @@ func Run(n *core.Noelle, optimize bool) Result {
 	n.Arch() // AR: signal latencies feed the schedule
 	var res Result
 	for _, ls := range n.HotLoops() {
-		p := PlanLoop(n, ls, optimize)
+		p, err := PlanLoop(n, ls, optimize)
 		if p == nil {
-			res.Rejected++
+			res.Rejections = append(res.Rejections, Rejection{
+				Fn: ls.Fn.Nam, Header: ls.Header.Nam, Reason: err.Error(),
+			})
 			continue
 		}
 		res.Plans = append(res.Plans, p)
 	}
+	if !ex.Enabled {
+		return res
+	}
+	for i, p := range res.Plans {
+		rej := func(reason string) {
+			res.NotLowered = append(res.NotLowered, Rejection{
+				Fn: p.LS.Fn.Nam, Header: p.LS.Header.Nam, Reason: reason,
+			})
+		}
+		if !loopIntact(p) {
+			rej("loop rewritten by an earlier lowering")
+			continue
+		}
+		if err := CanLower(p); err != nil {
+			rej(err.Error())
+			continue
+		}
+		name := fmt.Sprintf("helix.task%d", i)
+		if err := transform(n, p, name); err != nil {
+			rej(err.Error())
+			continue
+		}
+		res.Lowered = append(res.Lowered, &Lowered{
+			Fn: p.LS.Fn.Nam, Header: p.LS.Header.Nam, TaskName: name, Segments: p.NumSeq,
+		})
+		n.InvalidateModule()
+	}
 	return res
 }
 
+// loopIntact reports whether every planned instruction — and the header
+// phis the lowering routes through cells — still lives in its function
+// (earlier lowerings remove loop bodies wholesale).
+func loopIntact(p *Plan) bool {
+	planned := make([]*ir.Instr, 0, len(p.SegmentOf))
+	for in := range p.SegmentOf {
+		planned = append(planned, in)
+	}
+	return loopbuilder.InstrsAlive(p.LS.Fn, planned, p.LS.HeaderPhis())
+}
+
 // PlanLoop plans one specific loop (the evaluation harness drives loop
-// selection itself).
-func PlanLoop(n *core.Noelle, ls *loops.LS, optimize bool) *Plan {
+// selection itself); a nil plan comes with the rejection reason.
+func PlanLoop(n *core.Noelle, ls *loops.LS, optimize bool) (*Plan, error) {
 	l := n.Loop(ls)
 	if l.IVs.GoverningIV() == nil {
-		return nil // HELIX needs the loop control to replicate per core
+		// HELIX needs the loop control to replicate per core.
+		return nil, fmt.Errorf("no governing IV to replicate per core")
 	}
 
 	if optimize {
@@ -101,7 +181,7 @@ func PlanLoop(n *core.Noelle, ls *loops.LS, optimize bool) *Plan {
 	if optimize {
 		p.HeaderShrunk = headerResidue(ls)
 	}
-	return p
+	return p, nil
 }
 
 func headerResidue(ls *loops.LS) int {

@@ -15,27 +15,46 @@ func init() { tool.Register(helixTool{}) }
 
 func (helixTool) Name() string { return "helix" }
 func (helixTool) Describe() string {
-	return "slice hot-loop iterations into sequential segments overlapped across cores (aSCCDAG + SCD + AR)"
+	return "slice hot-loop iterations into signal-guarded sequential segments overlapped across cores (aSCCDAG + SCD + AR)"
 }
 
 // Transforms is true because the SCD header-shrinking stage moves
-// instructions in the planned loops.
+// instructions in the planned loops, and the executable mode
+// (Options.ExecutePlans) rewrites them into dispatched iterations;
+// TransformsWith narrows that to runs where either mutation can happen.
 func (helixTool) Transforms() bool { return true }
 
+func (helixTool) TransformsWith(opts tool.Options) bool {
+	return opts.Optimize || opts.ExecutePlans
+}
+
 func (helixTool) Run(_ context.Context, n *core.Noelle, opts tool.Options) (tool.Report, error) {
-	r := Run(n, opts.Optimize)
+	r := Run(n, opts.Optimize, Exec{Enabled: opts.ExecutePlans})
 	shrunk := 0
 	rep := tool.Report{
-		Summary: fmt.Sprintf("planned %d loops (rejected %d)", len(r.Plans), r.Rejected),
+		Summary: fmt.Sprintf("planned %d loops (rejected %d)", len(r.Plans), r.Rejected()),
 	}
 	for _, p := range r.Plans {
 		shrunk += p.HeaderShrunk
 		rep.Detail = append(rep.Detail, fmt.Sprintf("@%s/%s: %d sequential segments", p.LS.Fn.Nam, p.LS.Header.Nam, p.NumSeq))
 	}
+	for _, rej := range r.Rejections {
+		rep.Detail = append(rep.Detail, "rejected "+rej.String())
+	}
 	rep.Metrics = map[string]int64{
 		"planned":       int64(len(r.Plans)),
-		"rejected":      int64(r.Rejected),
+		"rejected":      int64(r.Rejected()),
 		"header_shrunk": int64(shrunk),
+	}
+	if opts.ExecutePlans {
+		rep.Summary += fmt.Sprintf(", lowered %d to signal-guarded iterations", len(r.Lowered))
+		rep.Metrics["lowered"] = int64(len(r.Lowered))
+		for _, lo := range r.Lowered {
+			rep.Detail = append(rep.Detail, fmt.Sprintf("lowered @%s/%s -> %s (%d segments)", lo.Fn, lo.Header, lo.TaskName, lo.Segments))
+		}
+		for _, rej := range r.NotLowered {
+			rep.Detail = append(rep.Detail, "not lowered "+rej.String())
+		}
 	}
 	return rep, nil
 }

@@ -388,7 +388,7 @@ func TestHELIXPlansSequentialSegments(t *testing.T) {
 		t.Fatal(err)
 	}
 	n := newN(m)
-	res := helix.Run(n, true)
+	res := helix.Run(n, true, helix.Exec{})
 	if len(res.Plans) == 0 {
 		t.Fatal("HELIX planned nothing")
 	}
@@ -420,7 +420,7 @@ func TestDSWPStagesRespectDependences(t *testing.T) {
 		t.Fatal(err)
 	}
 	n := newN(m)
-	res := dswp.Run(n)
+	res := dswp.Run(n, dswp.Exec{})
 	if len(res.Plans) == 0 {
 		t.Fatal("DSWP planned nothing")
 	}

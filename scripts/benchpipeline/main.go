@@ -1,0 +1,108 @@
+// benchpipeline records the seq-vs-parallel wall-clock of the queue
+// communication runtime into a JSON artifact (make bench-pipeline →
+// BENCH_pipeline.json). The measurement itself is
+// eval.PipelineWallClockStudy — the same harness behind `noelle-eval
+// -only wallclock` — which lowers the bundled pipeline benchmark with
+// DSWP (stages over bounded queues) and HELIX (signal-guarded
+// iterations) and races noelle_dispatch's parallel backend against the
+// -seq fallback, checking byte-identical output and memory fingerprints
+// along the way. Modeled columns come from SimulateDSWP (on the
+// queue-calibrated machine config) and SimulateHELIX.
+//
+// Usage: go run ./scripts/benchpipeline [-cores 4] [-size 0]
+//
+//	[-queue-cap 0] [-o BENCH_pipeline.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"noelle/internal/eval"
+)
+
+// Row is one technique's measurement.
+type Row struct {
+	Technique string  `json:"technique"`
+	Cores     int     `json:"cores"`
+	Parts     int     `json:"parts"` // DSWP stages / HELIX sequential segments
+	Modeled   float64 `json:"modeled_speedup"`
+	SeqMS     float64 `json:"seq_ms"`
+	ParMS     float64 `json:"par_ms"`
+	Speedup   float64 `json:"speedup"`
+	CommOps   int64   `json:"comm_ops"`
+	Identical bool    `json:"identical"` // output bytes AND memory fingerprint
+}
+
+// Artifact is the written JSON document.
+type Artifact struct {
+	Benchmark   string `json:"benchmark"`
+	Size        int    `json:"size"`
+	CPUs        int    `json:"cpus"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Rows        []Row  `json:"rows"`
+	GeneratedBy string `json:"generated_by"`
+}
+
+func main() {
+	cores := flag.Int("cores", 4, "core count for the pipeline plans and the dispatch cap")
+	size := flag.Int("size", 0, "iteration count per loop (0 = bundled default)")
+	queueCap := flag.Int("queue-cap", 0, "communication queue capacity (0 = default)")
+	out := flag.String("o", "BENCH_pipeline.json", "output JSON path")
+	flag.Parse()
+
+	if err := run(*cores, *size, *queueCap, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchpipeline:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cores, size, queueCap int, out string) error {
+	rows, err := eval.PipelineWallClockStudy(size, cores, 0, queueCap, false)
+	if err != nil {
+		return err
+	}
+
+	art := Artifact{
+		Benchmark:   "bench.PipelineProgram",
+		Size:        size,
+		CPUs:        runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GeneratedBy: "make bench-pipeline",
+	}
+	if art.Size == 0 {
+		art.Size = 65536
+	}
+	for _, r := range rows {
+		art.Rows = append(art.Rows, Row{
+			Technique: r.Technique,
+			Cores:     r.Cores,
+			Parts:     r.Parts,
+			Modeled:   r.Modeled,
+			SeqMS:     float64(r.SeqWall.Microseconds()) / 1000,
+			ParMS:     float64(r.ParWall.Microseconds()) / 1000,
+			Speedup:   r.Measured,
+			CommOps:   r.QueueOps,
+			Identical: r.Identical,
+		})
+		fmt.Fprintf(os.Stderr, "%s cores=%d parts=%d modeled=%.2fx seq=%v par=%v measured=%.2fx comm=%d identical=%v\n",
+			r.Technique, r.Cores, r.Parts, r.Modeled, r.SeqWall.Round(time.Millisecond),
+			r.ParWall.Round(time.Millisecond), r.Measured, r.QueueOps, r.Identical)
+		if !r.Identical {
+			// The artifact doubles as CI's equivalence guard: a parallel
+			// leg that diverges from -seq must fail the build, not just
+			// flip a JSON field.
+			return fmt.Errorf("%s: parallel output diverged from the sequential fallback", r.Technique)
+		}
+	}
+
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(data, '\n'), 0o644)
+}
