@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-cache bench-parallel bench-pipeline cache-smoke
+.PHONY: build test vet race bench bench-cache bench-parallel bench-pipeline bench-auto cache-smoke check-docs example-smoke
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ vet:
 # only meaningful under -race; interp + queue + the three parallelizers
 # cover the dispatch and communication paths.
 race:
-	$(GO) test -race ./internal/core/... ./internal/tools/ ./internal/abscache/ ./internal/interp/ ./internal/queue/ ./internal/tools/doall/ ./internal/tools/dswp/ ./internal/tools/helix/
+	$(GO) test -race ./internal/core/... ./internal/tools/ ./internal/abscache/ ./internal/interp/ ./internal/queue/ ./internal/tools/doall/ ./internal/tools/dswp/ ./internal/tools/helix/ ./internal/tools/auto/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
@@ -42,3 +42,21 @@ bench-parallel:
 # iterations), next to the SimulateDSWP/SimulateHELIX modeled numbers.
 bench-pipeline:
 	$(GO) run ./scripts/benchpipeline -cores 4 -o BENCH_pipeline.json
+
+# The auto-parallelizer composition: each single technique and the auto
+# orchestrator (per-loop technique selection over the machine cost
+# model) raced on both bundled benchmarks, recorded as JSON. The
+# orchestrator should keep up with the best single technique on each
+# benchmark without being told which favours which.
+bench-auto:
+	$(GO) run ./scripts/benchauto -cores 4 -o BENCH_auto.json
+
+# Documentation consistency: markdown links resolve, cmd/README.md lists
+# every binary under cmd/, and every registered tool is described there.
+check-docs:
+	$(GO) run ./scripts/checkdocs
+
+# The examples/parallelize walkthrough, replayed through the real CLIs
+# against its committed expected output.
+example-smoke:
+	bash scripts/example_smoke.sh

@@ -2,7 +2,7 @@
 // evaluation from this repository (see DESIGN.md's per-experiment index
 // and EXPERIMENTS.md for the recorded results).
 //
-// Usage: noelle-eval [-only table1|table2|table3|table4|fig3|fig4|goviv|fig5|spec|dead|wallclock]
+// Usage: noelle-eval [-only table1|table2|table3|table4|fig3|fig4|goviv|fig5|spec|dead|wallclock|auto]
 //
 // The wallclock artifact complements the simulated Figure-5 numbers with
 // *measured* speedups, covering all three parallelization techniques:
@@ -15,6 +15,12 @@
 // core count), -wall-size the per-loop iteration count, -queue-cap the
 // communication queue bound, and -seq turns every parallel leg into a
 // sequential control run.
+//
+// The auto artifact is the headline composition: it races the auto
+// orchestrator (per-loop technique selection over the machine cost
+// model) against each individual technique on both bundled benchmarks —
+// the orchestrator should match the best single technique on each
+// without being told which benchmark favours which.
 package main
 
 import (
@@ -106,8 +112,16 @@ func main() {
 		}
 		return eval.FormatDeadStudy(rows), nil
 	})
-	// wallclock is explicit-only: it is a timing measurement, so it is not
-	// part of the default (deterministic) artifact sweep.
+	// wallclock and auto are explicit-only: they are timing measurements,
+	// so they are not part of the default (deterministic) artifact sweep.
+	if *only == "auto" {
+		rows, err := eval.AutoStudy(*wallSize, *workers, 0, *queueCap, *seq)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "auto: error: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(eval.FormatAutoStudy(rows, *wallSize))
+	}
 	if *only == "wallclock" {
 		counts := eval.WorkerSweep(*workers)
 		if counts == nil {

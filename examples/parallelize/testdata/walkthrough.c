@@ -1,0 +1,33 @@
+int a[2048];
+int b[2048];
+
+int main() {
+  int i;
+  for (i = 0; i < 2048; i = i + 1) {
+    b[i] = (i * 7 + 3) % 4093 + 1;
+  }
+
+  /* DOALL-friendly: independent stores plus a privatizable reduction. */
+  int s = 0;
+  for (i = 0; i < 2048; i = i + 1) {
+    int x = b[i] * b[i] % 65521;
+    a[i] = x + b[i] * 3;
+    s = s + x % 127;
+  }
+
+  /* Order-sensitive recurrence behind a heavy independent chain: DOALL
+     must reject this loop, the pipelining techniques compete for it. */
+  int acc = 1;
+  for (i = 0; i < 2048; i = i + 1) {
+    int x = b[i];
+    int t1 = (x * x + i) % 65521;
+    int t2 = (t1 * t1 + x) % 32749;
+    int t3 = (t2 * t2 + t1) % 16381;
+    int t4 = (t3 * t3 + t2) % 8191;
+    acc = (acc * 3 + t4) % 65521;
+  }
+
+  print_i64(s);
+  print_i64(acc);
+  return (s + acc) % 251;
+}

@@ -9,6 +9,13 @@
 // program carries while-shaped loops, invariant subexpressions, unused
 // helper functions, and occasional indirect calls so each custom tool has
 // work to do.
+//
+// Beyond the corpus, the package generates the bundled wall-clock
+// programs (synthetic.go): WholeProgram for the warm-load benchmarks,
+// the DOALL-friendly ParallelProgram, and the queue-bound
+// PipelineProgram — the two workloads the measured parallelization
+// studies (and the auto-parallelizer's selection acceptance) race on
+// real cores.
 package bench
 
 import (

@@ -136,7 +136,7 @@ func TestDOALLPreservesCorpusSemantics(t *testing.T) {
 				parallelizedSomewhere++
 			}
 			if b.Parallel && len(res.Parallelized) == 0 {
-				t.Errorf("expected DOALL to parallelize something (rejected %d)", res.Rejected)
+				t.Errorf("expected DOALL to parallelize something (rejected %d)", res.Rejected())
 			}
 		})
 	}

@@ -1,0 +1,223 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"noelle/internal/bench"
+	"noelle/internal/core"
+	"noelle/internal/interp"
+	"noelle/internal/ir"
+	"noelle/internal/profiler"
+	"noelle/internal/tool"
+	"noelle/internal/tools/auto"
+	"noelle/internal/tools/doall"
+	"noelle/internal/tools/dswp"
+	"noelle/internal/tools/helix"
+)
+
+// AutoRow is one leg's measurement in the auto-parallelizer study: one
+// technique (or the auto orchestrator) applied to one bundled benchmark,
+// raced seq-vs-parallel under the interpreter's dispatch runtime.
+type AutoRow struct {
+	Benchmark string // "parallel" (DOALL-friendly) or "pipeline" (queue-bound)
+	Technique string // "doall", "dswp", "helix", or "auto"
+	Cores     int
+	// Loops is how many loops this leg lowered (0 = module unchanged,
+	// measured speedup hovers around 1x).
+	Loops int
+	// Chosen lists the auto leg's per-loop decisions as
+	// "fn/header=technique".
+	Chosen   []string
+	SeqWall  time.Duration
+	ParWall  time.Duration
+	Measured float64
+	// Identical confirms the parallel run produced byte-identical output
+	// and the same memory image as the sequential fallback.
+	Identical bool
+}
+
+// autoBenchmarks names the study's two workloads: the DOALL-friendly
+// parallel benchmark and the queue-bound pipeline benchmark, each with
+// the hotness threshold its loop structure calls for.
+var autoBenchmarks = []struct {
+	Name    string
+	Build   func(size int) (*ir.Module, error)
+	Hotness float64
+}{
+	{"parallel", bench.ParallelProgram, 0.01},
+	{"pipeline", bench.PipelineProgram, pipelineHotness},
+}
+
+// AutoStudy races every individual technique and the auto orchestrator
+// over both bundled benchmarks: the interesting comparison is the auto
+// rows against the best single-technique row of the same benchmark — the
+// orchestrator should match it on the DOALL-friendly program (by picking
+// DOALL everywhere) and on the queue-bound program (by picking the
+// better pipelining technique for the dominant loop), without being told
+// which program is which. dispatchCap bounds simultaneous workers (0 =
+// the core count, keeping "cores" comparable across legs); queueCap
+// bounds generated queues; forceSeq turns the parallel legs into
+// sequential control runs.
+func AutoStudy(size, cores, dispatchCap, queueCap int, forceSeq bool) ([]AutoRow, error) {
+	if dispatchCap <= 0 {
+		dispatchCap = cores
+	}
+	var rows []AutoRow
+	for _, bm := range autoBenchmarks {
+		for _, tech := range []string{"doall", "dswp", "helix", "auto"} {
+			row, err := autoRow(bm.Name, bm.Build, bm.Hotness, tech, size, cores, dispatchCap, queueCap, forceSeq)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", bm.Name, tech, err)
+			}
+			rows = append(rows, *row)
+		}
+	}
+	return rows, nil
+}
+
+func autoRow(bmName string, build func(int) (*ir.Module, error), hotness float64, tech string, size, cores, dispatchCap, queueCap int, forceSeq bool) (*AutoRow, error) {
+	row := &AutoRow{Benchmark: bmName, Technique: tech, Cores: cores}
+
+	m, err := build(size)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := profiler.Collect(m)
+	if err != nil {
+		return nil, err
+	}
+	prof.Embed()
+
+	opts := core.DefaultOptions()
+	opts.Cores = cores
+	opts.MinHotness = hotness
+	n := core.New(m, opts)
+
+	switch tech {
+	case "doall":
+		res, err := doall.Run(n)
+		if err != nil {
+			return nil, err
+		}
+		row.Loops = len(res.Parallelized)
+	case "dswp":
+		res := dswp.Run(n, dswp.Exec{Enabled: true, QueueCap: queueCap})
+		row.Loops = len(res.Lowered)
+	case "helix":
+		res := helix.Run(n, false, helix.Exec{Enabled: true})
+		row.Loops = len(res.Lowered)
+	case "auto":
+		res, err := auto.Run(context.Background(), n, tool.Options{ExecutePlans: true, QueueCapacity: queueCap})
+		if err != nil {
+			return nil, err
+		}
+		row.Loops = res.Lowered()
+		for _, s := range res.Selections {
+			if s.Winner != "" {
+				row.Chosen = append(row.Chosen, fmt.Sprintf("%s/%s=%s", s.Fn, s.Header, s.Winner))
+			}
+		}
+	default:
+		return nil, fmt.Errorf("unknown technique %q", tech)
+	}
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("lowered module malformed: %w", err)
+	}
+
+	// Best-of-3 per mode (the first run pays warm-up, and a single sample
+	// would let one GC pause land entirely in one leg).
+	run := func(seqMode bool) (*interp.Interp, time.Duration, error) {
+		var last *interp.Interp
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			it := interp.New(m)
+			it.SeqDispatch = seqMode
+			it.DispatchWorkers = dispatchCap
+			start := time.Now()
+			if _, err := it.Run(); err != nil {
+				return nil, 0, err
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			last = it
+		}
+		return last, best, nil
+	}
+	seqIt, seqD, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	parIt, parD, err := run(forceSeq)
+	if err != nil {
+		return nil, err
+	}
+	row.SeqWall, row.ParWall = seqD, parD
+	row.Measured = float64(seqD) / float64(parD)
+	row.Identical = seqIt.Output.String() == parIt.Output.String() &&
+		seqIt.MemoryFingerprint() == parIt.MemoryFingerprint()
+	return row, nil
+}
+
+// BestSingle returns the best-measured single-technique row for one
+// benchmark (the bar the auto row is compared against).
+func BestSingle(rows []AutoRow, benchmark string) *AutoRow {
+	var best *AutoRow
+	for i := range rows {
+		r := &rows[i]
+		if r.Benchmark != benchmark || r.Technique == "auto" {
+			continue
+		}
+		if best == nil || r.Measured > best.Measured {
+			best = r
+		}
+	}
+	return best
+}
+
+// AutoRowFor returns the auto row for one benchmark.
+func AutoRowFor(rows []AutoRow, benchmark string) *AutoRow {
+	for i := range rows {
+		if rows[i].Benchmark == benchmark && rows[i].Technique == "auto" {
+			return &rows[i]
+		}
+	}
+	return nil
+}
+
+// FormatAutoStudy renders the study.
+func FormatAutoStudy(rows []AutoRow, size int) string {
+	var b strings.Builder
+	if size <= 0 {
+		size = 65536
+	}
+	fmt.Fprintf(&b, "Auto-parallelizer vs single techniques (bundled benchmarks, %d iterations)\n", size)
+	fmt.Fprintf(&b, "  %-9s %-7s %6s %6s %12s %12s %9s %s\n",
+		"bench", "tech", "cores", "loops", "seq wall", "par wall", "measured", "output")
+	for _, r := range rows {
+		okay := "identical"
+		if !r.Identical {
+			okay = "DIVERGED"
+		}
+		fmt.Fprintf(&b, "  %-9s %-7s %6d %6d %12s %12s %8.2fx %s\n",
+			r.Benchmark, r.Technique, r.Cores, r.Loops,
+			r.SeqWall.Round(time.Millisecond), r.ParWall.Round(time.Millisecond),
+			r.Measured, okay)
+	}
+	for _, bm := range autoBenchmarks {
+		best := BestSingle(rows, bm.Name)
+		autoR := AutoRowFor(rows, bm.Name)
+		if best == nil || autoR == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "  %s: auto %.2fx vs best single (%s) %.2fx; chose %s\n",
+			bm.Name, autoR.Measured, best.Technique, best.Measured,
+			strings.Join(autoR.Chosen, ", "))
+	}
+	b.WriteString("  (auto = per-loop technique selection over the machine cost model;\n")
+	b.WriteString("   a leg with loops=0 left the module sequential, so its bar is ~1x)\n")
+	return b.String()
+}

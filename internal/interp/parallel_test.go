@@ -268,7 +268,7 @@ func transformDOALL(t testing.TB, size, cores int) *ir.Module {
 		t.Fatalf("doall: %v", err)
 	}
 	if len(res.Parallelized) < 3 {
-		t.Fatalf("parallelized %d loops, want >= 3 (rejected %d)", len(res.Parallelized), res.Rejected)
+		t.Fatalf("parallelized %d loops, want >= 3 (rejected %d)", len(res.Parallelized), res.Rejected())
 	}
 	if err := ir.Verify(m); err != nil {
 		t.Fatalf("transformed module malformed: %v", err)

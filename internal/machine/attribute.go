@@ -8,6 +8,14 @@ import (
 	"noelle/internal/ir"
 )
 
+// SegSpec names one plan's segmentation of a loop: the instruction →
+// segment assignment and the segment count. Instructions outside the map
+// are charged to segment NumSegs-1 (the parallel/default segment).
+type SegSpec struct {
+	SegmentOf map[*ir.Instr]int
+	NumSegs   int
+}
+
 // AttributeLoopCosts runs the program under the interpreter and measures,
 // for every dynamic invocation of the given loop, the per-iteration cost
 // of each segment. segmentOf maps the loop's instructions to segment
@@ -15,6 +23,25 @@ import (
 // segment numSegs-1 (the parallel/default segment). Cycles spent inside
 // calls made by the loop are charged to the calling instruction's segment.
 func AttributeLoopCosts(m *ir.Module, nat *analysis.NaturalLoop, segmentOf map[*ir.Instr]int, numSegs int) ([]*Invocation, error) {
+	all, err := AttributeLoopCostsMulti(m, nat, []SegSpec{{SegmentOf: segmentOf, NumSegs: numSegs}})
+	if err != nil {
+		return nil, err
+	}
+	return all[0], nil
+}
+
+// AttributeLoopCostsMulti measures several segmentations of the same loop
+// in one interpreter run: result[i] holds the invocations attributed
+// under specs[i]. Every spec observes the identical dynamic execution, so
+// SequentialCycles agrees across all of them — only the per-segment
+// split differs. This is what the auto-parallelizer's technique selection
+// needs: one training replay prices a DOALL, a DSWP, and a HELIX
+// partition of the same loop simultaneously instead of paying one full
+// program execution per candidate plan.
+func AttributeLoopCostsMulti(m *ir.Module, nat *analysis.NaturalLoop, specs []SegSpec) ([][]*Invocation, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("machine: no segmentations to attribute")
+	}
 	it := interp.New(m)
 	cm := it.Cost
 
@@ -24,30 +51,34 @@ func AttributeLoopCosts(m *ir.Module, nat *analysis.NaturalLoop, segmentOf map[*
 	}
 	header := nat.Header
 
-	var invocations []*Invocation
-	var cur *Invocation
-	var curIter []int64
+	k := len(specs)
+	invocations := make([][]*Invocation, k)
+	cur := make([]*Invocation, k)
+	curIter := make([][]int64, k)
 	// callDepth > 0 while executing code called from inside the loop; the
-	// segment of the call instruction accumulates those cycles.
+	// segment of the call instruction (per spec) accumulates those cycles.
 	callDepth := 0
-	callSeg := 0
+	callSeg := make([]int, k)
 	loopFn := header.Parent
-	// fnDepth tracks recursive re-entry of the loop's own function so a
-	// nested invocation doesn't corrupt the outer one; we only profile
-	// top-level invocations.
+	// active tracks whether a top-level invocation is being profiled; a
+	// recursive re-entry of the loop's own function is not re-profiled.
 	active := false
 
 	flushIter := func() {
-		if curIter != nil {
-			cur.IterSegCosts = append(cur.IterSegCosts, curIter)
-			curIter = nil
+		for i := range specs {
+			if curIter[i] != nil {
+				cur[i].IterSegCosts = append(cur[i].IterSegCosts, curIter[i])
+				curIter[i] = nil
+			}
 		}
 	}
 	endInvocation := func() {
-		if cur != nil {
+		if active {
 			flushIter()
-			invocations = append(invocations, cur)
-			cur = nil
+			for i := range specs {
+				invocations[i] = append(invocations[i], cur[i])
+				cur[i] = nil
+			}
 		}
 		active = false
 		callDepth = 0
@@ -59,12 +90,16 @@ func AttributeLoopCosts(m *ir.Module, nat *analysis.NaturalLoop, segmentOf map[*
 		}
 		if b == header {
 			if !active {
-				cur = &Invocation{}
+				for i := range specs {
+					cur[i] = &Invocation{}
+				}
 				active = true
 			} else {
 				flushIter()
 			}
-			curIter = make([]int64, numSegs)
+			for i, sp := range specs {
+				curIter[i] = make([]int64, sp.NumSegs)
+			}
 			return
 		}
 		if active && b.Parent == loopFn && !inLoop[b] {
@@ -77,8 +112,11 @@ func AttributeLoopCosts(m *ir.Module, nat *analysis.NaturalLoop, segmentOf map[*
 		}
 		if callDepth > 0 {
 			// Inside a callee: charge everything to the calling segment.
-			if curIter != nil {
-				curIter[callSeg] += cm.Cost(in)
+			c := cm.Cost(in)
+			for i := range specs {
+				if curIter[i] != nil {
+					curIter[i][callSeg[i]] += c
+				}
 			}
 			if in.Opcode == ir.OpCall {
 				callDepth++
@@ -94,16 +132,19 @@ func AttributeLoopCosts(m *ir.Module, nat *analysis.NaturalLoop, segmentOf map[*
 			}
 			return
 		}
-		seg, ok := segmentOf[in]
-		if !ok {
-			seg = numSegs - 1
-		}
-		if curIter != nil {
-			curIter[seg] += cm.Cost(in)
+		c := cm.Cost(in)
+		for i, sp := range specs {
+			seg, ok := sp.SegmentOf[in]
+			if !ok {
+				seg = sp.NumSegs - 1
+			}
+			if curIter[i] != nil {
+				curIter[i][seg] += c
+			}
+			callSeg[i] = seg
 		}
 		if in.Opcode == ir.OpCall {
 			callDepth = 1
-			callSeg = seg
 		}
 	}
 
@@ -112,6 +153,26 @@ func AttributeLoopCosts(m *ir.Module, nat *analysis.NaturalLoop, segmentOf map[*
 	}
 	endInvocation()
 	return invocations, nil
+}
+
+// AddSegmentOverhead returns a copy of inv with extra cycles added to the
+// given segment of every iteration (seg < 0 addresses the last segment).
+// The planners use it to price per-iteration costs their lowering adds on
+// top of the original loop body: speculation validation, privatization
+// redirection, per-iteration task spawning.
+func AddSegmentOverhead(inv *Invocation, seg int, extra int64) *Invocation {
+	out := &Invocation{IterSegCosts: make([][]int64, len(inv.IterSegCosts))}
+	for i, segs := range inv.IterSegCosts {
+		row := make([]int64, len(segs))
+		copy(row, segs)
+		s := seg
+		if s < 0 || s >= len(row) {
+			s = len(row) - 1
+		}
+		row[s] += extra
+		out.IterSegCosts[i] = row
+	}
+	return out
 }
 
 // SequentialCycles sums the sequential time over all invocations.

@@ -23,6 +23,17 @@ type Config struct {
 	QueueLatency int64
 	// ReduceOverhead is the cost of folding one per-worker accumulator.
 	ReduceOverhead int64
+	// PerTaskOverhead is the cost of creating and retiring one dispatched
+	// task invocation beyond the instructions the original loop already
+	// executes: forking the worker context plus marshalling live-ins and
+	// live-outs through environment cells. The technique planners charge
+	// it per task their lowering actually dispatches — HELIX once per
+	// iteration, DSWP once per stage, DOALL once per worker — which is
+	// what lets the auto-parallelizer's selection see that an
+	// iteration-granular lowering of a cheap-bodied loop drowns in
+	// dispatch overhead even when the pure schedule recurrence looks
+	// favourable.
+	PerTaskOverhead int64
 }
 
 // DefaultConfig derives a Config from an architecture description.
@@ -33,6 +44,7 @@ func DefaultConfig(d *arch.Description, cores int) Config {
 		DispatchOverhead: 400,
 		QueueLatency:     d.AvgLatency(cores) + 10,
 		ReduceOverhead:   30,
+		PerTaskOverhead:  60,
 	}
 }
 

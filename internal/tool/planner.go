@@ -1,0 +1,121 @@
+// Planner API: the plan/estimate/lower split behind the auto-parallelizer.
+//
+// Each parallelizing technique (doall, dswp, helix, the
+// perspective-assisted speculative variant) registers a Planner next to
+// its Tool. A Planner turns one hot loop into a Plan without mutating the
+// module; the Plan exposes its segmentation so the machine package can
+// price it against measured per-iteration costs, estimates its own
+// parallel time under the technique's scheduling recurrence, and — only
+// when asked — lowers the loop to executable form. Separating the three
+// steps is what makes per-loop technique selection possible: the
+// orchestrating auto tool collects every technique's plan for a loop,
+// scores all of them against one cost attribution, and lowers only the
+// predicted-fastest one (falling back down the ranking when a winner
+// cannot be lowered).
+
+package tool
+
+import (
+	"sort"
+	"sync"
+
+	"noelle/internal/core"
+	"noelle/internal/ir"
+	"noelle/internal/loops"
+	"noelle/internal/machine"
+)
+
+// Plan is one technique's parallel schedule for one loop. Producing a
+// Plan never mutates the module; only Lower does.
+type Plan interface {
+	// Technique is the registered planner name that produced the plan.
+	Technique() string
+	// Segments exposes the instruction→segment assignment and segment
+	// count that machine.AttributeLoopCosts consumes. A nil map with one
+	// segment means "whole body in one segment" (DOALL-style plans).
+	Segments() (segmentOf map[*ir.Instr]int, numSegs int)
+	// EstimateInvocation returns the modeled parallel cycles of one
+	// measured invocation under this plan, including the technique's
+	// lowering overheads (per-task dispatch, queue traffic, signal
+	// latency). Lower values are better; the caller compares it against
+	// the invocation's sequential cycles for profitability.
+	EstimateInvocation(inv *machine.Invocation) int64
+	// Lower rewrites the loop into its executable parallel form, naming
+	// generated task functions after taskName. It fails — without
+	// corrupting the module — when the plan cannot be realized (the loop
+	// was rewritten by an earlier lowering, or the technique's code
+	// generator does not cover the loop's shape); the caller then falls
+	// back to the next-best plan. A successful Lower invalidates the
+	// manager's cached abstractions.
+	Lower(taskName string) error
+	// Describe is a one-line account of the plan's shape ("4 stages",
+	// "2 sequential segments").
+	Describe() string
+}
+
+// Planner is one parallelization technique's planning entry point.
+// Implementations live in the technique packages (internal/tools/doall,
+// dswp, helix, perspective) and self-register from init, exactly like
+// Tools do.
+type Planner interface {
+	// Technique is the registry key (lower-case).
+	Technique() string
+	// PlanLoop plans ls without lowering it. The error is the per-loop
+	// rejection reason surfaced to the user (LoopRejection.Reason).
+	// Implementations must not mutate the module.
+	PlanLoop(n *core.Noelle, ls *loops.LS, opts Options) (Plan, error)
+}
+
+var (
+	plannerMu  sync.RWMutex
+	plannerReg = map[string]Planner{}
+)
+
+// RegisterPlanner adds p to the process-wide planner registry. Technique
+// packages call it from init; duplicate names are a programming error and
+// panic.
+func RegisterPlanner(p Planner) {
+	name := p.Technique()
+	if name == "" {
+		panic("tool: RegisterPlanner with empty technique name")
+	}
+	plannerMu.Lock()
+	defer plannerMu.Unlock()
+	if _, dup := plannerReg[name]; dup {
+		panic("tool: duplicate planner registration of " + name)
+	}
+	plannerReg[name] = p
+}
+
+// LookupPlanner resolves a registered planner by technique name.
+func LookupPlanner(name string) (Planner, bool) {
+	plannerMu.RLock()
+	defer plannerMu.RUnlock()
+	p, ok := plannerReg[name]
+	return p, ok
+}
+
+// Planners returns every registered planner, sorted by technique name.
+// The order is the selection tie-break: when two plans predict the same
+// parallel time, the earlier technique wins.
+func Planners() []Planner {
+	plannerMu.RLock()
+	out := make([]Planner, 0, len(plannerReg))
+	for _, p := range plannerReg {
+		out = append(out, p)
+	}
+	plannerMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Technique() < out[j].Technique() })
+	return out
+}
+
+// PlannerNames returns the sorted technique names of every registered
+// planner.
+func PlannerNames() []string {
+	ps := Planners()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Technique()
+	}
+	return out
+}

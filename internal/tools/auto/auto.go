@@ -1,0 +1,279 @@
+// Package auto is the NOELLE auto-parallelizer orchestrator (paper
+// Sections 4–5): the component that composes the individual
+// parallelization techniques into one whole-compiler decision. For every
+// hot loop (profiler hotness over the -hot threshold) it asks each
+// registered technique planner (doall, dswp, helix, the
+// perspective-assisted speculative variant) for a plan, prices every
+// plan against one measured cost attribution of the loop (the machine
+// package replays the training run once per loop and splits
+// per-iteration cycles along each plan's segmentation simultaneously),
+// selects the predicted-fastest profitable technique, and — under
+// -exec-plans — lowers exactly the winning plan. When a winner cannot be
+// lowered (e.g. the speculative variant has no misspeculation runtime)
+// the selection falls back down the ranking, and when nothing fits a
+// loop the selection descends into its children, so an outer sequential
+// driver still gets its inner loops parallelized. Every decision is
+// reported: per-loop candidate scores, why the winner won, per-technique
+// rejection reasons, and which plans fell back.
+package auto
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"noelle/internal/core"
+	"noelle/internal/ir"
+	"noelle/internal/loops"
+	"noelle/internal/machine"
+	"noelle/internal/tool"
+)
+
+// Candidate is one technique's scored answer for one loop.
+type Candidate struct {
+	Technique string
+	// Rejection is the planner's reason when no plan was produced.
+	Rejection string
+	// Seq/Par are modeled cycles (valid when Rejection is empty): the
+	// loop's measured sequential time and the plan's estimated parallel
+	// time including lowering overheads.
+	Seq, Par int64
+	// Shape is the plan's one-line self-description.
+	Shape string
+
+	plan tool.Plan
+}
+
+// Speedup is the modeled seq/par ratio (0 when rejected or unmeasured).
+func (c Candidate) Speedup() float64 {
+	if c.Rejection != "" || c.Par <= 0 {
+		return 0
+	}
+	return float64(c.Seq) / float64(c.Par)
+}
+
+// Selection is the decision for one loop.
+type Selection struct {
+	Fn, Header string
+	// Candidates holds every technique's answer, in registry order.
+	Candidates []Candidate
+	// Winner is the selected technique ("" when the loop stays
+	// sequential).
+	Winner string
+	// TaskName is the generated task function prefix when lowered.
+	TaskName string
+	// Lowered reports whether the winning plan was actually lowered
+	// (false in plan-only mode, where Winner is the prediction).
+	Lowered bool
+	// Fallbacks lists ranked-better techniques whose Lower failed, as
+	// "technique: reason", in ranking order.
+	Fallbacks []string
+	// Why is the one-line account of the decision.
+	Why string
+}
+
+// Result is the orchestrator's outcome for one module.
+type Result struct {
+	Selections []Selection
+	// Rejections records the loops (including descended children) where
+	// no technique was selected, with the decisive reason.
+	Rejections []tool.LoopRejection
+}
+
+// Selected counts selections with a winner.
+func (r *Result) Selected() int {
+	n := 0
+	for _, s := range r.Selections {
+		if s.Winner != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Lowered counts selections whose winning plan was lowered.
+func (r *Result) Lowered() int {
+	n := 0
+	for _, s := range r.Selections {
+		if s.Lowered {
+			n++
+		}
+	}
+	return n
+}
+
+// Run orchestrates technique selection over every hot loop. With
+// opts.ExecutePlans the winning plans are lowered (through the same code
+// generators the standalone tools use); otherwise the selection is a
+// pure prediction report and the module is left untouched.
+func Run(ctx context.Context, n *core.Noelle, opts tool.Options) (Result, error) {
+	planners := tool.Planners()
+	var res Result
+	if len(planners) == 0 {
+		return res, fmt.Errorf("no technique planners registered")
+	}
+	taskID := 0
+
+	// selectNode decides for one loop-forest node; returns true when this
+	// subtree selected a technique (successful selection stops descent).
+	var selectNode func(f *ir.Function, header string) (bool, error)
+	selectNode = func(f *ir.Function, header string) (bool, error) {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		// Re-derive the forest each time: earlier lowerings change the
+		// function's loop structure.
+		for _, node := range n.Forest(f).Nodes() {
+			if node.LS.Header.Nam != header {
+				continue
+			}
+			sel, ok, err := selectLoop(n, node.LS, opts, planners, &taskID)
+			if err != nil {
+				return false, err
+			}
+			res.Selections = append(res.Selections, *sel)
+			if ok {
+				return true, nil
+			}
+			res.Rejections = append(res.Rejections, tool.LoopRejection{
+				Fn: f.Nam, Header: header, Reason: sel.Why,
+			})
+			// Descend: collect child headers first (the forest object is
+			// invalidated by successful child lowerings).
+			var childHeaders []string
+			for _, c := range node.Children {
+				childHeaders = append(childHeaders, c.LS.Header.Nam)
+			}
+			any := false
+			for _, ch := range childHeaders {
+				got, err := selectNode(f, ch)
+				if err != nil {
+					return false, err
+				}
+				if got {
+					any = true
+				}
+			}
+			return any, nil
+		}
+		return false, nil
+	}
+
+	for _, ls := range n.HotLoops() {
+		if _, err := selectNode(ls.Fn, ls.Header.Nam); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// selectLoop plans, scores, and (under opts.ExecutePlans) lowers one
+// loop. ok reports whether a technique was selected.
+func selectLoop(n *core.Noelle, ls *loops.LS, opts tool.Options, planners []tool.Planner, taskID *int) (*Selection, bool, error) {
+	sel := &Selection{Fn: ls.Fn.Nam, Header: ls.Header.Nam}
+
+	// ---- plan: every technique answers (a plan or a reason) ----
+	var specs []machine.SegSpec
+	var planned []*Candidate
+	// Preallocate so the &sel.Candidates[i] pointers below stay valid.
+	sel.Candidates = make([]Candidate, 0, len(planners))
+	for _, p := range planners {
+		c := Candidate{Technique: p.Technique()}
+		plan, err := p.PlanLoop(n, ls, opts)
+		if err != nil {
+			c.Rejection = err.Error()
+		} else {
+			c.plan = plan
+			c.Shape = plan.Describe()
+			segOf, numSegs := plan.Segments()
+			specs = append(specs, machine.SegSpec{SegmentOf: segOf, NumSegs: numSegs})
+		}
+		sel.Candidates = append(sel.Candidates, c)
+		if c.Rejection == "" {
+			planned = append(planned, &sel.Candidates[len(sel.Candidates)-1])
+		}
+	}
+	if len(planned) == 0 {
+		sel.Why = "no technique produced a plan"
+		return sel, false, nil
+	}
+
+	// ---- score: one training replay prices every plan at once ----
+	invss, err := machine.AttributeLoopCostsMulti(n.Mod, ls.Nat, specs)
+	if err != nil {
+		return nil, false, fmt.Errorf("@%s/%s: %w", ls.Fn.Nam, ls.Header.Nam, err)
+	}
+	if len(invss[0]) == 0 {
+		sel.Why = "loop not executed by the training input (nothing to score)"
+		return sel, false, nil
+	}
+	seq := machine.SequentialCycles(invss[0])
+	for i, c := range planned {
+		c.Seq = seq
+		c.Par = machine.SimulateAll(invss[i], c.plan.EstimateInvocation)
+	}
+
+	// ---- rank: profitable plans, fastest modeled time first (stable:
+	// registry order breaks ties) ----
+	var ranked []*Candidate
+	for _, c := range planned {
+		if c.Par < c.Seq {
+			ranked = append(ranked, c)
+		}
+	}
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Par < ranked[j].Par })
+	if len(ranked) == 0 {
+		best := planned[0]
+		for _, c := range planned[1:] {
+			if c.Par < best.Par {
+				best = c
+			}
+		}
+		sel.Why = fmt.Sprintf("no technique predicted a speedup (best %s: %d >= seq %d cycles)",
+			best.Technique, best.Par, seq)
+		return sel, false, nil
+	}
+
+	// ---- select (and lower): best plan that can be realized wins ----
+	if !opts.ExecutePlans {
+		w := ranked[0]
+		sel.Winner = w.Technique
+		sel.Why = winnerWhy(w, sel.Candidates, "predicted")
+		return sel, true, nil
+	}
+	for _, c := range ranked {
+		name := fmt.Sprintf("auto.%s.task%d", c.Technique, *taskID)
+		if err := c.plan.Lower(name); err != nil {
+			sel.Fallbacks = append(sel.Fallbacks, c.Technique+": "+err.Error())
+			continue
+		}
+		*taskID++
+		sel.Winner = c.Technique
+		sel.TaskName = name
+		sel.Lowered = true
+		sel.Why = winnerWhy(c, sel.Candidates, "lowered")
+		return sel, true, nil
+	}
+	sel.Why = fmt.Sprintf("every profitable plan failed to lower (%s)",
+		strings.Join(sel.Fallbacks, "; "))
+	return sel, false, nil
+}
+
+// winnerWhy renders the "why this technique won" line: the winner's
+// modeled speedup next to every competitor's score or rejection.
+func winnerWhy(w *Candidate, cands []Candidate, verb string) string {
+	var others []string
+	for _, c := range cands {
+		if c.Technique == w.Technique {
+			continue
+		}
+		if c.Rejection != "" {
+			others = append(others, fmt.Sprintf("%s rejected: %s", c.Technique, c.Rejection))
+		} else {
+			others = append(others, fmt.Sprintf("%s %.2fx", c.Technique, c.Speedup()))
+		}
+	}
+	return fmt.Sprintf("%s %s %.2fx modeled (%s; seq %d cycles) vs %s",
+		w.Technique, verb, w.Speedup(), w.Shape, w.Seq, strings.Join(others, ", "))
+}

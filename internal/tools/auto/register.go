@@ -1,0 +1,84 @@
+package auto
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"noelle/internal/core"
+	"noelle/internal/tool"
+)
+
+// autoTool adapts the orchestrator to the uniform Tool API.
+type autoTool struct{}
+
+func init() { tool.Register(autoTool{}) }
+
+func (autoTool) Name() string { return "auto" }
+func (autoTool) Describe() string {
+	return "per-loop technique selection: score every planner's plan with the machine model, lower the predicted-fastest (PRO + aSCCDAG + AR + the winner's stack)"
+}
+
+// Transforms is true because -exec-plans lowers the winning plans;
+// TransformsWith narrows that so plan-only runs (pure prediction
+// reports) keep the pipeline's cached abstractions.
+func (autoTool) Transforms() bool { return true }
+
+func (autoTool) TransformsWith(opts tool.Options) bool { return opts.ExecutePlans }
+
+func (autoTool) Run(ctx context.Context, n *core.Noelle, opts tool.Options) (tool.Report, error) {
+	r, err := Run(ctx, n, opts)
+	if err != nil {
+		return tool.Report{}, err
+	}
+
+	perTech := map[string]int64{}
+	for _, s := range r.Selections {
+		if s.Winner != "" {
+			perTech[s.Winner]++
+		}
+	}
+	var techSummary []string
+	for _, tech := range tool.PlannerNames() {
+		if perTech[tech] > 0 {
+			techSummary = append(techSummary, fmt.Sprintf("%s %d", tech, perTech[tech]))
+		}
+	}
+	verb := "predicted winners"
+	if opts.ExecutePlans {
+		verb = "selected and lowered"
+	}
+	rep := tool.Report{
+		Summary: fmt.Sprintf("%s for %d/%d scored loops (%s)",
+			verb, r.Selected(), len(r.Selections), strings.Join(techSummary, ", ")),
+		Metrics: map[string]int64{
+			"loops":          int64(len(r.Selections)),
+			"selected":       int64(r.Selected()),
+			"lowered":        int64(r.Lowered()),
+			"unparallelized": int64(len(r.Rejections)),
+		},
+	}
+	fallbacks := int64(0)
+	for _, s := range r.Selections {
+		fallbacks += int64(len(s.Fallbacks))
+	}
+	rep.Metrics["fallbacks"] = fallbacks
+	for tech, cnt := range perTech {
+		rep.Metrics["selected_"+tech] = cnt
+	}
+
+	for _, s := range r.Selections {
+		line := fmt.Sprintf("@%s/%s: %s", s.Fn, s.Header, s.Why)
+		if s.TaskName != "" {
+			line += " -> " + s.TaskName
+		}
+		for _, fb := range s.Fallbacks {
+			line += "; fallback from " + fb
+		}
+		rep.Detail = append(rep.Detail, line)
+	}
+	for _, rej := range r.Rejections {
+		rep.Detail = append(rep.Detail, "unparallelized "+rej.String())
+	}
+	return rep, nil
+}

@@ -16,19 +16,72 @@ import (
 	"noelle/internal/ir"
 	"noelle/internal/loopbuilder"
 	"noelle/internal/loops"
+	"noelle/internal/tool"
 )
+
+// Rejection records why one hot loop was not parallelized — the shared
+// per-loop rejection record noelle-load surfaces.
+type Rejection = tool.LoopRejection
 
 // Result describes the transformation outcome for one module.
 type Result struct {
 	Parallelized []*Parallelized
-	Rejected     int
+	// Rejections records why each passed-over loop node was rejected.
+	Rejections []Rejection
 }
+
+// Rejected is the count of loop nodes DOALL passed over.
+func (r *Result) Rejected() int { return len(r.Rejections) }
 
 // Parallelized records one transformed loop.
 type Parallelized struct {
 	Header   string
 	Fn       string
 	TaskName string
+}
+
+// Plan records a DOALL-eligible loop, ready to lower. Planning is
+// read-only: the split between PlanLoop and Lower is what lets the auto
+// tool score a DOALL plan against the other techniques' plans before
+// committing to any rewriting.
+type Plan struct {
+	LS   *loops.LS
+	Loop *loops.Loop
+}
+
+// PlanLoop checks ls for DOALL legality and canonical form; a nil plan
+// comes with the rejection reason. The module is not mutated.
+func PlanLoop(n *core.Noelle, ls *loops.LS) (*Plan, error) {
+	l := n.Loop(ls)
+	if err := Eligible(l); err != nil {
+		return nil, err
+	}
+	return &Plan{LS: ls, Loop: l}, nil
+}
+
+// Lower rewrites the planned loop into a dispatched task named taskName,
+// invalidating the manager's cached abstractions on success. It refuses
+// (without corrupting the module) when an earlier lowering already
+// rewrote the loop out from under the plan.
+func Lower(n *core.Noelle, p *Plan, taskName string) error {
+	if !loopIntact(p) {
+		return fmt.Errorf("loop rewritten by an earlier lowering")
+	}
+	if err := transform(n, p.Loop, taskName); err != nil {
+		return err
+	}
+	n.InvalidateModule()
+	return nil
+}
+
+// loopIntact reports whether the planned loop's body still lives in its
+// function (earlier lowerings remove loop bodies wholesale).
+func loopIntact(p *Plan) bool {
+	var body []*ir.Instr
+	for _, b := range p.LS.Blocks() {
+		body = append(body, b.Instrs...)
+	}
+	return loopbuilder.InstrsAlive(p.LS.Fn, body)
 }
 
 // Run parallelizes every eligible hot loop in the module. When an outer
@@ -43,6 +96,10 @@ func Run(n *core.Noelle) (Result, error) {
 	var res Result
 	taskID := 0
 
+	reject := func(f *ir.Function, header, reason string) {
+		res.Rejections = append(res.Rejections, Rejection{Fn: f.Nam, Header: header, Reason: reason})
+	}
+
 	var tryNode func(f *ir.Function, header string) bool
 	tryNode = func(f *ir.Function, header string) bool {
 		// Re-derive the forest each time: earlier transformations change
@@ -51,20 +108,20 @@ func Run(n *core.Noelle) (Result, error) {
 			if node.LS.Header.Nam != header {
 				continue
 			}
-			ls := node.LS
-			l := n.Loop(ls)
-			if err := Eligible(l); err == nil {
+			p, err := PlanLoop(n, node.LS)
+			if err == nil {
 				name := fmt.Sprintf("doall.task%d", taskID)
-				if err := transform(n, l, name); err == nil {
+				if lerr := Lower(n, p, name); lerr == nil {
 					taskID++
 					res.Parallelized = append(res.Parallelized, &Parallelized{
 						Header: header, Fn: f.Nam, TaskName: name,
 					})
-					n.InvalidateModule()
 					return true
+				} else {
+					err = lerr
 				}
 			}
-			res.Rejected++
+			reject(f, header, err.Error())
 			// Descend: collect child headers first (the forest object is
 			// invalidated by successful child transforms).
 			var childHeaders []string

@@ -37,7 +37,7 @@ func runBoth(t *testing.T, src string, wantParallelized int) {
 	}
 	if len(res.Parallelized) != wantParallelized {
 		t.Fatalf("parallelized %d loops, want %d (rejected %d)\n%s",
-			len(res.Parallelized), wantParallelized, res.Rejected, ir.Print(m))
+			len(res.Parallelized), wantParallelized, res.Rejected(), ir.Print(m))
 	}
 	if err := ir.Verify(m); err != nil {
 		t.Fatalf("transformed module malformed: %v\n%s", err, ir.Print(m))

@@ -1,0 +1,64 @@
+package doall
+
+import (
+	"fmt"
+
+	"noelle/internal/core"
+	"noelle/internal/ir"
+	"noelle/internal/loops"
+	"noelle/internal/machine"
+	"noelle/internal/tool"
+)
+
+// doallChunk is the iteration chunk size the DOALL schedule distributes
+// (matching the chunking the evaluation's Figure-5 simulation uses).
+const doallChunk = 8
+
+// planner adapts the package to the shared Planner API: DOALL plans are
+// the eligibility check made first-class, estimated with the chunked
+// round-robin schedule recurrence.
+type planner struct{}
+
+func init() { tool.RegisterPlanner(planner{}) }
+
+func (planner) Technique() string { return "doall" }
+
+func (planner) PlanLoop(n *core.Noelle, ls *loops.LS, _ tool.Options) (tool.Plan, error) {
+	p, err := PlanLoop(n, ls)
+	if err != nil {
+		return nil, err
+	}
+	return &plannerPlan{
+		n:   n,
+		p:   p,
+		cfg: machine.DefaultConfig(n.Arch(), n.Opts.Cores),
+	}, nil
+}
+
+// plannerPlan wraps a DOALL Plan with its captured manager and machine
+// configuration.
+type plannerPlan struct {
+	n   *core.Noelle
+	p   *Plan
+	cfg machine.Config
+}
+
+func (pp *plannerPlan) Technique() string { return "doall" }
+
+func (pp *plannerPlan) Describe() string {
+	return fmt.Sprintf("%d-worker chunked iterations", pp.cfg.Cores)
+}
+
+// Segments: the whole body is one segment (iterations are independent).
+func (pp *plannerPlan) Segments() (map[*ir.Instr]int, int) { return nil, 1 }
+
+// EstimateInvocation prices the chunked round-robin schedule plus one
+// task spawn per worker (the lowering dispatches exactly Cores workers).
+func (pp *plannerPlan) EstimateInvocation(inv *machine.Invocation) int64 {
+	return machine.SimulateDOALL(inv, pp.cfg, doallChunk) +
+		int64(pp.cfg.Cores)*pp.cfg.PerTaskOverhead
+}
+
+func (pp *plannerPlan) Lower(taskName string) error {
+	return Lower(pp.n, pp.p, taskName)
+}

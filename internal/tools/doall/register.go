@@ -25,14 +25,17 @@ func (doallTool) Run(_ context.Context, n *core.Noelle, _ tool.Options) (tool.Re
 		return tool.Report{}, err
 	}
 	rep := tool.Report{
-		Summary: fmt.Sprintf("parallelized %d loops (rejected %d)", len(r.Parallelized), r.Rejected),
+		Summary: fmt.Sprintf("parallelized %d loops (rejected %d)", len(r.Parallelized), r.Rejected()),
 		Metrics: map[string]int64{
 			"parallelized": int64(len(r.Parallelized)),
-			"rejected":     int64(r.Rejected),
+			"rejected":     int64(r.Rejected()),
 		},
 	}
 	for _, p := range r.Parallelized {
 		rep.Detail = append(rep.Detail, fmt.Sprintf("@%s/%s -> %s", p.Fn, p.Header, p.TaskName))
+	}
+	for _, rej := range r.Rejections {
+		rep.Detail = append(rep.Detail, "rejected "+rej.String())
 	}
 	return rep, nil
 }

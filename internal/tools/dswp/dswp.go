@@ -91,32 +91,40 @@ func Run(n *core.Noelle, ex Exec) Result {
 		return res
 	}
 	for i, p := range res.Plans {
-		rej := func(reason string) {
-			res.NotLowered = append(res.NotLowered, Rejection{
-				Fn: p.LS.Fn.Nam, Header: p.LS.Header.Nam, Reason: reason,
-			})
-		}
-		// A previous lowering may have rewritten an enclosing or nested
-		// loop out from under this plan.
-		if !loopIntact(p) {
-			rej("loop rewritten by an earlier lowering")
-			continue
-		}
-		if err := CanLower(p); err != nil {
-			rej(err.Error())
-			continue
-		}
 		name := fmt.Sprintf("dswp.task%d", i)
-		if err := transform(n, p, name, ex.QueueCap); err != nil {
-			rej(err.Error())
+		if err := Lower(n, p, name, ex.QueueCap); err != nil {
+			res.NotLowered = append(res.NotLowered, Rejection{
+				Fn: p.LS.Fn.Nam, Header: p.LS.Header.Nam, Reason: err.Error(),
+			})
 			continue
 		}
 		res.Lowered = append(res.Lowered, &Lowered{
 			Fn: p.LS.Fn.Nam, Header: p.LS.Header.Nam, TaskName: name, Stages: p.NumStages,
 		})
-		n.InvalidateModule()
 	}
 	return res
+}
+
+// Lower rewrites one planned loop into its executable pipeline form —
+// per-stage worker functions communicating over bounded queues, launched
+// through noelle_dispatch under taskName — invalidating the manager's
+// cached abstractions on success. It refuses (without corrupting the
+// module) when an earlier lowering already rewrote the loop, or when the
+// code generator does not cover the plan's shape (CanLower).
+func Lower(n *core.Noelle, p *Plan, taskName string, queueCap int) error {
+	// A previous lowering may have rewritten an enclosing or nested loop
+	// out from under this plan.
+	if !loopIntact(p) {
+		return fmt.Errorf("loop rewritten by an earlier lowering")
+	}
+	if err := CanLower(p); err != nil {
+		return err
+	}
+	if err := transform(n, p, taskName, queueCap); err != nil {
+		return err
+	}
+	n.InvalidateModule()
+	return nil
 }
 
 // loopIntact reports whether every planned instruction still lives in

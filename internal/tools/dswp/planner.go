@@ -1,0 +1,66 @@
+package dswp
+
+import (
+	"fmt"
+
+	"noelle/internal/core"
+	"noelle/internal/interp"
+	"noelle/internal/ir"
+	"noelle/internal/loops"
+	"noelle/internal/machine"
+	"noelle/internal/tool"
+)
+
+// planner adapts the package to the shared Planner API: stage plans are
+// estimated with the pipeline recurrence over the queue-calibrated
+// machine configuration, so a modeled stage boundary costs exactly what
+// the executed queue runtime charges for it.
+type planner struct{}
+
+func init() { tool.RegisterPlanner(planner{}) }
+
+func (planner) Technique() string { return "dswp" }
+
+func (planner) PlanLoop(n *core.Noelle, ls *loops.LS, opts tool.Options) (tool.Plan, error) {
+	p, err := PlanLoop(n, ls)
+	if err != nil {
+		return nil, err
+	}
+	return &plannerPlan{
+		n:        n,
+		p:        p,
+		cfg:      machine.CalibratedConfig(n.Arch(), n.Opts.Cores, interp.DefaultCostModel()),
+		queueCap: opts.QueueCapacity,
+	}, nil
+}
+
+// plannerPlan wraps a DSWP stage Plan with its captured manager, the
+// queue-calibrated machine configuration, and the queue capacity the
+// lowering will bake into the module.
+type plannerPlan struct {
+	n        *core.Noelle
+	p        *Plan
+	cfg      machine.Config
+	queueCap int
+}
+
+func (pp *plannerPlan) Technique() string { return "dswp" }
+
+func (pp *plannerPlan) Describe() string {
+	return fmt.Sprintf("%d pipeline stages", pp.p.NumStages)
+}
+
+func (pp *plannerPlan) Segments() (map[*ir.Instr]int, int) {
+	return pp.p.SegmentOf, pp.p.NumStages
+}
+
+// EstimateInvocation prices the pipeline recurrence plus one task spawn
+// per stage (the lowering dispatches exactly NumStages workers).
+func (pp *plannerPlan) EstimateInvocation(inv *machine.Invocation) int64 {
+	return machine.SimulateDSWP(inv, pp.cfg) +
+		int64(pp.p.NumStages)*pp.cfg.PerTaskOverhead
+}
+
+func (pp *plannerPlan) Lower(taskName string) error {
+	return Lower(pp.n, pp.p, taskName, pp.queueCap)
+}

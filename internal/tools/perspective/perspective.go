@@ -85,19 +85,25 @@ const (
 func Run(n *core.Noelle) Result {
 	var res Result
 	for _, ls := range n.HotLoops() {
-		l := n.Loop(ls) // requests PDG + aSCCDAG (and the rest of L)
-		plan := &LoopPlan{LS: ls, Loop: l, Parallelizable: true}
-		for _, node := range l.SCCDAG.Nodes {
-			sp := planSCC(l, node)
-			plan.SCCs = append(plan.SCCs, sp)
-			plan.OverheadPerIter += sp.OverheadPerIter
-			if sp.Strategy == Sequentialize {
-				plan.Parallelizable = false
-			}
-		}
-		res.Plans = append(res.Plans, plan)
+		res.Plans = append(res.Plans, PlanLoop(n, ls))
 	}
 	return res
+}
+
+// PlanLoop plans one specific loop: per problematic SCC, the cheapest
+// enabling strategy. The module is not mutated.
+func PlanLoop(n *core.Noelle, ls *loops.LS) *LoopPlan {
+	l := n.Loop(ls) // requests PDG + aSCCDAG (and the rest of L)
+	plan := &LoopPlan{LS: ls, Loop: l, Parallelizable: true}
+	for _, node := range l.SCCDAG.Nodes {
+		sp := planSCC(l, node)
+		plan.SCCs = append(plan.SCCs, sp)
+		plan.OverheadPerIter += sp.OverheadPerIter
+		if sp.Strategy == Sequentialize {
+			plan.Parallelizable = false
+		}
+	}
+	return plan
 }
 
 func planSCC(l *loops.Loop, node *sccdag.Node) *SCCPlan {
@@ -179,13 +185,7 @@ func Simulate(n *core.Noelle, p *LoopPlan, cores int) (seq, par int64, err error
 	cfg := machine.DefaultConfig(n.Arch(), cores)
 	par = machine.SimulateAll(invs, func(inv *machine.Invocation) int64 {
 		// Add the strategy overhead to each iteration.
-		adjusted := &machine.Invocation{}
-		for _, segs := range inv.IterSegCosts {
-			row := make([]int64, len(segs))
-			copy(row, segs)
-			row[len(row)-1] += p.OverheadPerIter
-			adjusted.IterSegCosts = append(adjusted.IterSegCosts, row)
-		}
+		adjusted := machine.AddSegmentOverhead(inv, -1, p.OverheadPerIter)
 		return machine.SimulateDOALL(adjusted, cfg, 8)
 	})
 	return seq, par, nil

@@ -1,0 +1,82 @@
+package perspective
+
+import (
+	"fmt"
+
+	"noelle/internal/core"
+	"noelle/internal/ir"
+	"noelle/internal/loops"
+	"noelle/internal/machine"
+	"noelle/internal/tool"
+)
+
+// planner is the perspective-assisted DOALL variant of the shared
+// Planner API: it plans loops that plain DOALL rejects but that become
+// iteration-independent once the chosen privatization/speculation
+// strategies are applied, and it prices the DOALL schedule with the
+// strategies' per-iteration overhead added to every iteration.
+//
+// Its plans are estimate-only for now: Lower always fails (with the
+// reason below), because the executable runtime has no misspeculation
+// detection or privatized-copy merging yet. That failure is load-bearing
+// for the auto tool's graceful-fallback path — a loop whose cheapest
+// predicted plan is speculative falls back to the best plan that can
+// actually be lowered, and the selection report records both facts.
+type planner struct{}
+
+func init() { tool.RegisterPlanner(planner{}) }
+
+func (planner) Technique() string { return "perspective" }
+
+func (planner) PlanLoop(n *core.Noelle, ls *loops.LS, _ tool.Options) (tool.Plan, error) {
+	p := PlanLoop(n, ls)
+	if !p.Parallelizable {
+		return nil, fmt.Errorf("a sequential SCC has no enabling strategy")
+	}
+	if p.OverheadPerIter == 0 {
+		// Nothing to enable: plain DOALL covers the loop (and lowers).
+		return nil, fmt.Errorf("no enabling transformation needed (DOALL-legal as is)")
+	}
+	return &plannerPlan{
+		p:   p,
+		cfg: machine.DefaultConfig(n.Arch(), n.Opts.Cores),
+	}, nil
+}
+
+// plannerPlan wraps a perspective LoopPlan with its captured machine
+// configuration.
+type plannerPlan struct {
+	p   *LoopPlan
+	cfg machine.Config
+}
+
+func (pp *plannerPlan) Technique() string { return "perspective" }
+
+func (pp *plannerPlan) Describe() string {
+	priv, spec := 0, 0
+	for _, sp := range pp.p.SCCs {
+		switch sp.Strategy {
+		case Privatize:
+			priv++
+		case Speculate:
+			spec++
+		}
+	}
+	return fmt.Sprintf("speculative DOALL (%d privatized, %d speculated SCCs, +%d cycles/iter)",
+		priv, spec, pp.p.OverheadPerIter)
+}
+
+// Segments: like DOALL, the enabled loop runs iterations independently.
+func (pp *plannerPlan) Segments() (map[*ir.Instr]int, int) { return nil, 1 }
+
+// EstimateInvocation prices the chunked DOALL schedule with the enabling
+// strategies' validation/redirection overhead added to every iteration.
+func (pp *plannerPlan) EstimateInvocation(inv *machine.Invocation) int64 {
+	adjusted := machine.AddSegmentOverhead(inv, -1, pp.p.OverheadPerIter)
+	return machine.SimulateDOALL(adjusted, pp.cfg, 8) +
+		int64(pp.cfg.Cores)*pp.cfg.PerTaskOverhead
+}
+
+func (pp *plannerPlan) Lower(string) error {
+	return fmt.Errorf("speculative plan needs the misspeculation-detection runtime (not implemented)")
+}

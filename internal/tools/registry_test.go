@@ -66,9 +66,10 @@ int main() {
   return acc % 256;
 }`
 
-// expectedTools is the full custom-tool inventory (paper Table 3).
+// expectedTools is the full custom-tool inventory (paper Table 3), plus
+// the auto orchestrator that composes the parallelizers (Sections 4–5).
 var expectedTools = []string{
-	"carat", "coos", "dead", "doall", "dswp",
+	"auto", "carat", "coos", "dead", "doall", "dswp",
 	"helix", "licm", "perspective", "prvj", "timesq",
 }
 

@@ -8,6 +8,7 @@ package tools
 import (
 	// Registered custom tools (paper Section 3). Keep this list in sync
 	// with cmd/README.md.
+	_ "noelle/internal/tools/auto"
 	_ "noelle/internal/tools/carat"
 	_ "noelle/internal/tools/coos"
 	_ "noelle/internal/tools/dead"

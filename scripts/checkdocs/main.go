@@ -1,0 +1,154 @@
+// checkdocs is the documentation-consistency gate (make check-docs, the
+// CI docs job). It enforces three invariants that otherwise rot
+// silently:
+//
+//  1. every relative markdown link in every *.md file resolves to an
+//     existing file or directory (anchors and external URLs are skipped);
+//  2. cmd/README.md mentions every binary directory under cmd/ — a new
+//     noelle-* binary cannot land undocumented;
+//  3. cmd/README.md mentions every registered custom tool by name — the
+//     registry is linked in, so the check is against the live inventory,
+//     not a hand-maintained list.
+//
+// Usage: go run ./scripts/checkdocs [-root .]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"noelle/internal/tool"
+
+	// The live tool inventory the README is checked against.
+	_ "noelle/internal/tools"
+)
+
+// linkRe matches inline markdown links [text](target). Reference-style
+// links are rare enough here to skip.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	root := flag.String("root", ".", "repository root")
+	flag.Parse()
+
+	var problems []string
+	fail := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	// ---- 1: relative links in every tracked markdown file resolve ----
+	var mdFiles []string
+	err := filepath.Walk(*root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		name := info.Name()
+		if info.IsDir() {
+			if name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkdocs:", err)
+		os.Exit(1)
+	}
+	for _, md := range mdFiles {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "checkdocs:", err)
+			os.Exit(1)
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(stripFences(string(data)), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(md), target)
+			if _, err := os.Stat(resolved); err != nil {
+				fail("%s: broken link %q (%s does not exist)", md, m[1], resolved)
+			}
+		}
+	}
+
+	// ---- 2: cmd/README.md names every binary under cmd/ ----
+	readmePath := filepath.Join(*root, "cmd", "README.md")
+	readme, err := os.ReadFile(readmePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkdocs:", err)
+		os.Exit(1)
+	}
+	entries, err := os.ReadDir(filepath.Join(*root, "cmd"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkdocs:", err)
+		os.Exit(1)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if !strings.Contains(string(readme), e.Name()) {
+			fail("cmd/README.md does not mention binary %q", e.Name())
+		}
+	}
+
+	// ---- 3: cmd/README.md names every registered custom tool ----
+	for _, name := range tool.Names() {
+		if !regexp.MustCompile(`(?m)\b` + regexp.QuoteMeta(name) + `\b`).Match(readme) {
+			fail("cmd/README.md does not mention registered tool %q", name)
+		}
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "checkdocs:", p)
+		}
+		fmt.Fprintf(os.Stderr, "checkdocs: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Printf("checkdocs: %d markdown files, %d binaries, %d tools — all consistent\n",
+		len(mdFiles), countDirs(entries), len(tool.Names()))
+}
+
+// stripFences drops ```-fenced code blocks: quoted exemplar code (e.g.
+// SNIPPETS.md) links into *other* repositories, which is not a rot
+// signal for this one.
+func stripFences(s string) string {
+	var out []string
+	inFence := false
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if !inFence {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+func countDirs(entries []os.DirEntry) int {
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			n++
+		}
+	}
+	return n
+}
