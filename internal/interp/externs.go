@@ -41,62 +41,95 @@ const (
 	ExternSignalFire   = "noelle_signal_fire"   // fire(sid, ticket)
 )
 
+// defaultExternArities is the single source of truth for the argument
+// counts of the runtime's default externs. registerDefaultExterns
+// enforces them dynamically (a wrong-arity call errors instead of
+// indexing out of range); ExternArities exports them so the static
+// verifier (internal/verify) can reject a wrong-arity call site before
+// a single instruction executes.
+var defaultExternArities = map[string]int{
+	ExternPrintI64:     1,
+	ExternPrintF64:     1,
+	ExternGuard:        1,
+	ExternCallback:     0,
+	ExternClockSet:     1,
+	ExternDispatch:     3,
+	ExternQueueCreate:  1,
+	ExternQueuePush:    2,
+	ExternQueuePop:     1,
+	ExternQueueClose:   1,
+	ExternSignalCreate: 1,
+	ExternSignalWait:   2,
+	ExternSignalFire:   2,
+}
+
+// ExternArities returns the registered argument count of every default
+// runtime extern, keyed by name. The map is a fresh copy; callers may
+// mutate it.
+func ExternArities() map[string]int {
+	out := make(map[string]int, len(defaultExternArities))
+	for name, a := range defaultExternArities {
+		out[name] = a
+	}
+	return out
+}
+
 // Default externs are registered with their exact arity: a malformed
 // module that declares (and calls) one of them with the wrong signature
 // gets an error instead of an index-out-of-range panic in the host body.
 func registerDefaultExterns(it *Interp) {
-	it.RegisterExternArity(ExternPrintI64, 1, func(it *Interp, args []uint64) (uint64, error) {
+	it.RegisterExternArity(ExternPrintI64, defaultExternArities[ExternPrintI64], func(it *Interp, args []uint64) (uint64, error) {
 		fmt.Fprintf(&it.Output, "%d\n", int64(args[0]))
 		return 0, nil
 	})
-	it.RegisterExternArity(ExternPrintF64, 1, func(it *Interp, args []uint64) (uint64, error) {
+	it.RegisterExternArity(ExternPrintF64, defaultExternArities[ExternPrintF64], func(it *Interp, args []uint64) (uint64, error) {
 		fmt.Fprintf(&it.Output, "%g\n", math.Float64frombits(args[0]))
 		return 0, nil
 	})
-	it.RegisterExternArity(ExternGuard, 1, func(it *Interp, args []uint64) (uint64, error) {
+	it.RegisterExternArity(ExternGuard, defaultExternArities[ExternGuard], func(it *Interp, args []uint64) (uint64, error) {
 		it.GuardCalls++
 		if !it.ValidAddress(int64(args[0])) {
 			it.GuardFailures++
 		}
 		return 0, nil
 	})
-	it.RegisterExternArity(ExternCallback, 0, func(it *Interp, args []uint64) (uint64, error) {
+	it.RegisterExternArity(ExternCallback, defaultExternArities[ExternCallback], func(it *Interp, args []uint64) (uint64, error) {
 		it.Callbacks++
 		return 0, nil
 	})
-	it.RegisterExternArity(ExternClockSet, 1, func(it *Interp, args []uint64) (uint64, error) {
+	it.RegisterExternArity(ExternClockSet, defaultExternArities[ExternClockSet], func(it *Interp, args []uint64) (uint64, error) {
 		it.ClockSets++
 		return 0, nil
 	})
-	it.RegisterExternArity(ExternDispatch, 3, func(it *Interp, args []uint64) (uint64, error) {
+	it.RegisterExternArity(ExternDispatch, defaultExternArities[ExternDispatch], func(it *Interp, args []uint64) (uint64, error) {
 		return it.dispatch(args)
 	})
-	it.RegisterExternArity(ExternQueueCreate, 1, func(it *Interp, args []uint64) (uint64, error) {
+	it.RegisterExternArity(ExternQueueCreate, defaultExternArities[ExternQueueCreate], func(it *Interp, args []uint64) (uint64, error) {
 		capacity := int(int64(args[0]))
 		if it.QueueCap > 0 {
 			capacity = it.QueueCap // runtime override (noelle-bin -queue-cap)
 		}
 		return uint64(it.img.comm.CreateQueue(capacity)), nil
 	})
-	it.RegisterExternArity(ExternQueuePush, 2, func(it *Interp, args []uint64) (uint64, error) {
+	it.RegisterExternArity(ExternQueuePush, defaultExternArities[ExternQueuePush], func(it *Interp, args []uint64) (uint64, error) {
 		it.QueuePushes++
 		return 0, it.img.comm.Push(int64(args[0]), args[1], it.pushBlocks)
 	})
-	it.RegisterExternArity(ExternQueuePop, 1, func(it *Interp, args []uint64) (uint64, error) {
+	it.RegisterExternArity(ExternQueuePop, defaultExternArities[ExternQueuePop], func(it *Interp, args []uint64) (uint64, error) {
 		it.QueuePops++
 		return it.img.comm.Pop(int64(args[0]), it.parWorker)
 	})
-	it.RegisterExternArity(ExternQueueClose, 1, func(it *Interp, args []uint64) (uint64, error) {
+	it.RegisterExternArity(ExternQueueClose, defaultExternArities[ExternQueueClose], func(it *Interp, args []uint64) (uint64, error) {
 		return 0, it.img.comm.Close(int64(args[0]))
 	})
-	it.RegisterExternArity(ExternSignalCreate, 1, func(it *Interp, args []uint64) (uint64, error) {
+	it.RegisterExternArity(ExternSignalCreate, defaultExternArities[ExternSignalCreate], func(it *Interp, args []uint64) (uint64, error) {
 		return uint64(it.img.comm.CreateSignal(int64(args[0]))), nil
 	})
-	it.RegisterExternArity(ExternSignalWait, 2, func(it *Interp, args []uint64) (uint64, error) {
+	it.RegisterExternArity(ExternSignalWait, defaultExternArities[ExternSignalWait], func(it *Interp, args []uint64) (uint64, error) {
 		it.SignalWaits++
 		return 0, it.img.comm.Wait(int64(args[0]), int64(args[1]), it.parWorker)
 	})
-	it.RegisterExternArity(ExternSignalFire, 2, func(it *Interp, args []uint64) (uint64, error) {
+	it.RegisterExternArity(ExternSignalFire, defaultExternArities[ExternSignalFire], func(it *Interp, args []uint64) (uint64, error) {
 		return 0, it.img.comm.Fire(int64(args[0]), int64(args[1]))
 	})
 }

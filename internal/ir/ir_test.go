@@ -77,6 +77,120 @@ func TestVerifyCatchesPhiMismatch(t *testing.T) {
 	}
 }
 
+// TestVerifyCatchesUseBeforeDefInBlock is the regression test for the
+// historical "light" SSA check, which accepted any use of a value defined
+// anywhere in the function — including textually after the use.
+func TestVerifyCatchesUseBeforeDefInBlock(t *testing.T) {
+	m := NewModule("bad")
+	f := NewFunction("f", FuncOf(I64Type))
+	m.AddFunction(f)
+	blk := f.NewBlock("entry")
+	b := NewBuilder()
+	b.SetInsertionBlock(blk)
+	// %y = add %x, 1 before %x = add 1, 2: use-before-def in one block.
+	y := &Instr{Opcode: OpAdd, Ty: I64Type, Nam: "y"}
+	blk.Append(y)
+	x := b.CreateBinOp(OpAdd, ConstInt(1), ConstInt(2), "x")
+	y.Ops = []Value{x, ConstInt(1)}
+	b.CreateRet(y)
+	err := Verify(m)
+	if err == nil {
+		t.Fatal("expected verification error for use-before-def within a block")
+	}
+	if !strings.Contains(err.Error(), "does not dominate this use") {
+		t.Errorf("diagnostic does not name the dominance violation: %v", err)
+	}
+}
+
+func TestVerifyCatchesUseAcrossNonDominatingBlocks(t *testing.T) {
+	m := NewModule("bad")
+	f := NewFunction("f", FuncOf(I64Type, I1Type), "c")
+	m.AddFunction(f)
+	entry := f.NewBlock("entry")
+	left := f.NewBlock("left")
+	right := f.NewBlock("right")
+	join := f.NewBlock("join")
+	b := NewBuilder()
+	b.SetInsertionBlock(entry)
+	b.CreateCondBr(f.Params[0], left, right)
+	b.SetInsertionBlock(left)
+	x := b.CreateBinOp(OpAdd, ConstInt(1), ConstInt(2), "x")
+	b.CreateBr(join)
+	b.SetInsertionBlock(right)
+	b.CreateBr(join)
+	b.SetInsertionBlock(join)
+	// x is defined only on the left path: left does not dominate join.
+	y := b.CreateBinOp(OpAdd, x, ConstInt(1), "y")
+	b.CreateRet(y)
+	err := Verify(m)
+	if err == nil {
+		t.Fatal("expected verification error for use across non-dominating blocks")
+	}
+	if !strings.Contains(err.Error(), "does not dominate this use") {
+		t.Errorf("diagnostic does not name the dominance violation: %v", err)
+	}
+}
+
+func TestVerifyPhiOperandDominatesIncomingEdge(t *testing.T) {
+	// The loop phi in buildSumFunc consumes %s2 along the body edge; that
+	// is legal (body dominates its own edge) and must stay verifiable.
+	m, f := buildSumFunc(t)
+	if err := Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// Now re-route the phi's body incoming to the entry edge: %s2 does
+	// not dominate entry's end, so the module must be rejected.
+	header := f.BlockByName("header")
+	body := f.BlockByName("body")
+	entry := f.BlockByName("entry")
+	s := header.Phis()[1]
+	s2 := s.PhiIncoming(body)
+	s.SetPhiIncoming(entry, s2)
+	if err := Verify(m); err == nil {
+		t.Fatal("expected verification error for phi operand not dominating its incoming edge")
+	}
+}
+
+func TestVerifySkipsDominanceInUnreachableBlocks(t *testing.T) {
+	m, f := buildSumFunc(t)
+	// A dangling block using a value from the (reachable) body: no path
+	// reaches it, so dominance is vacuous and the module stays valid.
+	dead := f.NewBlock("dead")
+	b := NewBuilder()
+	b.SetInsertionBlock(dead)
+	var s2 *Instr
+	f.Instrs(func(in *Instr) bool {
+		if in.Nam == "s2" {
+			s2 = in
+		}
+		return true
+	})
+	b.CreateBinOp(OpAdd, s2, ConstInt(1), "deadval")
+	b.CreateRet(ConstInt(0))
+	if err := Verify(m); err != nil {
+		t.Fatalf("unreachable block tripped dominance checking: %v", err)
+	}
+	// But a reachable use of a value defined in the unreachable block is
+	// an SSA break and must be named as such.
+	var deadval *Instr
+	f.Instrs(func(in *Instr) bool {
+		if in.Nam == "deadval" {
+			deadval = in
+		}
+		return true
+	})
+	exit := f.BlockByName("exit")
+	use := &Instr{Opcode: OpAdd, Ty: I64Type, Nam: "use", Ops: []Value{deadval, ConstInt(1)}}
+	exit.InsertBefore(use, exit.Terminator())
+	err := Verify(m)
+	if err == nil {
+		t.Fatal("expected verification error for reachable use of unreachable definition")
+	}
+	if !strings.Contains(err.Error(), "unreachable block") {
+		t.Errorf("diagnostic does not name the unreachable definition: %v", err)
+	}
+}
+
 func TestCloneModuleIndependence(t *testing.T) {
 	m, f := buildSumFunc(t)
 	clone := CloneModule(m)

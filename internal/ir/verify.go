@@ -16,11 +16,134 @@ func (e *VerifyError) Error() string {
 		len(e.Problems), strings.Join(e.Problems, "\n  "))
 }
 
+// domInfo is the compact dominance computation the verifier uses for the
+// def-dominates-use check: reachability from the entry plus immediate
+// dominators (Cooper-Harvey-Kennedy over reverse postorder). It
+// duplicates internal/analysis.DomTree in miniature because the ir
+// package sits below analysis in the import graph; the richer tree (with
+// children, frontiers, post-dominance) stays in analysis.
+type domInfo struct {
+	idom  map[*Block]*Block
+	order map[*Block]int // RPO index (reachable blocks only)
+}
+
+func newDomInfo(f *Function, preds map[*Block][]*Block) *domInfo {
+	d := &domInfo{idom: map[*Block]*Block{}, order: map[*Block]int{}}
+	entry := f.Entry()
+	if entry == nil {
+		return d
+	}
+	// Reverse postorder over the reachable subgraph.
+	var post []*Block
+	seen := map[*Block]bool{}
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Successors() {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(entry)
+	rpo := make([]*Block, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		rpo = append(rpo, post[i])
+	}
+	for i, b := range rpo {
+		d.order[b] = i
+	}
+	d.idom[entry] = nil
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for d.order[a] > d.order[b] {
+				a = d.idom[a]
+			}
+			for d.order[b] > d.order[a] {
+				b = d.idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			var pick *Block
+			for _, p := range preds[b] {
+				if _, processed := d.idom[p]; !processed && p != entry {
+					continue
+				}
+				if !seen[p] {
+					continue // unreachable predecessor
+				}
+				if pick == nil {
+					pick = p
+				} else {
+					pick = intersect(pick, p)
+				}
+			}
+			if pick == nil {
+				continue
+			}
+			if old, ok := d.idom[b]; !ok || old != pick {
+				d.idom[b] = pick
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+// reachable reports whether b is reachable from the function entry.
+func (d *domInfo) reachable(b *Block) bool {
+	_, ok := d.order[b]
+	return ok
+}
+
+// blockDominates reports whether a dominates b (reflexively). Both blocks
+// must be reachable.
+func (d *domInfo) blockDominates(a, b *Block) bool {
+	for x := b; x != nil; x = d.idom[x] {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// dominatesUse reports whether definition def is available at operand
+// position (user, opIdx): for phi operands the definition must dominate
+// the end of the matching incoming block (the value travels along that
+// edge); for everything else it must strictly precede the user in the
+// same block or dominate the user's block.
+func (d *domInfo) dominatesUse(def, user *Instr, opIdx int) bool {
+	if user.Opcode == OpPhi {
+		if opIdx >= len(user.Blocks) {
+			return true // ops/blocks mismatch is reported separately
+		}
+		in := user.Blocks[opIdx]
+		if !d.reachable(in) {
+			return true // dominance is vacuous on unreachable edges
+		}
+		return d.blockDominates(def.Parent, in)
+	}
+	if def.Parent == user.Parent {
+		return def.Parent.IndexOf(def) < def.Parent.IndexOf(user)
+	}
+	return d.blockDominates(def.Parent, user.Parent)
+}
+
 // Verify checks the structural well-formedness of a module: every block has
 // exactly one terminator (at the end), phis sit at block heads and match
-// predecessor lists, operand types match, SSA definitions dominate uses (a
-// light check: definition appears in the function), and calls match callee
-// signatures. It returns nil when the module is well formed.
+// predecessor lists, operand types match, SSA definitions dominate their
+// uses (a true dominator-tree check: use-before-def within a block and
+// uses reached from non-dominating blocks are rejected; dominance is only
+// enforced for uses in reachable blocks, where execution can observe the
+// violation), and calls match callee signatures. It returns nil when the
+// module is well formed. This is the "quick" tier of the staged verifier
+// (internal/verify adds extern-contract and communication-protocol
+// tiers on top).
 func Verify(m *Module) error {
 	var probs []string
 	addf := func(format string, args ...any) {
@@ -49,6 +172,7 @@ func Verify(m *Module) error {
 				preds[s] = append(preds[s], b)
 			}
 		}
+		dom := newDomInfo(f, preds)
 
 		for _, b := range f.Blocks {
 			if len(b.Instrs) == 0 {
@@ -77,6 +201,17 @@ func Verify(m *Module) error {
 					case *Instr:
 						if !defined[v] {
 							addf("%s/%s: %s: operand %s not defined in function", f.Nam, b.Nam, in, v.Ident())
+						} else if dom.reachable(b) {
+							// Dominance is only meaningful where execution
+							// can arrive; uses inside unreachable blocks
+							// are structural dead code, not SSA breaks.
+							if !dom.reachable(v.Parent) {
+								addf("%s/%s: %s: operand %s defined in unreachable block %s",
+									f.Nam, b.Nam, in, v.Ident(), v.Parent.Nam)
+							} else if !dom.dominatesUse(v, in, oi) {
+								addf("%s/%s: %s: operand %s does not dominate this use",
+									f.Nam, b.Nam, in, v.Ident())
+							}
 						}
 					case *Param:
 						if v.Parent != f {

@@ -10,12 +10,7 @@ import (
 // Parse reads a textual IR module (the format emitted by ir.Print) and
 // reconstructs the module. The result is verified before being returned.
 func Parse(src string) (*ir.Module, error) {
-	toks, err := lex(src)
-	if err != nil {
-		return nil, err
-	}
-	p := &parser{toks: toks}
-	m, err := p.parseModule()
+	m, err := ParseUnverified(src)
 	if err != nil {
 		return nil, err
 	}
@@ -23,6 +18,20 @@ func Parse(src string) (*ir.Module, error) {
 		return nil, fmt.Errorf("parsed module is malformed: %w", err)
 	}
 	return m, nil
+}
+
+// ParseUnverified reads a module without the final verification step.
+// It exists for tooling that needs deliberately malformed modules in
+// memory — the static verifier's corpus of hand-broken inputs, fuzzing
+// harnesses probing the verifier itself — and must not be used by
+// anything that will execute the result.
+func ParseUnverified(src string) (*ir.Module, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseModule()
 }
 
 type parser struct {

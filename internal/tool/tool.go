@@ -23,7 +23,7 @@ import (
 	"sync"
 
 	"noelle/internal/core"
-	"noelle/internal/ir"
+	"noelle/internal/verify"
 )
 
 // Options carries the per-invocation knobs shared by every custom tool.
@@ -54,6 +54,12 @@ type Options struct {
 	// create (0 = queue.DefaultCapacity). Capacity shapes backpressure
 	// only, never results.
 	QueueCapacity int
+	// VerifyTier selects how deeply RunPipeline statically verifies the
+	// module after each transforming stage: "quick" (structural + SSA,
+	// the historical default, also selected by ""), "ssa" (+ extern
+	// contracts), or "comm" (+ the concurrency-protocol linter over
+	// lowered parallel plans). See internal/verify.
+	VerifyTier string
 }
 
 // DefaultOptions mirrors the historical noelle-load flag defaults.
@@ -218,57 +224,101 @@ func Run(ctx context.Context, t Tool, n *core.Noelle, opts Options) (Report, err
 	return rep, err
 }
 
+// VerifierStats aggregates the static verification work one RunPipeline
+// invocation did: how many transforming stages were re-verified, how
+// many function checks that added up to, and the per-tier finding
+// counts (all zero on a pipeline that completed). noelle-load prints it
+// as the report footer.
+type VerifierStats struct {
+	// Tier is the deepest tier each post-stage verification ran at.
+	Tier verify.Tier
+	// Stages counts the transforming stages that were verified.
+	Stages int
+	// Checked sums the functions examined across those verifications.
+	Checked int
+	// Findings counts violations per detecting tier (indexed by
+	// verify.Tier; only indices up to Tier are ever populated).
+	Findings [verify.TierComm + 1]int
+}
+
+// String renders the footer line, e.g.
+// "static verifier: tier=comm stages=2 checked=34 findings: quick=0 ssa=0 comm=0".
+func (s VerifierStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "static verifier: tier=%s stages=%d checked=%d findings:", s.Tier, s.Stages, s.Checked)
+	for t := verify.TierQuick; t <= s.Tier; t++ {
+		fmt.Fprintf(&b, " %s=%d", t, s.Findings[t])
+	}
+	return b.String()
+}
+
+func (s *VerifierStats) add(r *verify.Result) {
+	s.Stages++
+	s.Checked += r.Checked
+	for t := verify.TierQuick; t <= s.Tier; t++ {
+		s.Findings[t] += r.CountAt(t)
+	}
+}
+
 // RunPipeline resolves names against the registry and runs the tools in
 // sequence over one manager: a noelle-load invocation like
 // `-tools licm,dead,doall`. Before the first stage it materializes every
 // function PDG across a worker pool (when opts.PrecomputeWorkers > 0);
-// after every transforming stage it verifies the module and invalidates
-// the manager's cached abstractions, so later stages re-derive them
-// against the mutated IR. It returns the reports of the stages that ran,
-// stopping at the first stage error, verification failure, or context
-// cancellation.
+// after every transforming stage it statically verifies the module at
+// opts.VerifyTier (the returned error wraps *verify.Error on failure)
+// and invalidates the manager's cached abstractions, so later stages
+// re-derive them against the mutated IR. It returns the reports of the
+// stages that ran and the aggregated verifier stats, stopping at the
+// first stage error, verification failure, or context cancellation.
 //
 // When the manager carries a persistent abstraction store, the
 // precompute stage and every rebuild populate it, and pending store
 // state is flushed after each transforming stage and at pipeline end —
 // transformed functions re-fingerprint, so their stale records are
 // simply never requested again (noelle-cache gc sweeps them).
-func RunPipeline(ctx context.Context, n *core.Noelle, names []string, opts Options) ([]Report, error) {
+func RunPipeline(ctx context.Context, n *core.Noelle, names []string, opts Options) ([]Report, VerifierStats, error) {
+	tier, err := verify.ParseTier(opts.VerifyTier)
+	if err != nil {
+		return nil, VerifierStats{}, fmt.Errorf("tool: %w", err)
+	}
+	stats := VerifierStats{Tier: tier}
 	tools := make([]Tool, 0, len(names))
 	for _, name := range names {
 		t, ok := Lookup(name)
 		if !ok {
-			return nil, fmt.Errorf("tool: unknown tool %q (have %s)", name, strings.Join(Names(), ", "))
+			return nil, stats, fmt.Errorf("tool: unknown tool %q (have %s)", name, strings.Join(Names(), ", "))
 		}
 		tools = append(tools, t)
 	}
 	if opts.PrecomputeWorkers > 0 {
 		if err := n.PrecomputePDGs(ctx, opts.PrecomputeWorkers); err != nil {
-			return nil, err
+			return nil, stats, err
 		}
 	}
 	var reports []Report
 	for _, t := range tools {
 		if err := ctx.Err(); err != nil {
-			return reports, err
+			return reports, stats, err
 		}
 		rep, err := Run(ctx, t, n, opts)
 		reports = append(reports, rep)
 		if err != nil {
-			return reports, fmt.Errorf("%s: %w", t.Name(), err)
+			return reports, stats, fmt.Errorf("%s: %w", t.Name(), err)
 		}
 		if transforms(t, opts) {
-			if err := ir.Verify(n.Mod); err != nil {
-				return reports, fmt.Errorf("%s: transformed module malformed: %w", t.Name(), err)
+			vres := verify.Module(n.Mod, tier)
+			stats.add(vres)
+			if err := vres.Err(); err != nil {
+				return reports, stats, fmt.Errorf("%s: transformed module rejected: %w", t.Name(), err)
 			}
 			n.InvalidateModule()
 			if err := n.FlushStore(); err != nil {
-				return reports, fmt.Errorf("%s: flushing abstraction store: %w", t.Name(), err)
+				return reports, stats, fmt.Errorf("%s: flushing abstraction store: %w", t.Name(), err)
 			}
 		}
 	}
 	if err := n.FlushStore(); err != nil {
-		return reports, fmt.Errorf("tool: flushing abstraction store: %w", err)
+		return reports, stats, fmt.Errorf("tool: flushing abstraction store: %w", err)
 	}
-	return reports, nil
+	return reports, stats, nil
 }

@@ -28,6 +28,7 @@ import (
 	"noelle/internal/loops"
 	"noelle/internal/machine"
 	"noelle/internal/tool"
+	"noelle/internal/verify"
 )
 
 // Candidate is one technique's scored answer for one loop.
@@ -247,6 +248,14 @@ func selectLoop(n *core.Noelle, ls *loops.LS, opts tool.Options, planners []tool
 		if err := c.plan.Lower(name); err != nil {
 			sel.Fallbacks = append(sel.Fallbacks, c.Technique+": "+err.Error())
 			continue
+		}
+		// Static verification gates dynamic execution: a lowered candidate
+		// that breaks the communication protocol has already rewritten the
+		// loop, so it cannot be skipped over — fail the selection with the
+		// named invariant instead of letting the miscompile run.
+		if verr := verify.Module(n.Mod, verify.TierComm).Err(); verr != nil {
+			sel.Fallbacks = append(sel.Fallbacks, c.Technique+": lowered plan failed static verification")
+			return sel, false, fmt.Errorf("@%s/%s: %s lowering: %w", ls.Fn.Nam, ls.Header.Nam, c.Technique, verr)
 		}
 		*taskID++
 		sel.Winner = c.Technique

@@ -17,6 +17,7 @@ import (
 	"noelle/internal/loopbuilder"
 	"noelle/internal/loops"
 	"noelle/internal/tool"
+	"noelle/internal/verify"
 )
 
 // Rejection records why one hot loop was not parallelized — the shared
@@ -270,6 +271,8 @@ func transform(n *core.Noelle, l *loops.Loop, taskName string) error {
 
 	// ---- task function ----
 	task := env.NewTask(m, taskName, e)
+	task.Fn.SetMD(verify.MDKind, verify.KindDoallTask)
+	task.Fn.SetMD(verify.MDFamily, taskName)
 	if err := buildTaskBody(l, task, e, tcSlot, redBase, cores); err != nil {
 		return err
 	}

@@ -2,6 +2,9 @@ package dswp
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 
 	"noelle/internal/analysis"
 	"noelle/internal/core"
@@ -10,7 +13,9 @@ import (
 	"noelle/internal/ir"
 	"noelle/internal/loopbuilder"
 	"noelle/internal/loops"
+	"noelle/internal/pdg"
 	"noelle/internal/queue"
+	"noelle/internal/verify"
 )
 
 // The executable lowering turns a stage plan into NOELLE task functions:
@@ -225,11 +230,17 @@ func transform(n *core.Noelle, p *Plan, taskName string, queueCap int) error {
 	}
 	valQ := make([]ir.Value, len(edges))
 	for i := range edges {
-		valQ[i] = bld.CreateCall(qcreate, []ir.Value{ir.ConstInt(capVal)}, fmt.Sprintf("q%d", i))
+		q := bld.CreateCall(qcreate, []ir.Value{ir.ConstInt(capVal)}, fmt.Sprintf("q%d", i))
+		q.SetMD(verify.MDQueue, verify.QueueValue)
+		q.SetMD(verify.MDFamily, taskName)
+		valQ[i] = q
 	}
 	tokQ := make([]ir.Value, p.NumStages-1)
 	for i := range tokQ {
-		tokQ[i] = bld.CreateCall(qcreate, []ir.Value{ir.ConstInt(capVal)}, fmt.Sprintf("tq%d", i))
+		q := bld.CreateCall(qcreate, []ir.Value{ir.ConstInt(capVal)}, fmt.Sprintf("tq%d", i))
+		q.SetMD(verify.MDQueue, verify.QueueToken)
+		q.SetMD(verify.MDFamily, taskName)
+		tokQ[i] = q
 	}
 
 	// ---- environment: live-ins, queue handles, live-out cells ----
@@ -264,9 +275,16 @@ func transform(n *core.Noelle, p *Plan, taskName string, queueCap int) error {
 	stages := make([]*env.Task, p.NumStages)
 	for s := 0; s < p.NumStages; s++ {
 		stages[s] = env.NewTask(m, fmt.Sprintf("%s.stage%d", taskName, s), e)
+		stages[s].Fn.SetMD(verify.MDKind, verify.KindDSWPStage)
+		stages[s].Fn.SetMD(verify.MDFamily, taskName)
+		stages[s].Fn.SetMD(verify.MDStage, strconv.Itoa(s))
 		buildStage(p, stages[s], e, edges, valQ, tokQ, s, qpush, qpop, qclose)
 	}
 	wrapper := env.NewTask(m, taskName, e)
+	wrapper.Fn.SetMD(verify.MDKind, verify.KindDSWPWrapper)
+	wrapper.Fn.SetMD(verify.MDFamily, taskName)
+	wrapper.Fn.SetMD(verify.MDStages, strconv.Itoa(p.NumStages))
+	wrapper.Fn.SetMD(verify.MDMemDeps, memDepsMD(p))
 	buildWrapper(wrapper, stages)
 
 	// ---- dispatch + live-out reconstruction ----
@@ -283,6 +301,47 @@ func transform(n *core.Noelle, p *Plan, taskName string, queueCap int) error {
 	// ---- rewire the CFG around the dead loop ----
 	loopbuilder.ReplaceLoop(ls, pre, finals)
 	return nil
+}
+
+// memDepsMD renders the plan's cross-stage memory dependences as the
+// wrapper's noelle.memdeps metadata — the edges whose happens-before the
+// comm linter checks the token chain against. Backward and same-stage
+// memory dependences never reach here: loop-carried memory dependences
+// collapse their endpoints into one SCC (and thus one stage), so what
+// crosses stages is intra-iteration and forward.
+func memDepsMD(p *Plan) string {
+	seen := map[[2]int]bool{}
+	var pairs [][2]int
+	p.Loop.DG.Edges(func(e *pdg.Edge) bool {
+		if e.Control || !e.Memory {
+			return true
+		}
+		from, okF := p.SegmentOf[e.From]
+		to, okT := p.SegmentOf[e.To]
+		if !okF || !okT || p.Loop.Clonable(e.From) || p.Loop.Clonable(e.To) {
+			return true
+		}
+		if from > to {
+			from, to = to, from
+		}
+		if from == to || seen[[2]int{from, to}] {
+			return true
+		}
+		seen[[2]int{from, to}] = true
+		pairs = append(pairs, [2]int{from, to})
+		return true
+	})
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	parts := make([]string, len(pairs))
+	for i, pr := range pairs {
+		parts[i] = fmt.Sprintf("%d>%d", pr[0], pr[1])
+	}
+	return strings.Join(parts, ",")
 }
 
 // pubStageOf picks the stage that publishes a live-out: the owning stage

@@ -3,6 +3,7 @@ package helix
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"noelle/internal/analysis"
 	"noelle/internal/core"
@@ -11,6 +12,7 @@ import (
 	"noelle/internal/ir"
 	"noelle/internal/loopbuilder"
 	"noelle/internal/loops"
+	"noelle/internal/verify"
 )
 
 // The executable lowering dispatches one task invocation per iteration
@@ -320,7 +322,10 @@ func transform(n *core.Noelle, p *Plan, taskName string) error {
 	}
 	sigs := make([]ir.Value, p.NumSeq)
 	for s := range sigs {
-		sigs[s] = bld.CreateCall(screate, []ir.Value{ir.ConstInt(0)}, fmt.Sprintf("sig%d", s))
+		sig := bld.CreateCall(screate, []ir.Value{ir.ConstInt(0)}, fmt.Sprintf("sig%d", s))
+		sig.SetMD(verify.MDSignal, strconv.Itoa(s))
+		sig.SetMD(verify.MDFamily, taskName)
+		sigs[s] = sig
 	}
 
 	dom := analysis.NewDomTree(f)
@@ -366,6 +371,9 @@ func transform(n *core.Noelle, p *Plan, taskName string) error {
 
 	// ---- the per-iteration task ----
 	task := env.NewTask(m, taskName, e)
+	task.Fn.SetMD(verify.MDKind, verify.KindHelixTask)
+	task.Fn.SetMD(verify.MDFamily, taskName)
+	task.Fn.SetMD(verify.MDSegments, strconv.Itoa(p.NumSeq))
 	buildIterTask(p, task, e, segs, sigs, swait, sfire)
 
 	// ---- dispatch: one worker per iteration ----

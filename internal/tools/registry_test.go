@@ -6,6 +6,7 @@ package tools_test
 
 import (
 	"context"
+	"strings"
 	"testing"
 
 	"noelle/internal/core"
@@ -136,7 +137,7 @@ func TestPipelineInvalidatesBetweenTransformingStages(t *testing.T) {
 	}
 	before := n.FunctionPDG(mainFn)
 
-	reports, err := tool.RunPipeline(context.Background(), n, []string{"licm", "dead"}, tool.DefaultOptions())
+	reports, stats, err := tool.RunPipeline(context.Background(), n, []string{"licm", "dead"}, tool.DefaultOptions())
 	if err != nil {
 		t.Fatalf("pipeline: %v", err)
 	}
@@ -145,6 +146,13 @@ func TestPipelineInvalidatesBetweenTransformingStages(t *testing.T) {
 	}
 	if reports[0].Tool != "licm" || reports[1].Tool != "dead" {
 		t.Fatalf("report order = %s,%s", reports[0].Tool, reports[1].Tool)
+	}
+	// Both stages transform, so both were re-verified (and found clean).
+	if stats.Stages != 2 || stats.Checked == 0 {
+		t.Errorf("verifier stats = %q, want 2 stages over a nonzero function count", stats)
+	}
+	if got := stats.String(); !strings.Contains(got, "findings: quick=0") {
+		t.Errorf("verifier stats footer %q does not report zero findings", got)
 	}
 	// licm transforms, so dead must have seen freshly derived
 	// abstractions; and the manager must not serve the pre-pipeline PDG.
@@ -183,7 +191,7 @@ func TestPipelinePrecomputeAndEquivalence(t *testing.T) {
 	n := newN(m)
 	opts := tool.DefaultOptions()
 	opts.PrecomputeWorkers = 8
-	if _, err := tool.RunPipeline(context.Background(), n, []string{"licm", "dead", "carat"}, opts); err != nil {
+	if _, _, err := tool.RunPipeline(context.Background(), n, []string{"licm", "dead", "carat"}, opts); err != nil {
 		t.Fatalf("pipeline: %v", err)
 	}
 	if err := ir.Verify(m); err != nil {
@@ -195,10 +203,32 @@ func TestPipelinePrecomputeAndEquivalence(t *testing.T) {
 	}
 }
 
+// TestPipelineVerifyTier: the pipeline accepts every spelled tier, runs
+// the deepest one over transformed modules, and rejects unknown tiers
+// before any stage runs.
+func TestPipelineVerifyTier(t *testing.T) {
+	m := compile(t, registryFixture)
+	n := newN(m)
+	opts := tool.DefaultOptions()
+	opts.VerifyTier = "comm"
+	_, stats, err := tool.RunPipeline(context.Background(), n, []string{"licm"}, opts)
+	if err != nil {
+		t.Fatalf("comm-tier pipeline: %v", err)
+	}
+	if stats.Tier.String() != "comm" || stats.Stages != 1 {
+		t.Errorf("verifier stats = %q, want one comm-tier stage", stats)
+	}
+
+	opts.VerifyTier = "paranoid"
+	if _, _, err := tool.RunPipeline(context.Background(), n, []string{"licm"}, opts); err == nil {
+		t.Fatal("pipeline accepted an unknown verification tier")
+	}
+}
+
 func TestPipelineUnknownToolFails(t *testing.T) {
 	m := compile(t, registryFixture)
 	n := newN(m)
-	if _, err := tool.RunPipeline(context.Background(), n, []string{"licm", "nope"}, tool.DefaultOptions()); err == nil {
+	if _, _, err := tool.RunPipeline(context.Background(), n, []string{"licm", "nope"}, tool.DefaultOptions()); err == nil {
 		t.Fatal("pipeline accepted an unknown tool")
 	}
 }
@@ -208,7 +238,7 @@ func TestPipelineCancelledContext(t *testing.T) {
 	n := newN(m)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := tool.RunPipeline(ctx, n, []string{"licm"}, tool.DefaultOptions()); err == nil {
+	if _, _, err := tool.RunPipeline(ctx, n, []string{"licm"}, tool.DefaultOptions()); err == nil {
 		t.Fatal("pipeline ignored a cancelled context")
 	}
 }

@@ -1,0 +1,105 @@
+package verify
+
+import (
+	"fmt"
+
+	"noelle/internal/interp"
+	"noelle/internal/ir"
+)
+
+// checkSSA is the ssa tier on top of a quick-clean module: extern
+// contracts (declared signatures and every call site checked against the
+// interpreter's registered extern arities) and unreachable-block
+// reporting. Dominance itself already held at the quick tier; what this
+// tier adds is the checks that need knowledge beyond the module — the
+// runtime's extern registry — plus diagnostics that are lint-grade
+// rather than structural (dead blocks a transform forgot to delete).
+func checkSSA(m *ir.Module) []Finding {
+	var fs []Finding
+	arities := interp.ExternArities()
+
+	// Declared extern signatures must agree with the runtime registry: a
+	// module that declares noelle_queue_push with one parameter passes
+	// structural verification (call sites match the declaration) but
+	// every push would fail at run time.
+	for _, f := range m.Functions {
+		if !f.IsDeclaration() {
+			continue
+		}
+		arity, known := arities[f.Nam]
+		if !known {
+			continue
+		}
+		if len(f.Sig.Params) != arity {
+			fs = append(fs, Finding{
+				Tier: TierSSA, Fn: f.Nam,
+				Detail: fmt.Sprintf("extern @%s declared with %d parameters, runtime arity is %d",
+					f.Nam, len(f.Sig.Params), arity),
+			})
+		}
+	}
+
+	for _, f := range m.Functions {
+		if f.IsDeclaration() {
+			continue
+		}
+		// Unreachable blocks: tolerated by the quick tier (execution never
+		// observes them) but reported here — a transform that leaves dead
+		// blocks behind is leaking its scaffolding.
+		reach := reachableBlocks(f)
+		for _, b := range f.Blocks {
+			if !reach[b] {
+				fs = append(fs, Finding{
+					Tier: TierSSA, Fn: f.Nam,
+					Detail: fmt.Sprintf("block %s is unreachable from the entry", b.Nam),
+				})
+			}
+		}
+		// Call sites into runtime externs: argument count against the
+		// registry (independent of whatever the declaration says).
+		f.Instrs(func(in *ir.Instr) bool {
+			if in.Opcode != ir.OpCall {
+				return true
+			}
+			callee := in.CalledFunction()
+			if callee == nil {
+				return true
+			}
+			arity, known := arities[callee.Nam]
+			if !known {
+				return true
+			}
+			if got := len(in.CallArgs()); got != arity {
+				fs = append(fs, Finding{
+					Tier: TierSSA, Fn: f.Nam,
+					Detail: fmt.Sprintf("call to extern @%s passes %d arguments, runtime arity is %d",
+						callee.Nam, got, arity),
+				})
+			}
+			return true
+		})
+	}
+	return fs
+}
+
+// reachableBlocks returns the blocks reachable from f's entry.
+func reachableBlocks(f *ir.Function) map[*ir.Block]bool {
+	reach := map[*ir.Block]bool{}
+	entry := f.Entry()
+	if entry == nil {
+		return reach
+	}
+	stack := []*ir.Block{entry}
+	reach[entry] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Successors() {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return reach
+}

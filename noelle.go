@@ -112,10 +112,12 @@ func LookupTool(name string) (Tool, bool) { return tool.Lookup(name) }
 
 // RunPipeline runs the named tools in sequence over one manager,
 // precomputing function PDGs in parallel first (when
-// opts.PrecomputeWorkers > 0) and invalidating cached abstractions after
-// every transforming stage.
+// opts.PrecomputeWorkers > 0), statically verifying the module at
+// opts.VerifyTier after every transforming stage, and invalidating
+// cached abstractions after each of those stages.
 func RunPipeline(ctx context.Context, n *Noelle, names []string, opts ToolOptions) ([]Report, error) {
-	return tool.RunPipeline(ctx, n, names, opts)
+	reports, _, err := tool.RunPipeline(ctx, n, names, opts)
+	return reports, err
 }
 
 // CompileC compiles mini-C source text to optimized IR (the substrate's
