@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-cache bench-parallel bench-pipeline bench-auto cache-smoke check-docs example-smoke
+.PHONY: build test vet lint race bench bench-cache bench-parallel bench-pipeline bench-auto cache-smoke check-docs example-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,14 @@ bench-pipeline:
 # benchmark without being told which favours which.
 bench-auto:
 	$(GO) run ./scripts/benchauto -cores 4 -o BENCH_auto.json
+
+# Observability smoke: the pipeline bench with -trace must produce a
+# well-formed Chrome trace (monotonic per-lane timestamps, named
+# processes/threads — validated by scripts/tracecheck), next to the
+# usual BENCH_pipeline.json with its attribution block.
+trace-smoke:
+	$(GO) run ./scripts/benchpipeline -cores 4 -trace trace_pipeline.json -o BENCH_pipeline.json
+	$(GO) run ./scripts/tracecheck trace_pipeline.json
 
 # Documentation consistency: markdown links resolve, cmd/README.md lists
 # every binary under cmd/, and every registered tool is described there.

@@ -11,9 +11,13 @@
 // Pipelined modules (dswp/helix -exec-plans) also create queues and
 // signals through the communication runtime; -queue-cap overrides the
 // queue capacity baked into the module (backpressure only — results are
-// identical at any capacity).
+// identical at any capacity). -trace exports the run's
+// dispatch/task/communication spans as a Chrome trace-event JSON
+// timeline, and -metrics prints the aggregated span histograms.
 //
-// Usage: noelle-bin [-seq] [-workers N] [-queue-cap N] [-emit out.nir] whole.nir
+// Usage: noelle-bin [-seq] [-workers N] [-queue-cap N] [-trace out.json]
+//
+//	[-metrics] [-emit out.nir] whole.nir
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 
 	"noelle/internal/interp"
 	"noelle/internal/ir"
+	"noelle/internal/obs"
 	"noelle/internal/toolio"
 )
 
@@ -31,9 +36,11 @@ func main() {
 	seq := flag.Bool("seq", false, "run dispatched tasks sequentially (debugging fallback)")
 	workers := flag.Int("workers", 0, "cap on simultaneously-running dispatch workers (0 = GOMAXPROCS)")
 	queueCap := flag.Int("queue-cap", 0, "override the capacity of the module's communication queues (0 = respect the module)")
+	trace := flag.String("trace", "", "export the run as a Chrome trace-event JSON timeline (chrome://tracing, Perfetto)")
+	metrics := flag.Bool("metrics", false, "print the run's span metrics (counts, totals, p50/p95/p99) to stderr")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: noelle-bin [-seq] [-workers N] [-queue-cap N] [-emit out.nir] whole.nir")
+		fmt.Fprintln(os.Stderr, "usage: noelle-bin [-seq] [-workers N] [-queue-cap N] [-trace out.json] [-metrics] [-emit out.nir] whole.nir")
 		os.Exit(2)
 	}
 	m, err := toolio.ReadModule(flag.Arg(0))
@@ -56,11 +63,37 @@ func main() {
 	it.SeqDispatch = *seq
 	it.DispatchWorkers = *workers
 	it.QueueCap = *queueCap
+	if *trace != "" || *metrics {
+		it.Tracer = obs.NewTracer()
+	}
 	code, err := it.Run()
 	if err != nil {
 		toolio.Fatal(err)
 	}
 	fmt.Print(it.Output.String())
 	fmt.Fprintf(os.Stderr, "exit=%d cycles=%d steps=%d\n", code, it.Cycles, it.Steps)
+	// Per-lane stats surface worker skew the post-barrier merge hides.
+	// Bounded: a dispatch-per-iteration module would otherwise flood the
+	// footer (the full data is in -trace).
+	const maxWorkerLines = 32
+	stats := it.WorkerStats()
+	for i, ws := range stats {
+		if i == maxWorkerLines {
+			fmt.Fprintf(os.Stderr, "worker stats: ... %d more lanes\n", len(stats)-i)
+			break
+		}
+		fmt.Fprintf(os.Stderr, "worker d%d.w%d: claims=%d steps=%d cycles=%d\n",
+			ws.Dispatch, ws.Lane, ws.Claims, ws.Steps, ws.Cycles)
+	}
+	if *metrics {
+		reg := obs.NewRegistry()
+		it.Tracer.MergeInto(reg)
+		fmt.Fprint(os.Stderr, reg.Format())
+	}
+	if *trace != "" {
+		if err := toolio.WriteTraceFile(*trace, obs.TraceLeg{Name: "noelle-bin", Tracer: it.Tracer}); err != nil {
+			toolio.Fatal(err)
+		}
+	}
 	os.Exit(int(code & 0xff))
 }

@@ -30,6 +30,8 @@ import (
 
 	"noelle/internal/bench"
 	"noelle/internal/eval"
+	"noelle/internal/obs"
+	"noelle/internal/toolio"
 )
 
 func main() {
@@ -39,7 +41,18 @@ func main() {
 	seq := flag.Bool("seq", false, "wallclock artifact: run the parallel legs sequentially too (debugging control)")
 	wallSize := flag.Int("wall-size", 0, "wallclock artifact: array length / iteration count per loop (0 = default)")
 	queueCap := flag.Int("queue-cap", 0, "wallclock artifact: bound on the pipeline communication queues (0 = default)")
+	trace := flag.String("trace", "", "wallclock/auto artifacts: export the attribution runs as a Chrome trace-event JSON timeline")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the evaluation to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (post-run, GC-settled) to this file")
 	flag.Parse()
+
+	stopProfiles, perr := toolio.StartProfiles(*cpuprofile, *memprofile)
+	if perr != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", perr)
+		os.Exit(1)
+	}
+	defer stopProfiles()
+	var traceLegs []obs.TraceLeg
 
 	emit := func(name string, gen func() (string, error)) {
 		if *only != "" && *only != name {
@@ -121,6 +134,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(eval.FormatAutoStudy(rows, *wallSize))
+		for _, r := range rows {
+			if r.Trace != nil {
+				traceLegs = append(traceLegs, obs.TraceLeg{
+					Name: fmt.Sprintf("%s/%s", r.Benchmark, r.Technique), Tracer: r.Trace})
+			}
+		}
 	}
 	if *only == "wallclock" {
 		counts := eval.WorkerSweep(*workers)
@@ -134,11 +153,29 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(eval.FormatWallClock(rows, *wallSize))
+		for _, r := range rows {
+			if r.Trace != nil {
+				traceLegs = append(traceLegs, obs.TraceLeg{
+					Name: fmt.Sprintf("doall/workers=%d", r.Workers), Tracer: r.Trace})
+			}
+		}
 		prows, err := eval.PipelineWallClockStudy(*wallSize, *workers, 0, *queueCap, *seq)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wallclock: pipeline error: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println(eval.FormatPipelineWallClock(prows, *wallSize))
+		for _, r := range prows {
+			if r.Trace != nil {
+				traceLegs = append(traceLegs, obs.TraceLeg{Name: r.Technique, Tracer: r.Trace})
+			}
+		}
+	}
+	if *trace != "" {
+		if err := toolio.WriteTraceFile(*trace, traceLegs...); err != nil {
+			fmt.Fprintf(os.Stderr, "error: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: wrote %s (%d legs)\n", *trace, len(traceLegs))
 	}
 }

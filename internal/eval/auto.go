@@ -10,6 +10,7 @@ import (
 	"noelle/internal/core"
 	"noelle/internal/interp"
 	"noelle/internal/ir"
+	"noelle/internal/obs"
 	"noelle/internal/profiler"
 	"noelle/internal/tool"
 	"noelle/internal/tools/auto"
@@ -37,6 +38,11 @@ type AutoRow struct {
 	// Identical confirms the parallel run produced byte-identical output
 	// and the same memory image as the sequential fallback.
 	Identical bool
+	// Attrib decomposes the parallel wall-clock from a separate traced
+	// run (nil when forceSeq disabled the parallel leg); Trace is that
+	// run's tracer, exportable with obs.WriteChromeTrace.
+	Attrib *Attribution
+	Trace  *obs.Tracer
 }
 
 // autoBenchmarks names the study's two workloads: the DOALL-friendly
@@ -159,6 +165,16 @@ func autoRow(bmName string, build func(int) (*ir.Module, error), hotness float64
 	row.Measured = float64(seqD) / float64(parD)
 	row.Identical = seqIt.Output.String() == parIt.Output.String() &&
 		seqIt.MemoryFingerprint() == parIt.MemoryFingerprint()
+
+	// Attribution pass: one extra traced run, separate from the timing
+	// legs so the tracer's per-op tax never skews the speedup columns.
+	if !forceSeq && row.Loops > 0 {
+		attrib, tr, err := attributionRun(m, dispatchCap, queueCap, seqD)
+		if err != nil {
+			return nil, err
+		}
+		row.Attrib, row.Trace = attrib, tr
+	}
 	return row, nil
 }
 
@@ -206,6 +222,9 @@ func FormatAutoStudy(rows []AutoRow, size int) string {
 			r.Benchmark, r.Technique, r.Cores, r.Loops,
 			r.SeqWall.Round(time.Millisecond), r.ParWall.Round(time.Millisecond),
 			r.Measured, okay)
+		if r.Attrib != nil {
+			fmt.Fprintln(&b, FormatAttribution(r.Attrib))
+		}
 	}
 	for _, bm := range autoBenchmarks {
 		best := BestSingle(rows, bm.Name)

@@ -1,0 +1,60 @@
+package eval
+
+import (
+	"os/exec"
+	"runtime"
+	"strings"
+)
+
+// BenchSchemaVersion is the current layout version of the BENCH_*.json
+// artifacts. Bump it when a field changes meaning or moves, so
+// scripts/benchcompare can refuse to diff artifacts that do not speak
+// the same schema.
+const BenchSchemaVersion = 2
+
+// BenchMeta is the shared metadata block every BENCH_*.json artifact
+// embeds: enough provenance to judge whether two artifacts are
+// comparable (same code? same core count?) and how much measured delta
+// is noise. One helper builds it so the three bench scripts cannot
+// drift apart.
+type BenchMeta struct {
+	Schema    int    `json:"schema"`
+	GitCommit string `json:"git_commit,omitempty"`
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	CPUs      int    `json:"cpus"`
+	// GOMAXPROCS bounds the true parallelism of every measured run; on a
+	// single-core container all speedups hover around 1x by construction.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// NoiseMargin is the fraction of a reference measurement a new one
+	// may drop to before it counts as a regression (e.g. 0.95 = 5% slack).
+	NoiseMargin float64 `json:"noise_margin"`
+	GeneratedBy string  `json:"generated_by"`
+}
+
+// NewBenchMeta builds the metadata block for one artifact writer.
+func NewBenchMeta(generatedBy string, noiseMargin float64) BenchMeta {
+	return BenchMeta{
+		Schema:      BenchSchemaVersion,
+		GitCommit:   gitCommit(),
+		GoVersion:   runtime.Version(),
+		OS:          runtime.GOOS,
+		Arch:        runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NoiseMargin: noiseMargin,
+		GeneratedBy: generatedBy,
+	}
+}
+
+// gitCommit resolves the working tree's HEAD (short form), or "" when
+// git or the repository is unavailable — provenance is best-effort, an
+// artifact without it is still valid.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -11,6 +11,7 @@ import (
 	"noelle/internal/ir"
 	"noelle/internal/loops"
 	"noelle/internal/machine"
+	"noelle/internal/obs"
 	"noelle/internal/profiler"
 	"noelle/internal/tools/dswp"
 	"noelle/internal/tools/helix"
@@ -43,6 +44,11 @@ type PipelineRow struct {
 	// QueueOps counts the communication operations the parallel run
 	// drove (queue pushes+pops for DSWP, signal waits+fires for HELIX).
 	QueueOps int64
+	// Attrib decomposes the parallel wall-clock from a separate traced
+	// run (nil when forceSeq disabled the parallel leg); Trace is that
+	// run's tracer, exportable with obs.WriteChromeTrace.
+	Attrib *Attribution
+	Trace  *obs.Tracer
 }
 
 // PipelineWallClockStudy lowers the bundled pipeline benchmark with DSWP
@@ -191,6 +197,16 @@ func pipelineRow(tech string, size, cores, dispatchCap, queueCap int, forceSeq b
 		seqIt.Steps == parIt.Steps && seqIt.Cycles == parIt.Cycles
 	_, pushes, pops, waits, fires := parIt.CommStats()
 	row.QueueOps = pushes + pops + waits + fires
+
+	// Attribution pass: one extra traced run, separate from the timing
+	// legs so the tracer's per-op tax never skews the speedup columns.
+	if !forceSeq {
+		attrib, tr, err := attributionRun(tm, workerCap, queueCap, seqD)
+		if err != nil {
+			return nil, err
+		}
+		row.Attrib, row.Trace = attrib, tr
+	}
 	return row, nil
 }
 
@@ -212,6 +228,9 @@ func FormatPipelineWallClock(rows []PipelineRow, size int) string {
 			r.Technique, r.Cores, r.Parts, r.Modeled,
 			r.SeqWall.Round(time.Millisecond), r.ParWall.Round(time.Millisecond),
 			r.Measured, r.QueueOps, okay)
+		if r.Attrib != nil {
+			fmt.Fprintln(&b, FormatAttribution(r.Attrib))
+		}
 	}
 	b.WriteString("  (parts = DSWP stages / HELIX sequential segments; modeled = SimulateDSWP on the\n")
 	b.WriteString("   queue-calibrated config / SimulateHELIX; measured = -seq wall / parallel wall\n")

@@ -11,6 +11,7 @@ import (
 	"noelle/internal/ir"
 	"noelle/internal/loops"
 	"noelle/internal/machine"
+	"noelle/internal/obs"
 	"noelle/internal/profiler"
 	"noelle/internal/tools/doall"
 )
@@ -29,6 +30,11 @@ type WallRow struct {
 	// Identical confirms the parallel run produced byte-identical output
 	// and the same memory image as the sequential fallback.
 	Identical bool
+	// Attrib decomposes the parallel wall-clock from a separate traced
+	// run (nil when forceSeq disabled the parallel leg); Trace is that
+	// run's tracer, exportable with obs.WriteChromeTrace.
+	Attrib *Attribution
+	Trace  *obs.Tracer
 }
 
 // WorkerSweep returns the worker counts the wall-clock study measures:
@@ -145,6 +151,16 @@ func wallClockAt(m *ir.Module, totalSeq int64, size, workers, dispatchCap int, f
 	row.Measured = float64(seqD) / float64(parD)
 	row.Identical = seqIt.Output.String() == parIt.Output.String() &&
 		seqIt.MemoryFingerprint() == parIt.MemoryFingerprint()
+
+	// Attribution pass: one extra traced run, separate from the timing
+	// legs so the tracer's per-op tax never skews the speedup columns.
+	if !forceSeq {
+		attrib, tr, err := attributionRun(tm, dispatchCap, 0, seqD)
+		if err != nil {
+			return nil, err
+		}
+		row.Attrib, row.Trace = attrib, tr
+	}
 	return row, nil
 }
 
@@ -163,6 +179,9 @@ func FormatWallClock(rows []WallRow, size int) string {
 		}
 		fmt.Fprintf(&b, "  %-8d %8.2fx %12s %12s %8.2fx %s\n",
 			r.Workers, r.Modeled, r.SeqWall.Round(time.Millisecond), r.ParWall.Round(time.Millisecond), r.Measured, okay)
+		if r.Attrib != nil {
+			fmt.Fprintln(&b, FormatAttribution(r.Attrib))
+		}
 	}
 	b.WriteString("  (measured = -seq fallback time / parallel-dispatch time of the same transformed module)\n")
 	return b.String()

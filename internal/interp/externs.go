@@ -3,6 +3,8 @@ package interp
 import (
 	"fmt"
 	"math"
+
+	"noelle/internal/obs"
 )
 
 // Extern function names understood by the interpreter. Benchmarks declare
@@ -113,10 +115,28 @@ func registerDefaultExterns(it *Interp) {
 	})
 	it.RegisterExternArity(ExternQueuePush, defaultExternArities[ExternQueuePush], func(it *Interp, args []uint64) (uint64, error) {
 		it.QueuePushes++
+		// Tracing fast path: rec is nil unless a Tracer is attached, so
+		// the untraced cost is one pointer comparison — no clock reads,
+		// no allocations, no atomics (proved by BenchmarkQueueExterns and
+		// the allocation-count test in trace_test.go). Spans time the
+		// whole operation: for a parked producer that is exactly the
+		// backpressure stall the timeline should show.
+		if r := it.rec; r != nil {
+			start := r.Clock()
+			err := it.img.comm.Push(int64(args[0]), args[1], it.pushBlocks)
+			r.Record(obs.SpanQueuePush, int64(args[0]), start)
+			return 0, err
+		}
 		return 0, it.img.comm.Push(int64(args[0]), args[1], it.pushBlocks)
 	})
 	it.RegisterExternArity(ExternQueuePop, defaultExternArities[ExternQueuePop], func(it *Interp, args []uint64) (uint64, error) {
 		it.QueuePops++
+		if r := it.rec; r != nil {
+			start := r.Clock()
+			v, err := it.img.comm.Pop(int64(args[0]), it.parWorker)
+			r.Record(obs.SpanQueuePop, int64(args[0]), start)
+			return v, err
+		}
 		return it.img.comm.Pop(int64(args[0]), it.parWorker)
 	})
 	it.RegisterExternArity(ExternQueueClose, defaultExternArities[ExternQueueClose], func(it *Interp, args []uint64) (uint64, error) {
@@ -127,6 +147,12 @@ func registerDefaultExterns(it *Interp) {
 	})
 	it.RegisterExternArity(ExternSignalWait, defaultExternArities[ExternSignalWait], func(it *Interp, args []uint64) (uint64, error) {
 		it.SignalWaits++
+		if r := it.rec; r != nil {
+			start := r.Clock()
+			err := it.img.comm.Wait(int64(args[0]), int64(args[1]), it.parWorker)
+			r.Record(obs.SpanSignalWait, int64(args[0]), start)
+			return 0, err
+		}
 		return 0, it.img.comm.Wait(int64(args[0]), int64(args[1]), it.parWorker)
 	})
 	it.RegisterExternArity(ExternSignalFire, defaultExternArities[ExternSignalFire], func(it *Interp, args []uint64) (uint64, error) {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"noelle/internal/ir"
 	"noelle/internal/queue"
@@ -101,6 +102,35 @@ type image struct {
 	// by every execution context of the image; handles created by the
 	// dispatching context are visible to all its workers.
 	comm *queue.Runtime
+
+	// dispatchSeq numbers the run's dispatches (shared across contexts:
+	// nested dispatches from worker lanes draw from the same sequence).
+	// It keys trace span groups and the per-lane stats below.
+	dispatchSeq atomic.Int64
+
+	// statsMu guards workerStats: per-lane Steps/Cycles retained at each
+	// parallel dispatch's barrier, so per-worker skew survives the
+	// deterministic post-barrier merge into the parent's aggregates.
+	statsMu     sync.Mutex
+	workerStats []WorkerStat
+}
+
+// maxWorkerStats bounds per-lane stat retention: a run that performs
+// dispatches in a hot loop keeps only the first entries (reports show
+// the prefix), so observability never grows a long run's memory
+// unboundedly.
+const maxWorkerStats = 1 << 16
+
+// recordWorkerStats retains one dispatch's per-lane stats.
+func (img *image) recordWorkerStats(stats []WorkerStat) {
+	img.statsMu.Lock()
+	if room := maxWorkerStats - len(img.workerStats); room > 0 {
+		if len(stats) > room {
+			stats = stats[:room]
+		}
+		img.workerStats = append(img.workerStats, stats...)
+	}
+	img.statsMu.Unlock()
 }
 
 // alloc reserves size bytes (rounded up to cells) and tracks the range.

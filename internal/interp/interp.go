@@ -7,6 +7,8 @@ import (
 	"strings"
 
 	"noelle/internal/ir"
+	"noelle/internal/obs"
+	"noelle/internal/queue"
 )
 
 // ErrStepLimit is returned when execution exceeds the configured budget.
@@ -46,6 +48,21 @@ type Interp struct {
 	// calls (0 respects the module's value). Capacity only shapes
 	// backpressure, never results, so overriding it is always safe.
 	QueueCap int
+
+	// Tracer, when set on the root context before Run, enables the
+	// observability plane (internal/obs): the dispatch path records
+	// dispatch/task spans per lane, and the communication externs record
+	// queue push/pop and signal wait spans — including blocked time — into
+	// per-lane lock-free recorders. Unlike the observation hooks below,
+	// tracing keeps the parallel dispatch path (spans are per-lane, so no
+	// cross-worker ordering is imposed) and never perturbs results. When
+	// nil (the default), every instrumented site reduces to one pointer
+	// check: no allocations, no atomics, no clock reads.
+	Tracer *obs.Tracer
+	// rec is this context's span recorder (nil when tracing is off).
+	// Root contexts create theirs lazily; worker contexts inherit their
+	// lane's recorder at fork time.
+	rec *obs.Recorder
 
 	// InstrHook, when set, observes every executed instruction after its
 	// effects are applied. Profilers and the timing harness hook here.
@@ -176,6 +193,14 @@ func (it *Interp) CommStats() (creates, pushes, pops, waits, fires int64) {
 	return it.img.comm.Stats()
 }
 
+// ParkStats reports the communication runtime's blocking profile: how
+// often queue pushes/pops and signal waits actually parked, and the
+// total time they spent parked. Always available (the counters cost
+// nothing on the non-parking path), even when span tracing is off.
+func (it *Interp) ParkStats() queue.ParkStats {
+	return it.img.comm.ParkStats()
+}
+
 // stepBudget resolves the effective step limit (0 meaning the default;
 // negative budgets — a forked worker with no grant yet — fall through to
 // the slow path, which draws from the dispatch tree's shared pool).
@@ -192,8 +217,46 @@ func (it *Interp) Run() (int64, error) {
 	if main == nil {
 		return 0, errors.New("interp: no @main")
 	}
+	it.initRecorder()
 	r, err := it.Call(main, nil)
 	return int64(r), err
+}
+
+// initRecorder lazily creates the root context's span recorder when a
+// tracer is installed (group 0 / worker -1 marks the root lane).
+func (it *Interp) initRecorder() {
+	if it.Tracer != nil && it.rec == nil {
+		it.rec = it.Tracer.NewRecorder(0, -1, "main")
+	}
+}
+
+// WorkerStat is one dispatch lane's contribution to a run: the steps and
+// cycles its worker invocations executed. Lanes are the dispatch
+// goroutine slots (bounded by DispatchWorkers), so skew between entries
+// of one dispatch is visible even when the fan-out is huge — a lane that
+// claimed many cheap iterations and a lane that claimed one expensive
+// worker both show up as one row.
+type WorkerStat struct {
+	// Dispatch is the dispatch's sequence number within the run
+	// (1-based, in module execution order).
+	Dispatch int
+	// Lane is the goroutine slot within the dispatch; Claims counts the
+	// worker invocations the lane executed (1:1 with worker indices when
+	// the dispatch runs fully resident).
+	Lane   int
+	Claims int
+	Steps  int64
+	Cycles int64
+}
+
+// WorkerStats returns the per-lane execution stats of every parallel
+// dispatch the run performed, in dispatch order. Sequential dispatches
+// (the -seq fallback, hooked runs, single-worker fan-outs) record
+// nothing — their work is the root context's own Steps/Cycles.
+func (it *Interp) WorkerStats() []WorkerStat {
+	it.img.statsMu.Lock()
+	defer it.img.statsMu.Unlock()
+	return append([]WorkerStat(nil), it.img.workerStats...)
 }
 
 // Call executes f with raw argument bits and returns the raw result bits.

@@ -16,8 +16,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"noelle/internal/ir"
+	"noelle/internal/obs"
 	"noelle/internal/queue"
 )
 
@@ -98,14 +100,17 @@ func (it *Interp) extendStepBudget() (int64, bool) {
 // hooks: a hooked context dispatches sequentially instead (see dispatch).
 // pushBlocks enables bounded (backpressuring) queue pushes; it is only
 // safe when every worker of the dispatch is resident on its own
-// goroutine (see dispatchParallel).
-func (it *Interp) fork(pool *stepPool, pushBlocks bool) *Interp {
+// goroutine (see dispatchParallel). rec is the lane's span recorder (nil
+// when tracing is off); every worker a lane claims records into it.
+func (it *Interp) fork(pool *stepPool, pushBlocks bool, rec *obs.Recorder) *Interp {
 	return &Interp{
 		Mod:             it.Mod,
 		Cost:            it.Cost,
 		SeqDispatch:     it.SeqDispatch,
 		DispatchWorkers: it.DispatchWorkers,
 		QueueCap:        it.QueueCap,
+		Tracer:          it.Tracer,
+		rec:             rec,
 		img:             it.img,
 		pool:            pool,
 		parWorker:       true, // pops and waits from workers block
@@ -160,15 +165,32 @@ func (it *Interp) dispatch(args []uint64) (uint64, error) {
 	if nworkers < 0 || nworkers > maxDispatchFanout {
 		return 0, fmt.Errorf("interp: dispatch with unreasonable worker count %d", nworkers)
 	}
+	// Tracing: the dispatch span brackets the whole fan-out (either path)
+	// on the dispatching context's recorder, keyed by a run-unique
+	// sequence number so task spans group under their dispatch.
+	var seq int64
+	var dStart time.Time
+	it.initRecorder()
+	if it.rec != nil {
+		seq = it.img.dispatchSeq.Add(1)
+		dStart = it.rec.Clock()
+	}
 	if it.SeqDispatch || nworkers <= 1 || it.hooked() {
 		for w := int64(0); w < nworkers; w++ {
 			if _, err := it.Call(task, []uint64{args[1], uint64(w), args[2]}); err != nil {
 				return 0, fmt.Errorf("interp: dispatch worker %d: %w", w, err)
 			}
 		}
+		if it.rec != nil {
+			it.rec.Record(obs.SpanDispatch, seq, dStart)
+		}
 		return 0, nil
 	}
-	return it.dispatchParallel(task, args[1], nworkers)
+	_, err := it.dispatchParallel(task, args[1], nworkers, seq)
+	if it.rec != nil {
+		it.rec.Record(obs.SpanDispatch, seq, dStart)
+	}
+	return 0, err
 }
 
 // dispatchParallel runs the task's worker invocations across a bounded
@@ -178,8 +200,9 @@ func (it *Interp) dispatch(args []uint64) (uint64, error) {
 // concurrency cap, not the fan-out. All workers run to completion (the
 // shared step pool bounds total work by the unspent budget) even when one
 // fails; aggregation and error selection happen after the barrier, in
-// worker order, so runs are deterministic.
-func (it *Interp) dispatchParallel(task *ir.Function, envBits uint64, nworkers int64) (uint64, error) {
+// worker order, so runs are deterministic. seq is the dispatch's trace
+// sequence number (0 when tracing is off).
+func (it *Interp) dispatchParallel(task *ir.Function, envBits uint64, nworkers, seq int64) (uint64, error) {
 	workers := make([]*Interp, nworkers)
 	errs := make([]error, nworkers)
 	pool := it.pool
@@ -203,20 +226,47 @@ func (it *Interp) dispatchParallel(task *ir.Function, envBits uint64, nworkers i
 	// live because the runtime's protocol flows from lower to higher
 	// worker indices and claims are handed out in worker order.
 	pushBlocks := par >= nworkers
+	// Tracing and stats are per lane (goroutine slot), not per worker
+	// index: a HELIX dispatch fans 64k worker invocations over a handful
+	// of lanes, and the lane is the unit that owns a goroutine — which
+	// also makes the recorder single-writer, hence lock-free. Task spans
+	// carry the worker index as their arg. Lane stats are collected even
+	// untraced (a few field writes per claimed worker, nowhere near the
+	// instruction hot path) so per-worker skew is always reportable.
+	seqNo := seq
+	if seqNo == 0 {
+		seqNo = it.img.dispatchSeq.Add(1)
+	}
+	laneStats := make([]WorkerStat, par)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for g := int64(0); g < par; g++ {
 		wg.Add(1)
-		go func() {
+		go func(g int64) {
 			defer wg.Done()
+			var rec *obs.Recorder
+			if it.rec != nil {
+				rec = it.Tracer.NewRecorder(int(seqNo), int(g), fmt.Sprintf("d%d.w%d", seqNo, g))
+			}
+			laneStats[g] = WorkerStat{Dispatch: int(seqNo), Lane: int(g)}
 			for {
 				w := next.Add(1) - 1
 				if w >= nworkers {
 					return
 				}
-				wk := it.fork(pool, pushBlocks)
+				wk := it.fork(pool, pushBlocks, rec)
 				workers[w] = wk
+				var tStart time.Time
+				if rec != nil {
+					tStart = rec.Clock()
+				}
 				_, errs[w] = wk.Call(task, []uint64{envBits, uint64(w), uint64(nworkers)})
+				if rec != nil {
+					rec.Record(obs.SpanTask, w, tStart)
+				}
+				laneStats[g].Claims++
+				laneStats[g].Steps += wk.Steps
+				laneStats[g].Cycles += wk.Cycles
 				if unused := wk.MaxSteps - wk.Steps; wk.MaxSteps > 0 && unused > 0 {
 					pool.remaining.Add(unused) // return the stranded grant
 				}
@@ -228,9 +278,16 @@ func (it *Interp) dispatchParallel(task *ir.Function, envBits uint64, nworkers i
 					it.img.comm.Abort(errs[w])
 				}
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
+	claimed := laneStats[:0:0]
+	for _, st := range laneStats {
+		if st.Claims > 0 {
+			claimed = append(claimed, st)
+		}
+	}
+	it.img.recordWorkerStats(claimed)
 	for _, wk := range workers {
 		it.absorb(wk)
 	}

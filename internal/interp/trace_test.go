@@ -1,0 +1,171 @@
+package interp_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"noelle/internal/interp"
+	"noelle/internal/obs"
+)
+
+// TestTracedRunMatchesUntraced is the observer-effect contract: attaching
+// a tracer must not change a parallel run's results — output, memory,
+// and counters stay identical — while the trace itself accounts for the
+// run's communication (500 pushes and 500 pops of the pipeline module).
+func TestTracedRunMatchesUntraced(t *testing.T) {
+	plain := interp.New(parse(t, pipelineSrc))
+	if _, err := plain.Run(); err != nil {
+		t.Fatalf("untraced run: %v", err)
+	}
+
+	traced := interp.New(parse(t, pipelineSrc))
+	traced.Tracer = obs.NewTracer()
+	if _, err := traced.Run(); err != nil {
+		t.Fatalf("traced run: %v", err)
+	}
+
+	if plain.Output.String() != traced.Output.String() {
+		t.Errorf("output diverged: %q vs %q", plain.Output.String(), traced.Output.String())
+	}
+	if plain.MemoryFingerprint() != traced.MemoryFingerprint() {
+		t.Error("memory fingerprints diverged under tracing")
+	}
+	if plain.Steps != traced.Steps || plain.Cycles != traced.Cycles {
+		t.Errorf("counters diverged: untraced (%d, %d), traced (%d, %d)",
+			plain.Steps, plain.Cycles, traced.Steps, traced.Cycles)
+	}
+
+	var pushes, pops, tasks int64
+	for _, s := range traced.Tracer.Summaries() {
+		pushes += s.Kinds[obs.SpanQueuePush].Count
+		pops += s.Kinds[obs.SpanQueuePop].Count
+		tasks += s.Kinds[obs.SpanTask].Count
+	}
+	if pushes != 500 || pops != 500 {
+		t.Errorf("trace saw %d pushes / %d pops, want 500 each", pushes, pops)
+	}
+	if tasks != 2 {
+		t.Errorf("trace saw %d task spans, want 2", tasks)
+	}
+	if ds := traced.Tracer.DispatchSpans(); len(ds) != 1 {
+		t.Errorf("trace saw %d dispatches, want 1", len(ds))
+	}
+}
+
+// TestTracedWorkerStats checks the per-lane stat retention satellite:
+// a parallel dispatch records one row per claiming lane, the claims sum
+// to the fan-out, and the lanes' steps account for all worker execution
+// (root steps = total steps - worker steps; workers executed @task).
+func TestTracedWorkerStats(t *testing.T) {
+	it := interp.New(parse(t, pipelineSrc))
+	if _, err := it.Run(); err != nil {
+		t.Fatal(err)
+	}
+	stats := it.WorkerStats()
+	if len(stats) == 0 {
+		t.Fatal("parallel run retained no worker stats")
+	}
+	var claims int
+	var laneSteps int64
+	for _, st := range stats {
+		if st.Dispatch != 1 {
+			t.Errorf("stat has dispatch seq %d, want 1", st.Dispatch)
+		}
+		claims += st.Claims
+		laneSteps += st.Steps
+	}
+	if claims != 2 {
+		t.Errorf("lanes claimed %d workers, want 2", claims)
+	}
+	if laneSteps <= 0 || laneSteps >= it.Steps {
+		t.Errorf("lane steps %d out of range (run total %d)", laneSteps, it.Steps)
+	}
+}
+
+// TestTracedParkStats: with a capacity-1 queue and 500 values crossing
+// it, at least one side of the pipeline must actually park, and the
+// parked time must be observable in the runtime's blocking profile.
+func TestTracedParkStats(t *testing.T) {
+	it := interp.New(parse(t, pipelineSrc))
+	it.QueueCap = 1
+	// Both stages must be resident for backpressure to exist (on a
+	// single-core box the default lane cap would serialize them).
+	it.DispatchWorkers = 2
+	if _, err := it.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ps := it.ParkStats()
+	if ps.PushParks+ps.PopParks == 0 {
+		t.Errorf("no parks recorded over a capacity-1 queue: %+v", ps)
+	}
+	if ps.PushParkNS+ps.PopParkNS <= 0 && ps.PushParks+ps.PopParks > 0 {
+		t.Errorf("parks recorded but no park time: %+v", ps)
+	}
+}
+
+// TestTracedChromeExport drives a real traced run end to end into the
+// Chrome exporter and checks the structural contract on live data.
+func TestTracedChromeExport(t *testing.T) {
+	it := interp.New(parse(t, pipelineSrc))
+	it.Tracer = obs.NewTracer()
+	it.Tracer.SpanThreshold = 0 // keep every span: stress the exporter
+	if _, err := it.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, obs.TraceLeg{Name: "pipeline", Tracer: it.Tracer}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string   `json:"ph"`
+			Pid int      `json:"pid"`
+			Tid int      `json:"tid"`
+			Ts  *float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	last := map[int]float64{}
+	spans := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		spans++
+		if ev.Ts == nil || *ev.Ts < 0 {
+			t.Fatalf("bad event: %+v", ev)
+		}
+		if *ev.Ts < last[ev.Tid] {
+			t.Fatalf("timestamps regress on tid %d", ev.Tid)
+		}
+		last[ev.Tid] = *ev.Ts
+	}
+	// 500 pushes + 500 pops + 2 tasks + 1 dispatch at threshold 0.
+	if spans < 1003 {
+		t.Errorf("exported %d spans, want >= 1003", spans)
+	}
+}
+
+// TestTracedConcurrentDispatchStress hammers the tracer from concurrent
+// dispatch lanes (run under -race in CI): repeated traced runs of both
+// communication-heavy modules, sharing nothing but the obs package.
+func TestTracedConcurrentDispatchStress(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		it := interp.New(parse(t, pipelineSrc))
+		it.Tracer = obs.NewTracer()
+		if _, err := it.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got := it.Output.String(); got != "374250\n" {
+			t.Fatalf("iteration %d: output %q", i, got)
+		}
+		reg := obs.NewRegistry()
+		it.Tracer.MergeInto(reg)
+		if reg.Counter("trace.lanes") < 2 {
+			t.Fatalf("iteration %d: fewer than 2 traced lanes", i)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TraceLeg pairs one tracer with the process name it should appear under
+// in the exported timeline. Multi-leg exports (e.g. the pipeline study's
+// dswp and helix runs) land in one file as separate processes.
+type TraceLeg struct {
+	Name   string
+	Tracer *Tracer
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (ph "X" = complete event, ph "M" = metadata). Timestamps and durations
+// are microseconds; fractional values keep the underlying nanosecond
+// precision.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   *float64       `json:"ts,omitempty"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the legs as one chrome://tracing- and
+// Perfetto-loadable JSON document: each leg is a process, each recorder
+// (lane) a named thread, and every kept span a complete event whose
+// width is the interval's duration — so a worker's queue-blocked time is
+// directly visible as wide queue_push/queue_pop/signal_wait slices.
+// Call only after the traced runs have completed.
+func WriteChromeTrace(w io.Writer, legs ...TraceLeg) error {
+	doc := chromeDoc{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for i, leg := range legs {
+		pid := i + 1
+		name := leg.Name
+		if name == "" {
+			name = fmt.Sprintf("trace-%d", pid)
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": name},
+		})
+		for _, rec := range leg.Tracer.recorders() {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: rec.tid,
+				Args: map[string]any{"name": rec.Label},
+			})
+			// Recorders append spans at close time, so an enclosing span
+			// (a task around its queue ops) lands after its children; the
+			// timeline wants start order, which also gives Chrome the
+			// parent-before-child nesting order it expects.
+			spans := append([]Span(nil), rec.spans...)
+			sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+			for _, s := range spans {
+				ts, dur := usOf(s.Start), usOf(s.Dur)
+				doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+					Name: spanName(s), Ph: "X", Pid: pid, Tid: rec.tid,
+					Ts: &ts, Dur: &dur,
+					Args: map[string]any{"arg": s.Arg},
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+func usOf(ns int64) float64 { return float64(ns) / 1000 }
+
+func spanName(s Span) string {
+	switch s.Kind {
+	case SpanDispatch:
+		return fmt.Sprintf("dispatch #%d", s.Arg)
+	case SpanTask:
+		return fmt.Sprintf("task w%d", s.Arg)
+	case SpanQueuePush:
+		return fmt.Sprintf("queue_push q%d", s.Arg)
+	case SpanQueuePop:
+		return fmt.Sprintf("queue_pop q%d", s.Arg)
+	case SpanSignalWait:
+		return fmt.Sprintf("signal_wait s%d", s.Arg)
+	}
+	return s.Kind.String()
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry is the metrics sink: named counters, gauges, and log-scale
+// duration histograms. It is synchronized — registries are fed at
+// aggregation points (post-run merges, barrier crossings), never from
+// the interpreter's hot path — and rendered as a sorted text dump
+// (noelle-load/noelle-bin -metrics).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]int64
+	hists    map[string]*Hist
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]int64{},
+		gauges:   map[string]int64{},
+		hists:    map[string]*Hist{},
+	}
+}
+
+// Count adds delta to the named counter.
+func (r *Registry) Count(name string, delta int64) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Gauge sets the named gauge to v (last write wins).
+func (r *Registry) Gauge(name string, v int64) {
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Observe folds one duration into the named histogram.
+func (r *Registry) Observe(name string, d time.Duration) {
+	r.mu.Lock()
+	r.hist(name).Observe(d.Nanoseconds())
+	r.mu.Unlock()
+}
+
+// ObserveHist merges a whole histogram into the named histogram.
+func (r *Registry) ObserveHist(name string, h *Hist) {
+	r.mu.Lock()
+	r.hist(name).Merge(h)
+	r.mu.Unlock()
+}
+
+func (r *Registry) hist(name string) *Hist {
+	h := r.hists[name]
+	if h == nil {
+		h = &Hist{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter returns the named counter's current value.
+func (r *Registry) Counter(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Histogram returns a copy of the named histogram (zero-valued when the
+// name was never observed).
+func (r *Registry) Histogram(name string) Hist {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h := r.hists[name]; h != nil {
+		return *h
+	}
+	return Hist{}
+}
+
+// Format renders the registry as sorted text: counters and gauges as
+// name=value lines, histograms as count/total/mean/p50/p95/p99/max
+// lines (quantiles are log2-bucket upper bounds).
+func (r *Registry) Format() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	for _, name := range sortedKeys(r.counters) {
+		fmt.Fprintf(&b, "%s %d\n", name, r.counters[name])
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		fmt.Fprintf(&b, "%s %d\n", name, r.gauges[name])
+	}
+	names := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := r.hists[name]
+		fmt.Fprintf(&b, "%s count=%d total=%s mean=%s p50=%s p95=%s p99=%s max=%s\n",
+			name, h.Count,
+			fmtNS(h.TotalNS), fmtNS(h.MeanNS()),
+			fmtNS(h.Quantile(0.50)), fmtNS(h.Quantile(0.95)), fmtNS(h.Quantile(0.99)),
+			fmtNS(h.MaxNS))
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fmtNS(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

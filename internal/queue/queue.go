@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrAborted is returned by every operation after the runtime is torn
@@ -63,6 +64,35 @@ type Runtime struct {
 	waits   atomic.Int64
 	fires   atomic.Int64
 	creates atomic.Int64
+
+	// Park counters: how often (and for how long) operations actually
+	// entered a cond-wait. The clock is read only on the parking path —
+	// an operation that finds its condition already satisfied costs
+	// nothing extra — so these stay on even when span tracing is off.
+	pushParks  atomic.Int64
+	pushParkNS atomic.Int64
+	popParks   atomic.Int64
+	popParkNS  atomic.Int64
+	waitParks  atomic.Int64
+	waitParkNS atomic.Int64
+}
+
+// ParkStats is the runtime's cumulative blocking profile: counts of
+// operations that parked on a cond var and the total nanoseconds they
+// spent parked, split by operation kind.
+type ParkStats struct {
+	PushParks, PushParkNS int64
+	PopParks, PopParkNS   int64
+	WaitParks, WaitParkNS int64
+}
+
+// ParkStats returns the cumulative blocking profile.
+func (rt *Runtime) ParkStats() ParkStats {
+	return ParkStats{
+		PushParks: rt.pushParks.Load(), PushParkNS: rt.pushParkNS.Load(),
+		PopParks: rt.popParks.Load(), PopParkNS: rt.popParkNS.Load(),
+		WaitParks: rt.waitParks.Load(), WaitParkNS: rt.waitParkNS.Load(),
+	}
 }
 
 // NewRuntime returns an empty runtime.
@@ -194,11 +224,18 @@ func (rt *Runtime) Push(id int64, v uint64, block bool) error {
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for block && q.n >= q.cap && !q.closed {
-		if err := rt.abortErr(); err != nil {
-			return err
+	if block && q.n >= q.cap && !q.closed {
+		// Entering the park path: the clock is read only here, so pushes
+		// that find room pay nothing for the instrumentation.
+		start := time.Now()
+		for q.n >= q.cap && !q.closed {
+			if err := rt.abortErr(); err != nil {
+				return err
+			}
+			q.notFull.Wait()
 		}
-		q.notFull.Wait()
+		rt.pushParks.Add(1)
+		rt.pushParkNS.Add(time.Since(start).Nanoseconds())
 	}
 	if err := rt.abortErr(); err != nil {
 		return err
@@ -223,11 +260,16 @@ func (rt *Runtime) Pop(id int64, block bool) (uint64, error) {
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for block && q.n == 0 && !q.closed {
-		if err := rt.abortErr(); err != nil {
-			return 0, err
+	if block && q.n == 0 && !q.closed {
+		start := time.Now()
+		for q.n == 0 && !q.closed {
+			if err := rt.abortErr(); err != nil {
+				return 0, err
+			}
+			q.notEmpty.Wait()
 		}
-		q.notEmpty.Wait()
+		rt.popParks.Add(1)
+		rt.popParkNS.Add(time.Since(start).Nanoseconds())
 	}
 	if err := rt.abortErr(); err != nil {
 		return 0, err
@@ -282,11 +324,16 @@ func (rt *Runtime) Wait(id, ticket int64, block bool) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for block && s.counter < ticket {
-		if err := rt.abortErr(); err != nil {
-			return err
+	if block && s.counter < ticket {
+		start := time.Now()
+		for s.counter < ticket {
+			if err := rt.abortErr(); err != nil {
+				return err
+			}
+			s.reached.Wait()
 		}
-		s.reached.Wait()
+		rt.waitParks.Add(1)
+		rt.waitParkNS.Add(time.Since(start).Nanoseconds())
 	}
 	if err := rt.abortErr(); err != nil {
 		return err

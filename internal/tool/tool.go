@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"noelle/internal/core"
+	"noelle/internal/obs"
 	"noelle/internal/verify"
 )
 
@@ -60,6 +61,12 @@ type Options struct {
 	// contracts), or "comm" (+ the concurrency-protocol linter over
 	// lowered parallel plans). See internal/verify.
 	VerifyTier string
+	// Tracer, when non-nil, is attached to every interpreter a tool runs
+	// the module under (noelle-load -trace/-metrics): the executions'
+	// dispatch/task/communication spans land in it for export or metric
+	// aggregation after the pipeline. Nil keeps the interpreter's traced
+	// paths on their zero-cost fast path.
+	Tracer *obs.Tracer
 }
 
 // DefaultOptions mirrors the historical noelle-load flag defaults.

@@ -1,0 +1,76 @@
+package toolio
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"noelle/internal/obs"
+)
+
+// StartProfiles enables the standard Go pprof outputs behind the
+// noelle-* -cpuprofile/-memprofile flags: an empty path disables that
+// profile. The returned stop function finishes both — it stops the CPU
+// profile and writes a GC-settled heap profile — and must be called
+// before the process exits (os.Exit skips deferred calls, so the CLIs
+// call it explicitly after their measured phase). Profile-write failures
+// at stop time are reported to stderr rather than returned: by then the
+// tool's real work has succeeded and its exit code should say so.
+func StartProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("%s: %w", cpuPath, err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "warning: closing cpu profile: %v\n", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "warning: mem profile: %v\n", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "warning: writing mem profile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "warning: closing mem profile: %v\n", err)
+			}
+		}
+	}, nil
+}
+
+// WriteTraceFile exports traced runs as one Chrome trace-event JSON file
+// (the noelle-* -trace flag). Legs whose tracer is nil or recorded
+// nothing are dropped; writing an empty timeline is still valid (the
+// flag was given but no dispatch ran).
+func WriteTraceFile(path string, legs ...obs.TraceLeg) error {
+	kept := legs[:0:0]
+	for _, leg := range legs {
+		if leg.Tracer != nil {
+			kept = append(kept, leg)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, kept...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

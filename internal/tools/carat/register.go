@@ -43,12 +43,28 @@ func (caratTool) Run(_ context.Context, n *core.Noelle, opts tool.Options) (tool
 		it := interp.New(n.Mod)
 		it.SeqDispatch = opts.SeqDispatch
 		it.DispatchWorkers = opts.DispatchWorkers
+		it.Tracer = opts.Tracer
 		if _, err := it.Run(); err != nil {
 			rep.Detail = append(rep.Detail, fmt.Sprintf("guard validation run failed: %v", err))
 			rep.Metrics["guard_run_failed"] = 1
 		} else {
 			rep.Metrics["guard_calls"] = it.GuardCalls
 			rep.Metrics["guard_failures"] = it.GuardFailures
+			// Per-lane execution stats make worker skew visible without
+			// tracing: the aggregate Steps/Cycles alone can hide one lane
+			// doing all the work. Bounded so a dispatch-per-iteration
+			// module cannot flood the report.
+			const maxWorkerLines = 32
+			stats := it.WorkerStats()
+			for i, ws := range stats {
+				if i == maxWorkerLines {
+					rep.Detail = append(rep.Detail, fmt.Sprintf("worker stats: ... %d more lanes", len(stats)-i))
+					break
+				}
+				rep.Detail = append(rep.Detail, fmt.Sprintf(
+					"worker d%d.w%d: claims=%d steps=%d cycles=%d",
+					ws.Dispatch, ws.Lane, ws.Claims, ws.Steps, ws.Cycles))
+			}
 		}
 	}
 	return rep, nil

@@ -7,7 +7,9 @@
 // races each lowered module's parallel dispatch against its -seq
 // fallback. The artifact records, per benchmark, whether the
 // orchestrator's measured speedup kept up with the best single
-// technique, and which technique it chose per loop.
+// technique, and which technique it chose per loop. Rows that lowered
+// loops carry an attribution block from a separate traced run
+// (internal/obs) decomposing where the seq-vs-par wall-clock gap went.
 //
 // Usage: go run ./scripts/benchauto [-cores 4] [-size 0]
 //
@@ -19,7 +21,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"noelle/internal/eval"
@@ -27,13 +28,14 @@ import (
 
 // Row is one leg's measurement.
 type Row struct {
-	Technique string   `json:"technique"`
-	Loops     int      `json:"loops"`
-	Chosen    []string `json:"chosen,omitempty"` // auto leg: fn/header=technique
-	SeqMS     float64  `json:"seq_ms"`
-	ParMS     float64  `json:"par_ms"`
-	Speedup   float64  `json:"speedup"`
-	Identical bool     `json:"identical"` // output bytes AND memory fingerprint
+	Technique string            `json:"technique"`
+	Loops     int               `json:"loops"`
+	Chosen    []string          `json:"chosen,omitempty"` // auto leg: fn/header=technique
+	SeqMS     float64           `json:"seq_ms"`
+	ParMS     float64           `json:"par_ms"`
+	Speedup   float64           `json:"speedup"`
+	Identical bool              `json:"identical"` // output bytes AND memory fingerprint
+	Attrib    *eval.Attribution `json:"attribution,omitempty"`
 }
 
 // BenchmarkResult groups one benchmark's legs with the headline
@@ -57,16 +59,15 @@ type BenchmarkResult struct {
 // On a multicore machine the techniques separate far beyond this band
 // (the selection effect is the point); the margin only absorbs run-to-
 // run jitter, mirroring how CI treats the repo's other wall-clock bars.
+// It is also recorded in the artifact's meta block for benchcompare.
 const noiseMargin = 0.95
 
 // Artifact is the written JSON document.
 type Artifact struct {
-	Size        int               `json:"size"`
-	Cores       int               `json:"cores"`
-	CPUs        int               `json:"cpus"`
-	GOMAXPROCS  int               `json:"gomaxprocs"`
-	Benchmarks  []BenchmarkResult `json:"benchmarks"`
-	GeneratedBy string            `json:"generated_by"`
+	Size       int               `json:"size"`
+	Cores      int               `json:"cores"`
+	Meta       eval.BenchMeta    `json:"meta"`
+	Benchmarks []BenchmarkResult `json:"benchmarks"`
 }
 
 func main() {
@@ -89,11 +90,9 @@ func run(cores, size, queueCap int, out string) error {
 	}
 
 	art := Artifact{
-		Size:        size,
-		Cores:       cores,
-		CPUs:        runtime.NumCPU(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		GeneratedBy: "make bench-auto",
+		Size:  size,
+		Cores: cores,
+		Meta:  eval.NewBenchMeta("make bench-auto", noiseMargin),
 	}
 	if art.Size == 0 {
 		art.Size = 65536
@@ -112,6 +111,7 @@ func run(cores, size, queueCap int, out string) error {
 				ParMS:     float64(r.ParWall.Microseconds()) / 1000,
 				Speedup:   r.Measured,
 				Identical: r.Identical,
+				Attrib:    r.Attrib,
 			})
 			fmt.Fprintf(os.Stderr, "%s %s loops=%d seq=%v par=%v measured=%.2fx identical=%v\n",
 				bm, r.Technique, r.Loops, r.SeqWall.Round(time.Millisecond),

@@ -1,0 +1,180 @@
+// benchcompare diffs two BENCH_*.json artifacts (old vs new) produced by
+// the bench scripts: it refuses to compare artifacts whose schema
+// versions differ, pairs up rows by their identifying fields (technique,
+// workers, benchmark), and flags any speedup that dropped below the old
+// value times the artifact's noise margin as a regression. Exit status 1
+// means at least one regression — wire it between two bench runs to turn
+// the artifacts into a perf gate:
+//
+//	go run ./scripts/benchcompare BENCH_pipeline.json /tmp/new.json
+//
+// Usage: go run ./scripts/benchcompare [-margin 0] old.json new.json
+// (-margin overrides the noise margin recorded in the new artifact).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+func main() {
+	margin := flag.Float64("margin", 0, "noise margin override (0 = use the new artifact's meta.noise_margin)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcompare [-margin 0.95] old.json new.json")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Arg(1), *margin); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+}
+
+func run(oldPath, newPath string, margin float64) error {
+	oldDoc, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := load(newPath)
+	if err != nil {
+		return err
+	}
+
+	oldMeta, newMeta := metaOf(oldDoc), metaOf(newDoc)
+	if os, ns := schemaOf(oldMeta), schemaOf(newMeta); os != ns {
+		return fmt.Errorf("schema mismatch: %s is v%d, %s is v%d — regenerate the older artifact first",
+			oldPath, os, newPath, ns)
+	}
+	if margin <= 0 {
+		margin = 0.95
+		if m, ok := newMeta["noise_margin"].(float64); ok && m > 0 {
+			margin = m
+		}
+	}
+	if oc, nc := commitOf(oldMeta), commitOf(newMeta); oc != "" && nc != "" && oc != nc {
+		fmt.Printf("comparing commits %s -> %s (margin %.2f)\n", oc, nc, margin)
+	} else {
+		fmt.Printf("comparing %s -> %s (margin %.2f)\n", oldPath, newPath, margin)
+	}
+
+	oldRows, newRows := map[string]float64{}, map[string]float64{}
+	collect(oldDoc, "", oldRows)
+	collect(newDoc, "", newRows)
+	if len(newRows) == 0 {
+		return fmt.Errorf("%s: no speedup fields found", newPath)
+	}
+
+	keys := make([]string, 0, len(newRows))
+	for k := range newRows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	regressions := 0
+	for _, k := range keys {
+		nv := newRows[k]
+		ov, ok := oldRows[k]
+		if !ok {
+			fmt.Printf("  NEW        %-40s %.3fx\n", k, nv)
+			continue
+		}
+		switch {
+		case nv < ov*margin:
+			regressions++
+			fmt.Printf("  REGRESSION %-40s %.3fx -> %.3fx (below %.3fx floor)\n", k, ov, nv, ov*margin)
+		case ov > 0 && nv > ov/margin:
+			fmt.Printf("  improved   %-40s %.3fx -> %.3fx\n", k, ov, nv)
+		default:
+			fmt.Printf("  ok         %-40s %.3fx -> %.3fx\n", k, ov, nv)
+		}
+	}
+	for k, ov := range oldRows {
+		if _, ok := newRows[k]; !ok {
+			fmt.Printf("  DROPPED    %-40s was %.3fx\n", k, ov)
+		}
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d speedup regression(s) beyond the noise margin", regressions)
+	}
+	fmt.Println("no regressions")
+	return nil
+}
+
+func load(path string) (map[string]any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+func metaOf(doc map[string]any) map[string]any {
+	if m, ok := doc["meta"].(map[string]any); ok {
+		return m
+	}
+	return map[string]any{}
+}
+
+func schemaOf(meta map[string]any) int {
+	if v, ok := meta["schema"].(float64); ok {
+		return int(v)
+	}
+	return 0 // pre-meta artifacts (schema 1 had no meta block)
+}
+
+func commitOf(meta map[string]any) string {
+	s, _ := meta["git_commit"].(string)
+	return s
+}
+
+// collect walks the document and records every "speedup"-like field
+// under a path built from the identifying fields of the objects that
+// enclose it (benchmark name, technique, worker count), so rows pair up
+// across artifacts regardless of array order.
+func collect(v any, path string, out map[string]float64) {
+	switch t := v.(type) {
+	case map[string]any:
+		p := path
+		for _, idk := range [...]string{"benchmark", "technique"} {
+			if s, ok := t[idk].(string); ok && s != "" {
+				p = join(p, s)
+			}
+		}
+		if w, ok := t["workers"].(float64); ok {
+			p = join(p, fmt.Sprintf("workers=%d", int(w)))
+		}
+		for _, sk := range [...]string{"speedup", "auto_speedup", "best_single_speedup"} {
+			if f, ok := t[sk].(float64); ok {
+				key := p
+				if sk != "speedup" {
+					key = join(p, sk)
+				}
+				out[key] = f
+			}
+		}
+		for k, c := range t {
+			if k == "attribution" {
+				continue // traced-run internals, not a perf bar
+			}
+			collect(c, p, out)
+		}
+	case []any:
+		for _, c := range t {
+			collect(c, path, out)
+		}
+	}
+}
+
+func join(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "/" + b
+}

@@ -4,7 +4,9 @@
 // the same harness behind `noelle-eval -only wallclock` — which
 // DOALL-transforms the bundled parallel benchmark and races
 // noelle_dispatch's parallel backend against the -seq fallback, checking
-// byte-identical output and memory fingerprints along the way.
+// byte-identical output and memory fingerprints along the way. Each row
+// carries an attribution block from a separate traced run (internal/obs)
+// decomposing where the seq-vs-par wall-clock gap went.
 //
 // Usage: go run ./scripts/benchparallel [-workers 4] [-size 0]
 //
@@ -16,7 +18,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"noelle/internal/eval"
@@ -24,22 +25,21 @@ import (
 
 // Row is one worker count's measurement.
 type Row struct {
-	Workers   int     `json:"workers"`
-	Modeled   float64 `json:"modeled_speedup"`
-	SeqMS     float64 `json:"seq_ms"`
-	ParMS     float64 `json:"par_ms"`
-	Speedup   float64 `json:"speedup"`
-	Identical bool    `json:"identical"` // output bytes AND memory fingerprint
+	Workers   int               `json:"workers"`
+	Modeled   float64           `json:"modeled_speedup"`
+	SeqMS     float64           `json:"seq_ms"`
+	ParMS     float64           `json:"par_ms"`
+	Speedup   float64           `json:"speedup"`
+	Identical bool              `json:"identical"` // output bytes AND memory fingerprint
+	Attrib    *eval.Attribution `json:"attribution,omitempty"`
 }
 
 // Artifact is the written JSON document.
 type Artifact struct {
-	Benchmark   string `json:"benchmark"`
-	Size        int    `json:"size"`
-	CPUs        int    `json:"cpus"`
-	GOMAXPROCS  int    `json:"gomaxprocs"`
-	Rows        []Row  `json:"rows"`
-	GeneratedBy string `json:"generated_by"`
+	Benchmark string         `json:"benchmark"`
+	Size      int            `json:"size"`
+	Meta      eval.BenchMeta `json:"meta"`
+	Rows      []Row          `json:"rows"`
 }
 
 func main() {
@@ -66,11 +66,9 @@ func run(topWorkers, size int, out string) error {
 	}
 
 	art := Artifact{
-		Benchmark:   "bench.ParallelProgram",
-		Size:        size,
-		CPUs:        runtime.NumCPU(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		GeneratedBy: "make bench-parallel",
+		Benchmark: "bench.ParallelProgram",
+		Size:      size,
+		Meta:      eval.NewBenchMeta("make bench-parallel", 0.95),
 	}
 	if art.Size == 0 {
 		art.Size = 65536
@@ -83,10 +81,15 @@ func run(topWorkers, size int, out string) error {
 			ParMS:     float64(r.ParWall.Microseconds()) / 1000,
 			Speedup:   r.Measured,
 			Identical: r.Identical,
+			Attrib:    r.Attrib,
 		})
 		fmt.Fprintf(os.Stderr, "workers=%d modeled=%.2fx seq=%v par=%v measured=%.2fx identical=%v\n",
 			r.Workers, r.Modeled, r.SeqWall.Round(time.Millisecond), r.ParWall.Round(time.Millisecond),
 			r.Measured, r.Identical)
+		if a := r.Attrib; a != nil {
+			fmt.Fprintf(os.Stderr, "  gap=%.0fms blocked(crit)=%.0fms overhead=%.0fms trace-tax~%.0fms -> %.0f%% attributed\n",
+				a.GapMS, a.BlockedCritMS, a.OverheadMS, a.TraceTaxMS, 100*a.AttributedFrac)
+		}
 	}
 
 	data, err := json.MarshalIndent(art, "", "  ")

@@ -9,9 +9,14 @@
 // along the way. Modeled columns come from SimulateDSWP (on the
 // queue-calibrated machine config) and SimulateHELIX.
 //
+// Each row carries an attribution block from a separate traced run
+// (internal/obs): the blocked-vs-running decomposition that explains
+// where the seq-vs-par wall-clock gap went. -trace additionally exports
+// those traced runs as one Chrome trace-event JSON timeline.
+//
 // Usage: go run ./scripts/benchpipeline [-cores 4] [-size 0]
 //
-//	[-queue-cap 0] [-o BENCH_pipeline.json]
+//	[-queue-cap 0] [-trace trace.json] [-o BENCH_pipeline.json]
 package main
 
 import (
@@ -19,64 +24,63 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"noelle/internal/eval"
+	"noelle/internal/obs"
 )
 
 // Row is one technique's measurement.
 type Row struct {
-	Technique string  `json:"technique"`
-	Cores     int     `json:"cores"`
-	Parts     int     `json:"parts"` // DSWP stages / HELIX sequential segments
-	Modeled   float64 `json:"modeled_speedup"`
-	SeqMS     float64 `json:"seq_ms"`
-	ParMS     float64 `json:"par_ms"`
-	Speedup   float64 `json:"speedup"`
-	CommOps   int64   `json:"comm_ops"`
-	Identical bool    `json:"identical"` // output bytes AND memory fingerprint
+	Technique string            `json:"technique"`
+	Cores     int               `json:"cores"`
+	Parts     int               `json:"parts"` // DSWP stages / HELIX sequential segments
+	Modeled   float64           `json:"modeled_speedup"`
+	SeqMS     float64           `json:"seq_ms"`
+	ParMS     float64           `json:"par_ms"`
+	Speedup   float64           `json:"speedup"`
+	CommOps   int64             `json:"comm_ops"`
+	Identical bool              `json:"identical"` // output bytes AND memory fingerprint
+	Attrib    *eval.Attribution `json:"attribution,omitempty"`
 }
 
 // Artifact is the written JSON document.
 type Artifact struct {
-	Benchmark   string `json:"benchmark"`
-	Size        int    `json:"size"`
-	CPUs        int    `json:"cpus"`
-	GOMAXPROCS  int    `json:"gomaxprocs"`
-	Rows        []Row  `json:"rows"`
-	GeneratedBy string `json:"generated_by"`
+	Benchmark string         `json:"benchmark"`
+	Size      int            `json:"size"`
+	Meta      eval.BenchMeta `json:"meta"`
+	Rows      []Row          `json:"rows"`
 }
 
 func main() {
 	cores := flag.Int("cores", 4, "core count for the pipeline plans and the dispatch cap")
 	size := flag.Int("size", 0, "iteration count per loop (0 = bundled default)")
 	queueCap := flag.Int("queue-cap", 0, "communication queue capacity (0 = default)")
+	trace := flag.String("trace", "", "also export the attribution runs as a Chrome trace-event JSON file")
 	out := flag.String("o", "BENCH_pipeline.json", "output JSON path")
 	flag.Parse()
 
-	if err := run(*cores, *size, *queueCap, *out); err != nil {
+	if err := run(*cores, *size, *queueCap, *trace, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchpipeline:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cores, size, queueCap int, out string) error {
+func run(cores, size, queueCap int, trace, out string) error {
 	rows, err := eval.PipelineWallClockStudy(size, cores, 0, queueCap, false)
 	if err != nil {
 		return err
 	}
 
 	art := Artifact{
-		Benchmark:   "bench.PipelineProgram",
-		Size:        size,
-		CPUs:        runtime.NumCPU(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		GeneratedBy: "make bench-pipeline",
+		Benchmark: "bench.PipelineProgram",
+		Size:      size,
+		Meta:      eval.NewBenchMeta("make bench-pipeline", 0.95),
 	}
 	if art.Size == 0 {
 		art.Size = 65536
 	}
+	var legs []obs.TraceLeg
 	for _, r := range rows {
 		art.Rows = append(art.Rows, Row{
 			Technique: r.Technique,
@@ -88,16 +92,39 @@ func run(cores, size, queueCap int, out string) error {
 			Speedup:   r.Measured,
 			CommOps:   r.QueueOps,
 			Identical: r.Identical,
+			Attrib:    r.Attrib,
 		})
 		fmt.Fprintf(os.Stderr, "%s cores=%d parts=%d modeled=%.2fx seq=%v par=%v measured=%.2fx comm=%d identical=%v\n",
 			r.Technique, r.Cores, r.Parts, r.Modeled, r.SeqWall.Round(time.Millisecond),
 			r.ParWall.Round(time.Millisecond), r.Measured, r.QueueOps, r.Identical)
+		if a := r.Attrib; a != nil {
+			fmt.Fprintf(os.Stderr, "  gap=%.0fms blocked(crit)=%.0fms overhead=%.0fms trace-tax~%.0fms -> %.0f%% attributed\n",
+				a.GapMS, a.BlockedCritMS, a.OverheadMS, a.TraceTaxMS, 100*a.AttributedFrac)
+		}
+		if r.Trace != nil {
+			legs = append(legs, obs.TraceLeg{Name: r.Technique, Tracer: r.Trace})
+		}
 		if !r.Identical {
 			// The artifact doubles as CI's equivalence guard: a parallel
 			// leg that diverges from -seq must fail the build, not just
 			// flip a JSON field.
 			return fmt.Errorf("%s: parallel output diverged from the sequential fallback", r.Technique)
 		}
+	}
+
+	if trace != "" && len(legs) > 0 {
+		f, err := os.Create(trace)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(f, legs...); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace: wrote %s (%d legs)\n", trace, len(legs))
 	}
 
 	data, err := json.MarshalIndent(art, "", "  ")
