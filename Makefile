@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-cache bench-parallel bench-pipeline bench-auto cache-smoke check-docs example-smoke trace-smoke
+.PHONY: build test vet lint race tier-diff bench bench-cache bench-parallel bench-pipeline bench-auto cache-smoke check-docs example-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,20 @@ lint:
 # assertion is skipped — -race skews wall-clock ratios).
 race:
 	NOELLE_SKIP_SPEEDUP_TEST=1 $(GO) test -race ./...
+
+# Execution-tier differential: the interpreter, communication-runtime,
+# and evaluation suites (dispatch, queue/signal pipelines, wall-clock
+# studies) must pass with either engine forced process-wide, under
+# -race — the walker is the reference oracle, and the compiled tier has
+# to be behaviourally indistinguishable from it even when every test in
+# those suites runs on it. The final non-race run enforces the compiled
+# tier's >= 2x wall-clock bar over the walker on bench.WholeProgram
+# (TestCompiledTierSpeedup; its noise margin is documented at the
+# assertion) plus the byte-identical corpus/pipeline agreement suite.
+tier-diff:
+	NOELLE_ENGINE=walker NOELLE_SKIP_SPEEDUP_TEST=1 $(GO) test -race ./internal/interp/... ./internal/queue/... ./internal/eval/
+	NOELLE_ENGINE=compiled NOELLE_SKIP_SPEEDUP_TEST=1 $(GO) test -race ./internal/interp/... ./internal/queue/... ./internal/eval/
+	$(GO) test -run 'TestTiersAgree|TestCompiledTierSpeedup' -v ./internal/interp/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .

@@ -14,10 +14,14 @@
 // identical at any capacity). -trace exports the run's
 // dispatch/task/communication spans as a Chrome trace-event JSON
 // timeline, and -metrics prints the aggregated span histograms.
+// -engine selects the interpreter execution tier: "compiled" (the
+// default fast path: functions lowered once to pre-bound ops) or
+// "walker" (the instruction-walking reference; both tiers produce
+// byte-identical output and counters).
 //
-// Usage: noelle-bin [-seq] [-workers N] [-queue-cap N] [-trace out.json]
+// Usage: noelle-bin [-seq] [-workers N] [-queue-cap N] [-engine walker|compiled]
 //
-//	[-metrics] [-emit out.nir] whole.nir
+//	[-trace out.json] [-metrics] [-emit out.nir] whole.nir
 package main
 
 import (
@@ -36,12 +40,17 @@ func main() {
 	seq := flag.Bool("seq", false, "run dispatched tasks sequentially (debugging fallback)")
 	workers := flag.Int("workers", 0, "cap on simultaneously-running dispatch workers (0 = GOMAXPROCS)")
 	queueCap := flag.Int("queue-cap", 0, "override the capacity of the module's communication queues (0 = respect the module)")
+	engine := flag.String("engine", "", "interpreter execution tier: walker|compiled (default: process default, see NOELLE_ENGINE)")
 	trace := flag.String("trace", "", "export the run as a Chrome trace-event JSON timeline (chrome://tracing, Perfetto)")
 	metrics := flag.Bool("metrics", false, "print the run's span metrics (counts, totals, p50/p95/p99) to stderr")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: noelle-bin [-seq] [-workers N] [-queue-cap N] [-trace out.json] [-metrics] [-emit out.nir] whole.nir")
+		fmt.Fprintln(os.Stderr, "usage: noelle-bin [-seq] [-workers N] [-queue-cap N] [-engine walker|compiled] [-trace out.json] [-metrics] [-emit out.nir] whole.nir")
 		os.Exit(2)
+	}
+	eng, err := interp.ParseEngine(*engine)
+	if err != nil {
+		toolio.Fatal(err)
 	}
 	m, err := toolio.ReadModule(flag.Arg(0))
 	if err != nil {
@@ -63,6 +72,7 @@ func main() {
 	it.SeqDispatch = *seq
 	it.DispatchWorkers = *workers
 	it.QueueCap = *queueCap
+	it.Eng = eng
 	if *trace != "" || *metrics {
 		it.Tracer = obs.NewTracer()
 	}
@@ -71,7 +81,7 @@ func main() {
 		toolio.Fatal(err)
 	}
 	fmt.Print(it.Output.String())
-	fmt.Fprintf(os.Stderr, "exit=%d cycles=%d steps=%d\n", code, it.Cycles, it.Steps)
+	fmt.Fprintf(os.Stderr, "exit=%d cycles=%d steps=%d engine=%s\n", code, it.Cycles, it.Steps, it.Engine())
 	// Per-lane stats surface worker skew the post-barrier merge hides.
 	// Bounded: a dispatch-per-iteration module would otherwise flood the
 	// footer (the full data is in -trace).

@@ -30,6 +30,7 @@ import (
 
 	"noelle/internal/bench"
 	"noelle/internal/eval"
+	"noelle/internal/interp"
 	"noelle/internal/obs"
 	"noelle/internal/toolio"
 )
@@ -41,10 +42,17 @@ func main() {
 	seq := flag.Bool("seq", false, "wallclock artifact: run the parallel legs sequentially too (debugging control)")
 	wallSize := flag.Int("wall-size", 0, "wallclock artifact: array length / iteration count per loop (0 = default)")
 	queueCap := flag.Int("queue-cap", 0, "wallclock artifact: bound on the pipeline communication queues (0 = default)")
+	engine := flag.String("engine", "", "interpreter execution tier for the measured studies: walker|compiled (default: process default, see NOELLE_ENGINE)")
 	trace := flag.String("trace", "", "wallclock/auto artifacts: export the attribution runs as a Chrome trace-event JSON timeline")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the evaluation to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (post-run, GC-settled) to this file")
 	flag.Parse()
+
+	eng, engErr := interp.ParseEngine(*engine)
+	if engErr != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", engErr)
+		os.Exit(2)
+	}
 
 	stopProfiles, perr := toolio.StartProfiles(*cpuprofile, *memprofile)
 	if perr != nil {
@@ -128,7 +136,7 @@ func main() {
 	// wallclock and auto are explicit-only: they are timing measurements,
 	// so they are not part of the default (deterministic) artifact sweep.
 	if *only == "auto" {
-		rows, err := eval.AutoStudy(*wallSize, *workers, 0, *queueCap, *seq)
+		rows, err := eval.AutoStudy(*wallSize, *workers, 0, *queueCap, *seq, eng)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "auto: error: %v\n", err)
 			os.Exit(1)
@@ -147,7 +155,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wallclock: -workers must be >= 1 (got %d)\n", *workers)
 			os.Exit(2)
 		}
-		rows, err := eval.WallClockStudy(*wallSize, counts, 0, *seq)
+		rows, err := eval.WallClockStudy(*wallSize, counts, 0, *seq, eng)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wallclock: error: %v\n", err)
 			os.Exit(1)
@@ -159,7 +167,7 @@ func main() {
 					Name: fmt.Sprintf("doall/workers=%d", r.Workers), Tracer: r.Trace})
 			}
 		}
-		prows, err := eval.PipelineWallClockStudy(*wallSize, *workers, 0, *queueCap, *seq)
+		prows, err := eval.PipelineWallClockStudy(*wallSize, *workers, 0, *queueCap, *seq, eng)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wallclock: pipeline error: %v\n", err)
 			os.Exit(1)

@@ -43,6 +43,10 @@ import (
 // measured speedup fell short of the ideal; the remainder is load
 // imbalance (run_crit beyond seq/eff_lanes) and measurement noise.
 type Attribution struct {
+	// Engine is the execution tier the traced run used. Tracing does not
+	// hook the interpreter, so the compiled tier stays selectable here;
+	// only the hook-based attribution paths force the walker.
+	Engine      string  `json:"engine,omitempty"`
 	TracedParMS float64 `json:"traced_par_ms"`
 	SeqMS       float64 `json:"seq_ms"`
 	// EffLanes is the maximum number of lanes that executed tasks
@@ -309,18 +313,21 @@ func stageBreakdowns(recs []*obs.Recorder) []StageBreakdown {
 // module and attributes its wall-clock against seqWall. It is a separate
 // run on purpose: the timing legs stay untraced, so the tracer's tax
 // never touches the reported speedups.
-func attributionRun(m *ir.Module, dispatchCap, queueCap int, seqWall time.Duration) (*Attribution, *obs.Tracer, error) {
+func attributionRun(m *ir.Module, dispatchCap, queueCap int, seqWall time.Duration, engine interp.Engine) (*Attribution, *obs.Tracer, error) {
 	tr := obs.NewTracer()
 	it := interp.New(m)
 	it.DispatchWorkers = dispatchCap
 	it.QueueCap = queueCap
+	it.Eng = engine
 	it.Tracer = tr
 	start := time.Now()
 	if _, err := it.Run(); err != nil {
 		return nil, nil, fmt.Errorf("attribution run: %w", err)
 	}
 	d := time.Since(start)
-	return AttributeTrace(tr, d, seqWall, it.ParkStats()), tr, nil
+	a := AttributeTrace(tr, d, seqWall, it.ParkStats())
+	a.Engine = string(it.Engine())
+	return a, tr, nil
 }
 
 // FormatAttribution renders the decomposition as indented detail lines

@@ -25,7 +25,10 @@ import (
 type AutoRow struct {
 	Benchmark string // "parallel" (DOALL-friendly) or "pipeline" (queue-bound)
 	Technique string // "doall", "dswp", "helix", or "auto"
-	Cores     int
+	// Engine is the interpreter execution tier both timing legs ran on
+	// ("walker" or "compiled").
+	Engine string
+	Cores  int
 	// Loops is how many loops this leg lowered (0 = module unchanged,
 	// measured speedup hovers around 1x).
 	Loops int
@@ -67,14 +70,14 @@ var autoBenchmarks = []struct {
 // the core count, keeping "cores" comparable across legs); queueCap
 // bounds generated queues; forceSeq turns the parallel legs into
 // sequential control runs.
-func AutoStudy(size, cores, dispatchCap, queueCap int, forceSeq bool) ([]AutoRow, error) {
+func AutoStudy(size, cores, dispatchCap, queueCap int, forceSeq bool, engine interp.Engine) ([]AutoRow, error) {
 	if dispatchCap <= 0 {
 		dispatchCap = cores
 	}
 	var rows []AutoRow
 	for _, bm := range autoBenchmarks {
 		for _, tech := range []string{"doall", "dswp", "helix", "auto"} {
-			row, err := autoRow(bm.Name, bm.Build, bm.Hotness, tech, size, cores, dispatchCap, queueCap, forceSeq)
+			row, err := autoRow(bm.Name, bm.Build, bm.Hotness, tech, size, cores, dispatchCap, queueCap, forceSeq, engine)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", bm.Name, tech, err)
 			}
@@ -84,7 +87,7 @@ func AutoStudy(size, cores, dispatchCap, queueCap int, forceSeq bool) ([]AutoRow
 	return rows, nil
 }
 
-func autoRow(bmName string, build func(int) (*ir.Module, error), hotness float64, tech string, size, cores, dispatchCap, queueCap int, forceSeq bool) (*AutoRow, error) {
+func autoRow(bmName string, build func(int) (*ir.Module, error), hotness float64, tech string, size, cores, dispatchCap, queueCap int, forceSeq bool, engine interp.Engine) (*AutoRow, error) {
 	row := &AutoRow{Benchmark: bmName, Technique: tech, Cores: cores}
 
 	m, err := build(size)
@@ -142,6 +145,7 @@ func autoRow(bmName string, build func(int) (*ir.Module, error), hotness float64
 			it := interp.New(m)
 			it.SeqDispatch = seqMode
 			it.DispatchWorkers = dispatchCap
+			it.Eng = engine
 			start := time.Now()
 			if _, err := it.Run(); err != nil {
 				return nil, 0, err
@@ -161,6 +165,7 @@ func autoRow(bmName string, build func(int) (*ir.Module, error), hotness float64
 	if err != nil {
 		return nil, err
 	}
+	row.Engine = string(parIt.Engine())
 	row.SeqWall, row.ParWall = seqD, parD
 	row.Measured = float64(seqD) / float64(parD)
 	row.Identical = seqIt.Output.String() == parIt.Output.String() &&
@@ -169,7 +174,7 @@ func autoRow(bmName string, build func(int) (*ir.Module, error), hotness float64
 	// Attribution pass: one extra traced run, separate from the timing
 	// legs so the tracer's per-op tax never skews the speedup columns.
 	if !forceSeq && row.Loops > 0 {
-		attrib, tr, err := attributionRun(m, dispatchCap, queueCap, seqD)
+		attrib, tr, err := attributionRun(m, dispatchCap, queueCap, seqD, engine)
 		if err != nil {
 			return nil, err
 		}

@@ -4,13 +4,16 @@ import (
 	"os/exec"
 	"runtime"
 	"strings"
+
+	"noelle/internal/interp"
 )
 
 // BenchSchemaVersion is the current layout version of the BENCH_*.json
 // artifacts. Bump it when a field changes meaning or moves, so
 // scripts/benchcompare can refuse to diff artifacts that do not speak
 // the same schema.
-const BenchSchemaVersion = 2
+// Version 3 added per-row and meta "engine" fields (execution tiers).
+const BenchSchemaVersion = 3
 
 // BenchMeta is the shared metadata block every BENCH_*.json artifact
 // embeds: enough provenance to judge whether two artifacts are
@@ -31,6 +34,10 @@ type BenchMeta struct {
 	// may drop to before it counts as a regression (e.g. 0.95 = 5% slack).
 	NoiseMargin float64 `json:"noise_margin"`
 	GeneratedBy string  `json:"generated_by"`
+	// Engine is the process-default interpreter execution tier at
+	// generation time. Individual rows may override it (artifacts with
+	// per-engine rows record each row's tier in its own "engine" field).
+	Engine string `json:"engine"`
 }
 
 // NewBenchMeta builds the metadata block for one artifact writer.
@@ -45,6 +52,7 @@ func NewBenchMeta(generatedBy string, noiseMargin float64) BenchMeta {
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		NoiseMargin: noiseMargin,
 		GeneratedBy: generatedBy,
+		Engine:      string(interp.DefaultEngine()),
 	}
 }
 

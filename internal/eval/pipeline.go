@@ -31,7 +31,10 @@ const pipelineHotness = 0.2
 // parallel interpreter runtime against its -seq fallback.
 type PipelineRow struct {
 	Technique string // "dswp" or "helix"
-	Cores     int
+	// Engine is the interpreter execution tier both timing legs ran on
+	// ("walker" or "compiled").
+	Engine string
+	Cores  int
 	// Parts is NumStages for DSWP, sequential segments for HELIX.
 	Parts    int
 	Modeled  float64
@@ -57,10 +60,10 @@ type PipelineRow struct {
 // dispatchCap bounds how many workers run simultaneously (0 means
 // GOMAXPROCS); queueCap bounds the generated queues (0 = default);
 // forceSeq turns the parallel leg into a sequential control run.
-func PipelineWallClockStudy(size, cores, dispatchCap, queueCap int, forceSeq bool) ([]PipelineRow, error) {
+func PipelineWallClockStudy(size, cores, dispatchCap, queueCap int, forceSeq bool, engine interp.Engine) ([]PipelineRow, error) {
 	var rows []PipelineRow
 	for _, tech := range []string{"dswp", "helix"} {
-		row, err := pipelineRow(tech, size, cores, dispatchCap, queueCap, forceSeq)
+		row, err := pipelineRow(tech, size, cores, dispatchCap, queueCap, forceSeq, engine)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", tech, err)
 		}
@@ -90,7 +93,7 @@ func pipelineManager(m *ir.Module, cores int) *core.Noelle {
 	return core.New(m, opts)
 }
 
-func pipelineRow(tech string, size, cores, dispatchCap, queueCap int, forceSeq bool) (*PipelineRow, error) {
+func pipelineRow(tech string, size, cores, dispatchCap, queueCap int, forceSeq bool, engine interp.Engine) (*PipelineRow, error) {
 	row := &PipelineRow{Technique: tech, Cores: cores}
 
 	// ---- modeled: simulate the plan over the unmodified module ----
@@ -171,6 +174,7 @@ func pipelineRow(tech string, size, cores, dispatchCap, queueCap int, forceSeq b
 			it := interp.New(tm)
 			it.SeqDispatch = seqMode
 			it.DispatchWorkers = workerCap
+			it.Eng = engine
 			start := time.Now()
 			if _, err := it.Run(); err != nil {
 				return nil, 0, err
@@ -190,6 +194,7 @@ func pipelineRow(tech string, size, cores, dispatchCap, queueCap int, forceSeq b
 	if err != nil {
 		return nil, err
 	}
+	row.Engine = string(parIt.Engine())
 	row.SeqWall, row.ParWall = seqD, parD
 	row.Measured = float64(seqD) / float64(parD)
 	row.Identical = seqIt.Output.String() == parIt.Output.String() &&
@@ -201,7 +206,7 @@ func pipelineRow(tech string, size, cores, dispatchCap, queueCap int, forceSeq b
 	// Attribution pass: one extra traced run, separate from the timing
 	// legs so the tracer's per-op tax never skews the speedup columns.
 	if !forceSeq {
-		attrib, tr, err := attributionRun(tm, workerCap, queueCap, seqD)
+		attrib, tr, err := attributionRun(tm, workerCap, queueCap, seqD, engine)
 		if err != nil {
 			return nil, err
 		}

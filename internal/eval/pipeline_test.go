@@ -14,7 +14,7 @@ import (
 // byte-identical to the sequential fallback, and real communication
 // traffic flowed.
 func TestPipelineWallClockStudySmoke(t *testing.T) {
-	rows, err := eval.PipelineWallClockStudy(2048, 2, 0, 0, false)
+	rows, err := eval.PipelineWallClockStudy(2048, 2, 0, 0, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestPipelineMeasuredSpeedup(t *testing.T) {
 	if runtime.NumCPU() < 4 {
 		t.Skipf("need >= 4 CPUs for the pipeline speedup bar, have %d", runtime.NumCPU())
 	}
-	rows, err := eval.PipelineWallClockStudy(0, 4, 0, 0, false)
+	rows, err := eval.PipelineWallClockStudy(0, 4, 0, 0, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,7 +22,11 @@ import (
 // measured column is real wall-clock of the DOALL-transformed module
 // under the parallel interpreter runtime against its -seq fallback.
 type WallRow struct {
-	Workers  int
+	Workers int
+	// Engine is the interpreter execution tier both timing legs ran on
+	// ("walker" or "compiled"); per-engine rows of one commit are what
+	// scripts/benchcompare -tiers diffs.
+	Engine   string
 	Modeled  float64
 	SeqWall  time.Duration
 	ParWall  time.Duration
@@ -58,7 +62,7 @@ func WorkerSweep(top int) []int {
 // GOMAXPROCS); forceSeq replaces the parallel leg with a second
 // sequential run (the -seq debugging control: measured speedups then
 // hover around 1x).
-func WallClockStudy(size int, workerCounts []int, dispatchCap int, forceSeq bool) ([]WallRow, error) {
+func WallClockStudy(size int, workerCounts []int, dispatchCap int, forceSeq bool, engine interp.Engine) ([]WallRow, error) {
 	// Compile and profile once: the program and its training profile are
 	// identical across worker counts; only the machine config and the
 	// baked-in transform cores vary per row.
@@ -75,7 +79,7 @@ func WallClockStudy(size int, workerCounts []int, dispatchCap int, forceSeq bool
 
 	var rows []WallRow
 	for _, workers := range workerCounts {
-		row, err := wallClockAt(m, totalSeq, size, workers, dispatchCap, forceSeq)
+		row, err := wallClockAt(m, totalSeq, size, workers, dispatchCap, forceSeq, engine)
 		if err != nil {
 			return nil, fmt.Errorf("workers=%d: %w", workers, err)
 		}
@@ -84,7 +88,7 @@ func WallClockStudy(size int, workerCounts []int, dispatchCap int, forceSeq bool
 	return rows, nil
 }
 
-func wallClockAt(m *ir.Module, totalSeq int64, size, workers, dispatchCap int, forceSeq bool) (*WallRow, error) {
+func wallClockAt(m *ir.Module, totalSeq int64, size, workers, dispatchCap int, forceSeq bool, engine interp.Engine) (*WallRow, error) {
 	row := &WallRow{Workers: workers}
 
 	// ---- modeled: simulate DOALL over the unmodified module ----
@@ -128,6 +132,7 @@ func wallClockAt(m *ir.Module, totalSeq int64, size, workers, dispatchCap int, f
 			it := interp.New(tm)
 			it.SeqDispatch = seqMode
 			it.DispatchWorkers = dispatchCap
+			it.Eng = engine
 			start := time.Now()
 			if _, err := it.Run(); err != nil {
 				return nil, 0, err
@@ -147,6 +152,7 @@ func wallClockAt(m *ir.Module, totalSeq int64, size, workers, dispatchCap int, f
 	if err != nil {
 		return nil, err
 	}
+	row.Engine = string(parIt.Engine())
 	row.SeqWall, row.ParWall = seqD, parD
 	row.Measured = float64(seqD) / float64(parD)
 	row.Identical = seqIt.Output.String() == parIt.Output.String() &&
@@ -155,7 +161,7 @@ func wallClockAt(m *ir.Module, totalSeq int64, size, workers, dispatchCap int, f
 	// Attribution pass: one extra traced run, separate from the timing
 	// legs so the tracer's per-op tax never skews the speedup columns.
 	if !forceSeq {
-		attrib, tr, err := attributionRun(tm, dispatchCap, 0, seqD)
+		attrib, tr, err := attributionRun(tm, dispatchCap, 0, seqD, engine)
 		if err != nil {
 			return nil, err
 		}

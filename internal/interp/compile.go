@@ -1,0 +1,481 @@
+// The compiled tier's front half: lower one IR function to pre-bound
+// direct-threaded ops. Compilation runs once per function per image
+// (cached in image.progs) and resolves everything that is invariant
+// across calls:
+//
+//   - operands become orefs — a frame slot index for SSA values, an
+//     immediate for constants, global addresses, and function ids — so
+//     the executor never touches a map or a type switch;
+//   - phis disappear: every CFG edge carries the successor's phi
+//     parallel assignment as pre-resolved slot moves (with a scratch
+//     area when a move's destination feeds another move's source);
+//   - the two idioms the benches are made of fuse into
+//     superinstructions: compare+condbr (cCmpBr) and
+//     load;binop;store-back (cLoadOpStore), each retiring the walker's
+//     step and cycle counts for the whole idiom;
+//   - cost-model cycles are pre-added per op, so the executor charges
+//     one pre-summed constant instead of switching on the opcode.
+//
+// Walker-visible runtime errors (fell off block end, missing phi
+// incoming) compile to cErr ops carrying the walker's exact message, so
+// the tiers stay byte-identical even on those paths. A function the
+// compiler cannot lower (malformed operands) is rejected — Call falls
+// back to the walker, whose runtime checks are the reference behaviour.
+
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"noelle/internal/ir"
+)
+
+// oref is a pre-resolved operand: a frame slot for SSA values, an
+// immediate for everything known at compile time.
+type oref struct {
+	slot int32 // >= 0: frame slot index; < 0: use imm
+	imm  uint64
+}
+
+func immRef(v uint64) oref { return oref{slot: -1, imm: v} }
+func slotRef(s int32) oref { return oref{slot: s} }
+
+// get resolves the operand against a frame.
+func (o oref) get(fr []uint64) uint64 {
+	if o.slot >= 0 {
+		return fr[o.slot]
+	}
+	return o.imm
+}
+
+// copcode is a compiled op's dispatch code.
+type copcode uint8
+
+const (
+	cInvalid copcode = iota
+
+	// Binary ops: dst = a <op> b.
+	cAdd
+	cSub
+	cMul
+	cDiv
+	cRem
+	cAnd
+	cOr
+	cXor
+	cShl
+	cShr
+	cFAdd
+	cFSub
+	cFMul
+	cFDiv
+	cEq
+	cNe
+	cLt
+	cLe
+	cGt
+	cGe
+	cFEq
+	cFNe
+	cFLt
+	cFLe
+	cFGt
+	cFGe
+
+	// Unary conversions: dst = conv(a).
+	cSIToFP
+	cFPToSI
+	cBit1 // zext/trunc: keep the low bit
+	cMove // fbits/bitsf/p2i/i2p: raw bit reinterpretation
+
+	cSelect // dst = a != 0 ? b : c (only the picked operand is read)
+	cLoad   // dst = mem[a]
+	cStore  // mem[b] = a
+	cPtrAdd // dst = a + b*k
+	cAlloca // dst = alloc(k), freed at frame exit
+	cCall   // dst = call(payload)
+
+	// Terminators.
+	cBr     // edges[0]
+	cCondBr // a != 0 ? edges[0] : edges[1]
+	cRet    // return a
+	cRetVoid
+
+	// Superinstructions.
+	cCmpBr       // fused compare (sub) + condbr, retires 2 steps
+	cLoadOpStore // fused mem[a] = mem[a] <sub> b, retires 3 steps
+
+	cErr // compile-embedded runtime error (walker-identical message)
+)
+
+// cmove is one phi slot assignment on a CFG edge.
+type cmove struct {
+	dst int32
+	src oref
+}
+
+// cedge is a compiled CFG edge: the successor block plus the successor's
+// phi parallel assignment pre-resolved to slot moves. steps/cycles
+// charge the phis exactly as the walker does on block entry.
+type cedge struct {
+	target  int32
+	moves   []cmove
+	scratch bool // a move's dst feeds another move's src: two-phase via the scratch area
+	steps   int64
+	cycles  int64
+	// badPhiMsg, when non-empty, makes taking this edge fail with the
+	// walker's missing-phi-incoming error.
+	badPhiMsg string
+}
+
+// ccall is a call op's pre-resolved payload. Direct calls are bound to
+// their callee at compile time (externs re-resolve through the image's
+// indexed registry inside Call, so replacement still works); indirect
+// calls carry the callee operand.
+type ccall struct {
+	direct *ir.Function // nil: indirect via callee's bits
+	callee oref
+	args   []oref
+}
+
+// cop is one compiled op.
+type cop struct {
+	code copcode
+	sub  ir.Op // superinstructions: the fused compare/binop opcode
+	rev  bool  // cLoadOpStore: the loaded value is the right operand
+	dst  int32 // result slot, -1 when the op produces no value
+
+	a, b, c oref
+	k       int64 // cAlloca: byte size; cPtrAdd: element size
+
+	steps int64 // instructions this op retires (superinstructions > 1)
+	cost  int64 // pre-summed cost-model cycles for those instructions
+	// subCost, on superinstructions only, is the per-fused-instruction
+	// cycle breakdown (sum == cost): when the step-budget boundary falls
+	// inside the op, the executor retires these one at a time so Steps
+	// and Cycles stop exactly where the walker's would.
+	subCost []int64
+
+	edges  []cedge
+	call   *ccall
+	errMsg string // cErr: the walker-identical error text
+}
+
+// cfunc is one function's compiled body.
+type cfunc struct {
+	fn *ir.Function
+	// cost is the model the per-op cycles were pre-resolved against; a
+	// context running a different model recompiles (see image.compiled).
+	cost     CostModel
+	blocks   [][]cop
+	frameLen int32 // slots + phi-move scratch area
+	scratch  int32 // base of the scratch area
+	nallocas int   // static alloca count (0 skips the free-on-exit defer)
+}
+
+// simpleCop maps the plain value-producing opcodes to their compiled
+// dispatch codes. Opcodes with operand layouts of their own (memory,
+// calls, terminators, select, phi) are handled explicitly.
+var simpleCop = map[ir.Op]copcode{
+	ir.OpAdd: cAdd, ir.OpSub: cSub, ir.OpMul: cMul, ir.OpDiv: cDiv, ir.OpRem: cRem,
+	ir.OpAnd: cAnd, ir.OpOr: cOr, ir.OpXor: cXor, ir.OpShl: cShl, ir.OpShr: cShr,
+	ir.OpFAdd: cFAdd, ir.OpFSub: cFSub, ir.OpFMul: cFMul, ir.OpFDiv: cFDiv,
+	ir.OpEq: cEq, ir.OpNe: cNe, ir.OpLt: cLt, ir.OpLe: cLe, ir.OpGt: cGt, ir.OpGe: cGe,
+	ir.OpFEq: cFEq, ir.OpFNe: cFNe, ir.OpFLt: cFLt, ir.OpFLe: cFLe, ir.OpFGt: cFGt, ir.OpFGe: cFGe,
+	ir.OpSIToFP: cSIToFP, ir.OpFPToSI: cFPToSI,
+	ir.OpZExt: cBit1, ir.OpTrunc: cBit1,
+	ir.OpFBits: cMove, ir.OpBitsF: cMove, ir.OpP2I: cMove, ir.OpI2P: cMove,
+}
+
+// compileFunc lowers f against img's layout under the given cost model.
+func compileFunc(img *image, f *ir.Function, cost CostModel) (*cfunc, error) {
+	// Slot assignment: parameters first (so copy(frame, args) places
+	// them), then every result-producing instruction in block order.
+	slots := map[ir.Value]int32{}
+	next := int32(0)
+	for _, p := range f.Params {
+		slots[p] = next
+		next++
+	}
+	blockIdx := map[*ir.Block]int32{}
+	for bi, b := range f.Blocks {
+		blockIdx[b] = int32(bi)
+		for _, in := range b.Instrs {
+			if in.HasResult() {
+				slots[in] = next
+				next++
+			}
+		}
+	}
+
+	resolve := func(v ir.Value) (oref, error) {
+		switch x := v.(type) {
+		case *ir.Const:
+			if x.Ty.IsFloat() {
+				return immRef(math.Float64bits(x.Flt)), nil
+			}
+			return immRef(uint64(x.Int)), nil
+		case *ir.Global:
+			return immRef(uint64(img.globalAddr[x])), nil
+		case *ir.Function:
+			return immRef(uint64(img.fnIndex[x])), nil
+		default:
+			s, ok := slots[v]
+			if !ok {
+				// An operand defined outside this function: the walker's
+				// runtime undefined-value check is the reference here.
+				return oref{}, fmt.Errorf("interp: compile @%s: unresolvable operand %s", f.Nam, v.Ident())
+			}
+			return slotRef(s), nil
+		}
+	}
+
+	// Use counts drive superinstruction fusion: an intermediate may only
+	// fuse away when the fused op is its sole consumer.
+	uses := map[*ir.Instr]int{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, op := range in.Ops {
+				if x, ok := op.(*ir.Instr); ok {
+					uses[x]++
+				}
+			}
+		}
+	}
+
+	var scratchLen int32
+	edgeTo := func(from, to *ir.Block) (cedge, error) {
+		e := cedge{target: blockIdx[to]}
+		for _, phi := range to.Phis() {
+			inc := phi.PhiIncoming(from)
+			if inc == nil {
+				e.moves, e.steps, e.cycles = nil, 0, 0
+				e.badPhiMsg = fmt.Sprintf("interp: @%s/%s: phi %s has no incoming for %s",
+					f.Nam, to.Nam, phi.Ident(), from.Nam)
+				return e, nil
+			}
+			src, err := resolve(inc)
+			if err != nil {
+				return e, err
+			}
+			e.moves = append(e.moves, cmove{dst: slots[phi], src: src})
+			e.steps++
+			e.cycles += cost.Cost(phi)
+		}
+		// The walker reads every incoming value before assigning any
+		// (parallel assignment); direct moves are only safe when no
+		// destination slot feeds a later read.
+		dsts := make(map[int32]bool, len(e.moves))
+		for _, mv := range e.moves {
+			dsts[mv.dst] = true
+		}
+		for _, mv := range e.moves {
+			if mv.src.slot >= 0 && dsts[mv.src.slot] {
+				e.scratch = true
+				if n := int32(len(e.moves)); n > scratchLen {
+					scratchLen = n
+				}
+				break
+			}
+		}
+		return e, nil
+	}
+
+	cf := &cfunc{fn: f, cost: cost}
+	for _, b := range f.Blocks {
+		ins := b.Instrs[b.FirstNonPhi():]
+		ops := make([]cop, 0, len(ins))
+		for i := 0; i < len(ins); i++ {
+			in := ins[i]
+
+			// Superinstruction: compare feeding only the adjacent condbr.
+			if in.Opcode.IsCompare() && i+1 < len(ins) && uses[in] == 1 {
+				if br := ins[i+1]; br.Opcode == ir.OpCondBr && br.Ops[0] == ir.Value(in) {
+					a, err := resolve(in.Ops[0])
+					if err != nil {
+						return nil, err
+					}
+					bb, err := resolve(in.Ops[1])
+					if err != nil {
+						return nil, err
+					}
+					et, err := edgeTo(b, br.Blocks[0])
+					if err != nil {
+						return nil, err
+					}
+					ef, err := edgeTo(b, br.Blocks[1])
+					if err != nil {
+						return nil, err
+					}
+					ops = append(ops, cop{
+						code: cCmpBr, sub: in.Opcode, dst: -1, a: a, b: bb,
+						steps: 2, cost: cost.Cost(in) + cost.Cost(br),
+						subCost: []int64{cost.Cost(in), cost.Cost(br)},
+						edges:   []cedge{et, ef},
+					})
+					i++
+					continue
+				}
+			}
+
+			// Superinstruction: load; binop; store back to the same
+			// address, intermediates consumed only inside the idiom.
+			if in.Opcode == ir.OpLoad && i+2 < len(ins) && uses[in] == 1 {
+				bin, st := ins[i+1], ins[i+2]
+				if other, rev, ok := fusableLoadOpStore(in, bin, st, uses); ok {
+					a, err := resolve(in.Ops[0])
+					if err != nil {
+						return nil, err
+					}
+					bb, err := resolve(other)
+					if err != nil {
+						return nil, err
+					}
+					ops = append(ops, cop{
+						code: cLoadOpStore, sub: bin.Opcode, rev: rev, dst: -1, a: a, b: bb,
+						steps: 3, cost: cost.Cost(in) + cost.Cost(bin) + cost.Cost(st),
+						subCost: []int64{cost.Cost(in), cost.Cost(bin), cost.Cost(st)},
+					})
+					i += 2
+					continue
+				}
+			}
+
+			op, err := compileOne(cf, in, b, cost, slots, resolve, edgeTo)
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, op)
+		}
+		if len(ins) == 0 || !ins[len(ins)-1].IsTerminator() {
+			// The walker executes the whole block, then errors; the cErr
+			// op retires nothing, matching its counters exactly.
+			ops = append(ops, cop{
+				code: cErr, dst: -1,
+				errMsg: fmt.Sprintf("interp: @%s/%s: fell off block end", f.Nam, b.Nam),
+			})
+		}
+		cf.blocks = append(cf.blocks, ops)
+	}
+	cf.scratch = next
+	cf.frameLen = next + scratchLen
+	return cf, nil
+}
+
+// fusableLoadOpStore reports whether ld/bin/st form the store-back idiom
+// mem[p] = mem[p] <op> x. It returns the non-loaded operand and whether
+// the loaded value sits on the right of the binop. Div/rem stay unfused
+// so their divide-by-zero check keeps its exact walker position.
+func fusableLoadOpStore(ld, bin, st *ir.Instr, uses map[*ir.Instr]int) (other ir.Value, rev, ok bool) {
+	if st.Opcode != ir.OpStore || !bin.Opcode.IsBinaryOp() || uses[bin] != 1 {
+		return nil, false, false
+	}
+	if bin.Opcode == ir.OpDiv || bin.Opcode == ir.OpRem {
+		return nil, false, false
+	}
+	if st.Ops[0] != ir.Value(bin) || st.Ops[1] != ld.Ops[0] {
+		return nil, false, false
+	}
+	lhs, rhs := bin.Ops[0] == ir.Value(ld), bin.Ops[1] == ir.Value(ld)
+	switch {
+	case lhs && !rhs:
+		return bin.Ops[1], false, true
+	case rhs && !lhs:
+		return bin.Ops[0], true, true
+	}
+	return nil, false, false
+}
+
+// compileOne lowers a single non-fused instruction.
+func compileOne(cf *cfunc, in *ir.Instr, b *ir.Block, cost CostModel, slots map[ir.Value]int32,
+	resolve func(ir.Value) (oref, error), edgeTo func(from, to *ir.Block) (cedge, error)) (cop, error) {
+	op := cop{dst: -1, steps: 1, cost: cost.Cost(in)}
+	if in.HasResult() {
+		op.dst = slots[in]
+	}
+	operand := func(i int) (oref, error) { return resolve(in.Ops[i]) }
+	var err error
+	switch in.Opcode {
+	case ir.OpAlloca:
+		op.code = cAlloca
+		op.k = int64(in.AllocaElem.Size() * in.AllocaCount)
+		cf.nallocas++
+	case ir.OpLoad:
+		op.code = cLoad
+		op.a, err = operand(0)
+	case ir.OpStore:
+		op.code = cStore
+		if op.a, err = operand(0); err == nil {
+			op.b, err = operand(1)
+		}
+	case ir.OpPtrAdd:
+		op.code = cPtrAdd
+		op.k = int64(in.Ty.Elem.Size())
+		if op.a, err = operand(0); err == nil {
+			op.b, err = operand(1)
+		}
+	case ir.OpSelect:
+		op.code = cSelect
+		if op.a, err = operand(0); err == nil {
+			if op.b, err = operand(1); err == nil {
+				op.c, err = operand(2)
+			}
+		}
+	case ir.OpCall:
+		op.code = cCall
+		call := &ccall{direct: in.CalledFunction()}
+		if call.direct == nil {
+			if call.callee, err = operand(0); err != nil {
+				return op, err
+			}
+		}
+		for _, a := range in.Ops[1:] {
+			ref, rerr := resolve(a)
+			if rerr != nil {
+				return op, rerr
+			}
+			call.args = append(call.args, ref)
+		}
+		op.call = call
+	case ir.OpBr:
+		op.code = cBr
+		e, eerr := edgeTo(b, in.Blocks[0])
+		if eerr != nil {
+			return op, eerr
+		}
+		op.edges = []cedge{e}
+	case ir.OpCondBr:
+		op.code = cCondBr
+		if op.a, err = operand(0); err != nil {
+			return op, err
+		}
+		et, eerr := edgeTo(b, in.Blocks[0])
+		if eerr != nil {
+			return op, eerr
+		}
+		ef, eerr := edgeTo(b, in.Blocks[1])
+		if eerr != nil {
+			return op, eerr
+		}
+		op.edges = []cedge{et, ef}
+	case ir.OpRet:
+		if len(in.Ops) == 0 {
+			op.code = cRetVoid
+		} else {
+			op.code = cRet
+			op.a, err = operand(0)
+		}
+	default:
+		code, ok := simpleCop[in.Opcode]
+		if !ok {
+			return op, fmt.Errorf("interp: compile @%s: cannot execute %s", cf.fn.Nam, in.Opcode)
+		}
+		op.code = code
+		op.sub = in.Opcode // float groups dispatch on the precise opcode
+		if op.a, err = operand(0); err == nil && len(in.Ops) > 1 {
+			op.b, err = operand(1)
+		}
+	}
+	return op, err
+}

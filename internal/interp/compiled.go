@@ -1,0 +1,291 @@
+// The compiled tier's back half: execute a cfunc's direct-threaded ops.
+// The loop mirrors the walker's contract exactly — same step-budget
+// check, same Steps/Cycles accounting, same error messages — it just
+// does the per-instruction work against a slot frame instead of a map,
+// with operands, costs, and control flow pre-resolved by compile.go.
+
+package interp
+
+import (
+	"errors"
+	"math"
+
+	"noelle/internal/ir"
+)
+
+// applyEdge performs one compiled CFG edge's phi parallel assignment and
+// charges the phis' steps/cycles, as the walker does on block entry.
+func (it *Interp) applyEdge(fr []uint64, cf *cfunc, e *cedge) {
+	if e.scratch {
+		// Two-phase: read every incoming value into the scratch area
+		// before any destination is written (parallel assignment).
+		s := cf.scratch
+		for i := range e.moves {
+			fr[s+int32(i)] = e.moves[i].src.get(fr)
+		}
+		for i := range e.moves {
+			fr[e.moves[i].dst] = fr[s+int32(i)]
+		}
+	} else {
+		for i := range e.moves {
+			fr[e.moves[i].dst] = e.moves[i].src.get(fr)
+		}
+	}
+	it.Steps += e.steps
+	it.Cycles += e.cycles
+}
+
+// cmpBits evaluates a fused comparison over raw bits.
+func cmpBits(op ir.Op, a, b uint64) bool {
+	switch op {
+	case ir.OpEq:
+		return int64(a) == int64(b)
+	case ir.OpNe:
+		return int64(a) != int64(b)
+	case ir.OpLt:
+		return int64(a) < int64(b)
+	case ir.OpLe:
+		return int64(a) <= int64(b)
+	case ir.OpGt:
+		return int64(a) > int64(b)
+	case ir.OpGe:
+		return int64(a) >= int64(b)
+	case ir.OpFEq:
+		return math.Float64frombits(a) == math.Float64frombits(b)
+	case ir.OpFNe:
+		return math.Float64frombits(a) != math.Float64frombits(b)
+	case ir.OpFLt:
+		return math.Float64frombits(a) < math.Float64frombits(b)
+	case ir.OpFLe:
+		return math.Float64frombits(a) <= math.Float64frombits(b)
+	case ir.OpFGt:
+		return math.Float64frombits(a) > math.Float64frombits(b)
+	}
+	return math.Float64frombits(a) >= math.Float64frombits(b) // OpFGe
+}
+
+// binBits evaluates a fused (never-trapping) binary op over raw bits.
+func binBits(op ir.Op, a, b uint64) uint64 {
+	ai, bi := int64(a), int64(b)
+	switch op {
+	case ir.OpAdd:
+		return uint64(ai + bi)
+	case ir.OpSub:
+		return uint64(ai - bi)
+	case ir.OpMul:
+		return uint64(ai * bi)
+	case ir.OpAnd:
+		return a & b
+	case ir.OpOr:
+		return a | b
+	case ir.OpXor:
+		return a ^ b
+	case ir.OpShl:
+		return uint64(ai << (uint64(bi) & 63))
+	case ir.OpShr:
+		return uint64(ai >> (uint64(bi) & 63))
+	case ir.OpFAdd:
+		return math.Float64bits(math.Float64frombits(a) + math.Float64frombits(b))
+	case ir.OpFSub:
+		return math.Float64bits(math.Float64frombits(a) - math.Float64frombits(b))
+	case ir.OpFMul:
+		return math.Float64bits(math.Float64frombits(a) * math.Float64frombits(b))
+	}
+	return math.Float64bits(math.Float64frombits(a) / math.Float64frombits(b)) // OpFDiv
+}
+
+// execCompiled runs one compiled function body over this context.
+func (it *Interp) execCompiled(cf *cfunc, args []uint64) (uint64, error) {
+	fr := make([]uint64, cf.frameLen)
+	copy(fr, args)
+	var frameAllocs []int64
+	if cf.nallocas > 0 {
+		defer func() {
+			for _, a := range frameAllocs {
+				it.free(a)
+			}
+		}()
+	}
+
+	maxSteps := it.stepBudget()
+	bi := int32(0)
+blockLoop:
+	for {
+		ops := cf.blocks[bi]
+		for pc := range ops {
+			op := &ops[pc]
+			if it.Steps >= maxSteps {
+				var ok bool
+				if maxSteps, ok = it.extendStepBudget(); !ok {
+					return 0, ErrStepLimit
+				}
+			}
+			if op.steps > 1 && it.Steps+op.steps > maxSteps {
+				// The budget boundary falls inside this superinstruction:
+				// retire its fused instructions one at a time so a failed
+				// (or pool-extended) budget stops Steps and Cycles exactly
+				// where the walker's per-instruction check would. Safe to
+				// abort mid-op: only the final fused instruction (the
+				// store or the branch) has an observable effect, and it
+				// only runs if every check below passes.
+				for _, c := range op.subCost {
+					if it.Steps >= maxSteps {
+						var ok bool
+						if maxSteps, ok = it.extendStepBudget(); !ok {
+							return 0, ErrStepLimit
+						}
+					}
+					it.Steps++
+					it.Cycles += c
+				}
+			} else {
+				it.Steps += op.steps
+				it.Cycles += op.cost
+			}
+
+			switch op.code {
+			case cAdd:
+				fr[op.dst] = uint64(int64(op.a.get(fr)) + int64(op.b.get(fr)))
+			case cSub:
+				fr[op.dst] = uint64(int64(op.a.get(fr)) - int64(op.b.get(fr)))
+			case cMul:
+				fr[op.dst] = uint64(int64(op.a.get(fr)) * int64(op.b.get(fr)))
+			case cDiv:
+				d := int64(op.b.get(fr))
+				if d == 0 {
+					return 0, errDivByZero
+				}
+				fr[op.dst] = uint64(int64(op.a.get(fr)) / d)
+			case cRem:
+				d := int64(op.b.get(fr))
+				if d == 0 {
+					return 0, errRemByZero
+				}
+				fr[op.dst] = uint64(int64(op.a.get(fr)) % d)
+			case cAnd:
+				fr[op.dst] = op.a.get(fr) & op.b.get(fr)
+			case cOr:
+				fr[op.dst] = op.a.get(fr) | op.b.get(fr)
+			case cXor:
+				fr[op.dst] = op.a.get(fr) ^ op.b.get(fr)
+			case cShl:
+				fr[op.dst] = uint64(int64(op.a.get(fr)) << (op.b.get(fr) & 63))
+			case cShr:
+				fr[op.dst] = uint64(int64(op.a.get(fr)) >> (op.b.get(fr) & 63))
+			case cFAdd, cFSub, cFMul, cFDiv:
+				fr[op.dst] = binBits(op.sub, op.a.get(fr), op.b.get(fr))
+			case cEq:
+				fr[op.dst] = boolBits(int64(op.a.get(fr)) == int64(op.b.get(fr)))
+			case cNe:
+				fr[op.dst] = boolBits(int64(op.a.get(fr)) != int64(op.b.get(fr)))
+			case cLt:
+				fr[op.dst] = boolBits(int64(op.a.get(fr)) < int64(op.b.get(fr)))
+			case cLe:
+				fr[op.dst] = boolBits(int64(op.a.get(fr)) <= int64(op.b.get(fr)))
+			case cGt:
+				fr[op.dst] = boolBits(int64(op.a.get(fr)) > int64(op.b.get(fr)))
+			case cGe:
+				fr[op.dst] = boolBits(int64(op.a.get(fr)) >= int64(op.b.get(fr)))
+			case cFEq, cFNe, cFLt, cFLe, cFGt, cFGe:
+				fr[op.dst] = boolBits(cmpBits(op.sub, op.a.get(fr), op.b.get(fr)))
+			case cSIToFP:
+				fr[op.dst] = math.Float64bits(float64(int64(op.a.get(fr))))
+			case cFPToSI:
+				fr[op.dst] = uint64(int64(math.Float64frombits(op.a.get(fr))))
+			case cBit1:
+				fr[op.dst] = op.a.get(fr) & 1
+			case cMove:
+				fr[op.dst] = op.a.get(fr)
+			case cSelect:
+				pick := op.c
+				if op.a.get(fr) != 0 {
+					pick = op.b
+				}
+				fr[op.dst] = pick.get(fr)
+			case cLoad:
+				fr[op.dst] = it.readCell(int64(op.a.get(fr)))
+			case cStore:
+				it.writeCell(int64(op.b.get(fr)), op.a.get(fr))
+			case cPtrAdd:
+				fr[op.dst] = uint64(int64(op.a.get(fr)) + int64(op.b.get(fr))*op.k)
+			case cAlloca:
+				addr := it.alloc(op.k)
+				frameAllocs = append(frameAllocs, addr)
+				fr[op.dst] = uint64(addr)
+			case cCall:
+				ci := op.call
+				callee := ci.direct
+				if callee == nil {
+					idx := int64(ci.callee.get(fr))
+					if idx < 0 || idx >= int64(len(it.img.fnTable)) {
+						return 0, errInvalidFnID(idx)
+					}
+					callee = it.img.fnTable[idx]
+				}
+				cargs := make([]uint64, len(ci.args))
+				for i := range ci.args {
+					cargs[i] = ci.args[i].get(fr)
+				}
+				r, err := it.Call(callee, cargs)
+				if err != nil {
+					return 0, err
+				}
+				if op.dst >= 0 {
+					fr[op.dst] = r
+				}
+			case cBr:
+				e := &op.edges[0]
+				if e.badPhiMsg != "" {
+					return 0, errors.New(e.badPhiMsg)
+				}
+				it.applyEdge(fr, cf, e)
+				bi = e.target
+				continue blockLoop
+			case cCondBr:
+				e := &op.edges[1]
+				if op.a.get(fr) != 0 {
+					e = &op.edges[0]
+				}
+				if e.badPhiMsg != "" {
+					return 0, errors.New(e.badPhiMsg)
+				}
+				it.applyEdge(fr, cf, e)
+				bi = e.target
+				continue blockLoop
+			case cCmpBr:
+				e := &op.edges[1]
+				if cmpBits(op.sub, op.a.get(fr), op.b.get(fr)) {
+					e = &op.edges[0]
+				}
+				if e.badPhiMsg != "" {
+					return 0, errors.New(e.badPhiMsg)
+				}
+				it.applyEdge(fr, cf, e)
+				bi = e.target
+				continue blockLoop
+			case cLoadOpStore:
+				p := int64(op.a.get(fr))
+				x, y := it.readCell(p), op.b.get(fr)
+				if op.rev {
+					x, y = y, x
+				}
+				it.writeCell(p, binBits(op.sub, x, y))
+			case cRet:
+				return op.a.get(fr), nil
+			case cRetVoid:
+				return 0, nil
+			case cErr:
+				return 0, errors.New(op.errMsg)
+			}
+		}
+		// Unreachable: every compiled block ends in a terminator or cErr.
+		return 0, errors.New("interp: compiled block fell through")
+	}
+}
+
+func boolBits(c bool) uint64 {
+	if c {
+		return 1
+	}
+	return 0
+}

@@ -91,11 +91,22 @@ type image struct {
 	fnTable    []*ir.Function
 	fnIndex    map[*ir.Function]int64
 
-	// externMu guards the extern registry; registration normally happens
-	// before Run, but lookups from concurrent workers must still be safe.
-	externMu    sync.RWMutex
-	externs     map[string]Extern
-	externArity map[string]int
+	// The extern registry is indexed: entries live in an append-only
+	// table behind an atomic pointer (registration copies, readers never
+	// lock), and every declaration in fnTable caches its resolved table
+	// slot in declSlot — so the per-call hot path is one atomic load and
+	// an index, with zero allocations (pinned by
+	// TestExternDispatchAllocFree). externMu serializes writers only.
+	externMu  sync.Mutex
+	externTab atomic.Pointer[[]externEntry]
+	externIdx atomic.Pointer[map[string]int32]
+	declSlot  []atomic.Int32
+
+	// progs caches compiled function bodies (*cfunc, or an error for
+	// functions the compiler rejected), keyed by *ir.Function. Shared by
+	// every context of the image; compilation is deterministic, so a
+	// racing double-compile is benign.
+	progs sync.Map
 
 	// comm is the inter-worker communication runtime (bounded queues and
 	// ticket signals, internal/queue). Like the page store it is shared
@@ -178,28 +189,108 @@ func (img *image) readCell(addr int64) uint64 {
 	return 0
 }
 
-// registerExtern installs fn for declarations named name. arity < 0 skips
-// the argument-count check (for host functions with variable arity).
+// externEntry is one registered host function. arity < 0 skips the
+// argument-count check (variable-arity host functions).
+type externEntry struct {
+	name  string
+	arity int
+	fn    Extern
+}
+
+// declSlot sentinels: a declaration that has not been resolved against
+// the extern table yet, and one whose name has no registration.
+const (
+	externUnresolved = -2
+	externMissing    = -1
+)
+
+// registerExtern installs fn for declarations named name. Registration
+// copies the snapshot table and index (append-only for re-registered
+// names too: the index simply points at the newest entry), then resets
+// the resolution cache of every declaration with that name so the next
+// call re-resolves.
 func (img *image) registerExtern(name string, arity int, fn Extern) {
 	img.externMu.Lock()
-	img.externs[name] = fn
-	if arity >= 0 {
-		img.externArity[name] = arity
-	} else {
-		delete(img.externArity, name)
+	old := *img.externTab.Load()
+	tab := make([]externEntry, len(old), len(old)+1)
+	copy(tab, old)
+	tab = append(tab, externEntry{name: name, arity: arity, fn: fn})
+	oldIdx := *img.externIdx.Load()
+	idx := make(map[string]int32, len(oldIdx)+1)
+	for k, v := range oldIdx {
+		idx[k] = v
+	}
+	idx[name] = int32(len(tab) - 1)
+	img.externTab.Store(&tab)
+	img.externIdx.Store(&idx)
+	for i, f := range img.fnTable {
+		if f.IsDeclaration() && f.Nam == name {
+			img.declSlot[i].Store(externUnresolved)
+		}
 	}
 	img.externMu.Unlock()
 }
 
 func (img *image) lookupExtern(name string) (fn Extern, arity int, ok bool) {
-	img.externMu.RLock()
-	defer img.externMu.RUnlock()
-	fn, ok = img.externs[name]
-	arity = -1
-	if a, has := img.externArity[name]; has {
-		arity = a
+	i, has := (*img.externIdx.Load())[name]
+	if !has {
+		return nil, -1, false
 	}
-	return fn, arity, ok
+	e := &(*img.externTab.Load())[i]
+	return e.fn, e.arity, true
+}
+
+// externFor returns the registered entry backing declaration f, or nil.
+// The hot path is one atomic load of f's cached table slot; resolution
+// through the name index happens once per declaration (and again after a
+// re-registration resets the cache).
+func (img *image) externFor(f *ir.Function) *externEntry {
+	fi, known := img.fnIndex[f]
+	if !known {
+		// Not part of this image's module (synthetic declaration);
+		// fall back to the name index with no cache.
+		if i, has := (*img.externIdx.Load())[f.Nam]; has {
+			return &(*img.externTab.Load())[i]
+		}
+		return nil
+	}
+	slot := img.declSlot[fi].Load()
+	if slot == externUnresolved {
+		if i, has := (*img.externIdx.Load())[f.Nam]; has {
+			slot = i
+		} else {
+			slot = externMissing
+		}
+		img.declSlot[fi].Store(slot)
+	}
+	if slot == externMissing {
+		return nil
+	}
+	return &(*img.externTab.Load())[slot]
+}
+
+// compiled returns f's compiled body for the given cost model, compiling
+// on first use. A function the compiler rejects caches its error and
+// returns nil forever after — the caller falls back to the walker. A
+// cost-model change invalidates the cached body (recompile: per-op costs
+// are baked in).
+func (img *image) compiled(f *ir.Function, cost CostModel) *cfunc {
+	if v, ok := img.progs.Load(f); ok {
+		if cf, isFn := v.(*cfunc); isFn {
+			if cf.cost == cost {
+				return cf
+			}
+		} else {
+			return nil // cached compile error
+		}
+	}
+	cf, err := compileFunc(img, f, cost)
+	if err != nil {
+		img.progs.Store(f, err)
+		return nil
+	}
+	img.progs.Store(f, cf)
+	return cf
 }
 
 // fingerprint hashes the contents of all global storage; semantic
@@ -231,18 +322,24 @@ func (img *image) fingerprint() uint64 {
 // newImage lays out m's globals and functions into a fresh image.
 func newImage(m *ir.Module) *image {
 	img := &image{
-		mod:         m,
-		nextPtr:     8, // keep 0 as a null page
-		allocs:      map[int64]int64{},
-		globalAddr:  map[*ir.Global]int64{},
-		fnIndex:     map[*ir.Function]int64{},
-		externs:     map[string]Extern{},
-		externArity: map[string]int{},
-		comm:        queue.NewRuntime(),
+		mod:        m,
+		nextPtr:    8, // keep 0 as a null page
+		allocs:     map[int64]int64{},
+		globalAddr: map[*ir.Global]int64{},
+		fnIndex:    map[*ir.Function]int64{},
+		comm:       queue.NewRuntime(),
 	}
+	emptyTab := []externEntry{}
+	emptyIdx := map[string]int32{}
+	img.externTab.Store(&emptyTab)
+	img.externIdx.Store(&emptyIdx)
 	for _, f := range m.Functions {
 		img.fnIndex[f] = int64(len(img.fnTable))
 		img.fnTable = append(img.fnTable, f)
+	}
+	img.declSlot = make([]atomic.Int32, len(img.fnTable))
+	for i := range img.declSlot {
+		img.declSlot[i].Store(externUnresolved)
 	}
 	for _, g := range m.Globals {
 		addr := img.alloc(int64(g.Elem.Size()))

@@ -14,6 +14,17 @@ import (
 // ErrStepLimit is returned when execution exceeds the configured budget.
 var ErrStepLimit = errors.New("interp: step limit exceeded")
 
+// Shared runtime errors: both engines must return the same values, so
+// the differential tests can compare failures byte for byte.
+var (
+	errDivByZero = errors.New("interp: integer division by zero")
+	errRemByZero = errors.New("interp: integer remainder by zero")
+)
+
+func errInvalidFnID(idx int64) error {
+	return fmt.Errorf("interp: indirect call to invalid function id %d", idx)
+}
+
 const pageCells = 1024 // 8 KiB pages
 
 const defaultMaxSteps = 200_000_000
@@ -48,6 +59,18 @@ type Interp struct {
 	// calls (0 respects the module's value). Capacity only shapes
 	// backpressure, never results, so overriding it is always safe.
 	QueueCap int
+
+	// Eng selects the execution tier for defined functions: EngineWalker
+	// or EngineCompiled, with "" taking the process default (compiled,
+	// or $NOELLE_ENGINE). Both tiers are observationally identical —
+	// same Output, Steps, Cycles, counters, memory image — on every
+	// well-formed module; hooked contexts always run on the walker
+	// regardless of Eng (hooks need the canonical event order). See
+	// engine.go.
+	Eng Engine
+	// engineUsed records the tier the last Call actually ran on (the
+	// Engine accessor reports it).
+	engineUsed Engine
 
 	// Tracer, when set on the root context before Run, enables the
 	// observability plane (internal/obs): the dispatch path records
@@ -259,22 +282,41 @@ func (it *Interp) WorkerStats() []WorkerStat {
 	return append([]WorkerStat(nil), it.img.workerStats...)
 }
 
-// Call executes f with raw argument bits and returns the raw result bits.
+// Call executes f with raw argument bits and returns the raw result
+// bits. Declarations dispatch through the image's indexed extern
+// registry (resolved to a registry slot once per declaration, not per
+// call); defined functions run on the selected execution tier, with the
+// walker as fallback for the rare function the compiler rejects.
 func (it *Interp) Call(f *ir.Function, args []uint64) (uint64, error) {
 	if f.IsDeclaration() {
-		ext, arity, ok := it.img.lookupExtern(f.Nam)
-		if !ok {
+		ext := it.img.externFor(f)
+		if ext == nil {
 			return 0, fmt.Errorf("interp: call to undefined extern @%s", f.Nam)
 		}
-		if arity >= 0 && len(args) != arity {
-			return 0, fmt.Errorf("interp: extern @%s: %d args, want %d", f.Nam, len(args), arity)
+		if ext.arity >= 0 && len(args) != ext.arity {
+			return 0, fmt.Errorf("interp: extern @%s: %d args, want %d", f.Nam, len(args), ext.arity)
 		}
 		it.Cycles += it.Cost.ExternCost(f.Nam)
-		return ext(it, args)
+		return ext.fn(it, args)
 	}
 	if len(args) != len(f.Params) {
 		return 0, fmt.Errorf("interp: @%s: %d args, want %d", f.Nam, len(args), len(f.Params))
 	}
+	if it.selectEngine() == EngineCompiled {
+		if cf := it.img.compiled(f, it.Cost); cf != nil {
+			it.engineUsed = EngineCompiled
+			return it.execCompiled(cf, args)
+		}
+	}
+	it.engineUsed = EngineWalker
+	return it.callWalker(f, args)
+}
+
+// callWalker is the instruction-walking reference engine: the original
+// interpreter loop, operands resolved per use through a map frame. It is
+// the differential oracle for the compiled tier and the only engine that
+// fires the observation hooks.
+func (it *Interp) callWalker(f *ir.Function, args []uint64) (uint64, error) {
 	frame := map[ir.Value]uint64{}
 	for i, p := range f.Params {
 		frame[p] = args[i]
@@ -470,7 +512,7 @@ func (it *Interp) callee(frame map[ir.Value]uint64, in *ir.Instr) (*ir.Function,
 	}
 	idx := int64(bits)
 	if idx < 0 || idx >= int64(len(it.img.fnTable)) {
-		return nil, fmt.Errorf("interp: indirect call to invalid function id %d", idx)
+		return nil, errInvalidFnID(idx)
 	}
 	return it.img.fnTable[idx], nil
 }
@@ -525,12 +567,12 @@ func (it *Interp) evalSimple(frame map[ir.Value]uint64, in *ir.Instr) (uint64, e
 		return uint64(ai * bi), nil
 	case ir.OpDiv:
 		if bi == 0 {
-			return 0, errors.New("interp: integer division by zero")
+			return 0, errDivByZero
 		}
 		return uint64(ai / bi), nil
 	case ir.OpRem:
 		if bi == 0 {
-			return 0, errors.New("interp: integer remainder by zero")
+			return 0, errRemByZero
 		}
 		return uint64(ai % bi), nil
 	case ir.OpAnd:

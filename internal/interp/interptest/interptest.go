@@ -1,0 +1,142 @@
+// Package interptest provides the differential harness that pins the
+// interpreter's execution tiers to each other: the same module is run
+// once on the walker (the reference semantics) and once on the compiled
+// tier, and every observable — result, error, Output bytes, Steps,
+// Cycles, memory fingerprint, communication counters, extern call
+// counts — must match exactly. This is the same oracle discipline the
+// repo already applies to parallel-vs-sequential dispatch, extended to
+// the engine axis.
+package interptest
+
+import (
+	"testing"
+
+	"noelle/internal/interp"
+	"noelle/internal/ir"
+)
+
+// Config shapes one differential run. The zero value runs @main with no
+// arguments under default dispatch settings.
+type Config struct {
+	// Fn names the entry function; empty means @main.
+	Fn string
+	// Args are the entry function's arguments.
+	Args []uint64
+	// SeqDispatch, DispatchWorkers, and QueueCap configure the dispatch
+	// runtime exactly as the corresponding Interp fields do.
+	SeqDispatch     bool
+	DispatchWorkers int
+	QueueCap        int
+	// MaxSteps bounds each run (0 = interpreter default).
+	MaxSteps int64
+	// Externs are extra host functions registered on both tiers. They
+	// are wrapped with per-name call counters, which AssertTiersAgree
+	// diffs between tiers.
+	Externs map[string]interp.Extern
+}
+
+// Result captures everything observable about one tier's run.
+type Result struct {
+	Engine      interp.Engine
+	Value       uint64
+	Err         error
+	Output      string
+	Steps       int64
+	Cycles      int64
+	Fingerprint uint64
+	Comm        [5]int64 // creates, pushes, pops, waits, fires
+	ExternCalls map[string]int64
+}
+
+// Run executes m's entry function on one tier and collects the result.
+// Each call builds a fresh interpreter (and so a fresh memory image):
+// tiers never share mutable state.
+func Run(t testing.TB, m *ir.Module, eng interp.Engine, cfg Config) Result {
+	t.Helper()
+	it := interp.New(m)
+	it.Eng = eng
+	it.SeqDispatch = cfg.SeqDispatch
+	it.DispatchWorkers = cfg.DispatchWorkers
+	it.QueueCap = cfg.QueueCap
+	it.MaxSteps = cfg.MaxSteps
+	res := Result{ExternCalls: map[string]int64{}}
+	for name, fn := range cfg.Externs {
+		name, fn := name, fn
+		it.RegisterExtern(name, func(it *interp.Interp, args []uint64) (uint64, error) {
+			res.ExternCalls[name]++
+			return fn(it, args)
+		})
+	}
+
+	fnName := cfg.Fn
+	if fnName == "" {
+		fnName = "main"
+	}
+	f := m.FunctionByName(fnName)
+	if f == nil {
+		t.Fatalf("interptest: module has no @%s", fnName)
+	}
+	res.Value, res.Err = it.Call(f, cfg.Args)
+	res.Engine = it.Engine()
+	res.Output = it.Output.String()
+	res.Steps, res.Cycles = it.Steps, it.Cycles
+	res.Fingerprint = it.MemoryFingerprint()
+	res.Comm[0], res.Comm[1], res.Comm[2], res.Comm[3], res.Comm[4] = it.CommStats()
+	return res
+}
+
+// AssertTiersAgree runs m on the walker and on the compiled tier and
+// fails the test with a field-by-field diff if any observable differs.
+// Both results are returned so callers can make further assertions
+// (e.g. that the compiled run did not silently fall back).
+func AssertTiersAgree(t testing.TB, m *ir.Module, cfg Config) (walker, compiled Result) {
+	t.Helper()
+	walker = Run(t, m, interp.EngineWalker, cfg)
+	compiled = Run(t, m, interp.EngineCompiled, cfg)
+
+	if walker.Value != compiled.Value {
+		t.Errorf("tiers disagree on result: walker %d, compiled %d", walker.Value, compiled.Value)
+	}
+	we, ce := errString(walker.Err), errString(compiled.Err)
+	if we != ce {
+		t.Errorf("tiers disagree on error:\n  walker:   %s\n  compiled: %s", we, ce)
+	}
+	if walker.Output != compiled.Output {
+		t.Errorf("tiers disagree on output:\n  walker:   %q\n  compiled: %q", walker.Output, compiled.Output)
+	}
+	if walker.Steps != compiled.Steps {
+		t.Errorf("tiers disagree on steps: walker %d, compiled %d", walker.Steps, compiled.Steps)
+	}
+	if walker.Cycles != compiled.Cycles {
+		t.Errorf("tiers disagree on cycles: walker %d, compiled %d", walker.Cycles, compiled.Cycles)
+	}
+	if walker.Fingerprint != compiled.Fingerprint {
+		t.Errorf("tiers disagree on memory fingerprint: walker %#x, compiled %#x",
+			walker.Fingerprint, compiled.Fingerprint)
+	}
+	commNames := [5]string{"creates", "pushes", "pops", "waits", "fires"}
+	for i, name := range commNames {
+		if walker.Comm[i] != compiled.Comm[i] {
+			t.Errorf("tiers disagree on comm %s: walker %d, compiled %d",
+				name, walker.Comm[i], compiled.Comm[i])
+		}
+	}
+	for name, n := range walker.ExternCalls {
+		if cn := compiled.ExternCalls[name]; cn != n {
+			t.Errorf("tiers disagree on extern @%s calls: walker %d, compiled %d", name, n, cn)
+		}
+	}
+	for name := range compiled.ExternCalls {
+		if _, ok := walker.ExternCalls[name]; !ok {
+			t.Errorf("extern @%s called on compiled tier only (%d calls)", name, compiled.ExternCalls[name])
+		}
+	}
+	return walker, compiled
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "<nil>"
+	}
+	return err.Error()
+}

@@ -109,6 +109,7 @@ func (it *Interp) fork(pool *stepPool, pushBlocks bool, rec *obs.Recorder) *Inte
 		SeqDispatch:     it.SeqDispatch,
 		DispatchWorkers: it.DispatchWorkers,
 		QueueCap:        it.QueueCap,
+		Eng:             it.Eng,
 		Tracer:          it.Tracer,
 		rec:             rec,
 		img:             it.img,

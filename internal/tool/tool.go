@@ -61,6 +61,11 @@ type Options struct {
 	// contracts), or "comm" (+ the concurrency-protocol linter over
 	// lowered parallel plans). See internal/verify.
 	VerifyTier string
+	// Engine selects the interpreter execution tier for tools that run
+	// the module ("walker", "compiled", or "" for the process default).
+	// Hooked runs (profiling, cost attribution) always use the walker
+	// regardless; see internal/interp's engine documentation.
+	Engine string
 	// Tracer, when non-nil, is attached to every interpreter a tool runs
 	// the module under (noelle-load -trace/-metrics): the executions'
 	// dispatch/task/communication spans land in it for export or metric

@@ -43,6 +43,7 @@ func (caratTool) Run(_ context.Context, n *core.Noelle, opts tool.Options) (tool
 		it := interp.New(n.Mod)
 		it.SeqDispatch = opts.SeqDispatch
 		it.DispatchWorkers = opts.DispatchWorkers
+		it.Eng = interp.Engine(opts.Engine)
 		it.Tracer = opts.Tracer
 		if _, err := it.Run(); err != nil {
 			rep.Detail = append(rep.Detail, fmt.Sprintf("guard validation run failed: %v", err))

@@ -138,7 +138,9 @@ func ParseIR(src string) (*Module, error) { return irtext.Parse(src) }
 // PrintIR renders a module in the textual IR format.
 func PrintIR(m *Module) string { return ir.Print(m) }
 
-// Run executes a module's @main under the reference interpreter and
+// Run executes a module's @main under the interpreter (on its default
+// execution tier — see internal/interp: the compiled fast path, or the
+// walker when NOELLE_ENGINE=walker) and
 // returns its exit code and output. Modules produced by the
 // parallelizing tools contain noelle_dispatch calls whose task workers
 // run concurrently on real cores; use RunSeq to force the sequential

@@ -11,9 +11,14 @@
 // loops carry an attribution block from a separate traced run
 // (internal/obs) decomposing where the seq-vs-par wall-clock gap went.
 //
+// Every leg runs on one interpreter execution tier (-engine, default
+// the process default — the compiled tier); rows and the meta block
+// record which, so benchcompare refuses to diff artifacts measured on
+// different tiers as if they were the same experiment.
+//
 // Usage: go run ./scripts/benchauto [-cores 4] [-size 0]
 //
-//	[-queue-cap 0] [-o BENCH_auto.json]
+//	[-queue-cap 0] [-engine walker|compiled] [-o BENCH_auto.json]
 package main
 
 import (
@@ -24,11 +29,13 @@ import (
 	"time"
 
 	"noelle/internal/eval"
+	"noelle/internal/interp"
 )
 
 // Row is one leg's measurement.
 type Row struct {
 	Technique string            `json:"technique"`
+	Engine    string            `json:"engine"`
 	Loops     int               `json:"loops"`
 	Chosen    []string          `json:"chosen,omitempty"` // auto leg: fn/header=technique
 	SeqMS     float64           `json:"seq_ms"`
@@ -74,17 +81,22 @@ func main() {
 	cores := flag.Int("cores", 4, "core count for the plans and the dispatch cap")
 	size := flag.Int("size", 0, "iteration count per loop (0 = bundled default)")
 	queueCap := flag.Int("queue-cap", 0, "communication queue capacity (0 = default)")
+	engine := flag.String("engine", "", "interpreter execution tier: walker|compiled (default: process default, see NOELLE_ENGINE)")
 	out := flag.String("o", "BENCH_auto.json", "output JSON path")
 	flag.Parse()
 
-	if err := run(*cores, *size, *queueCap, *out); err != nil {
+	if err := run(*cores, *size, *queueCap, *engine, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchauto:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cores, size, queueCap int, out string) error {
-	rows, err := eval.AutoStudy(size, cores, 0, queueCap, false)
+func run(cores, size, queueCap int, engine, out string) error {
+	eng, err := interp.ParseEngine(engine)
+	if err != nil {
+		return err
+	}
+	rows, err := eval.AutoStudy(size, cores, 0, queueCap, false, eng)
 	if err != nil {
 		return err
 	}
@@ -105,6 +117,7 @@ func run(cores, size, queueCap int, out string) error {
 			}
 			br.Rows = append(br.Rows, Row{
 				Technique: r.Technique,
+				Engine:    r.Engine,
 				Loops:     r.Loops,
 				Chosen:    r.Chosen,
 				SeqMS:     float64(r.SeqWall.Microseconds()) / 1000,
@@ -113,8 +126,8 @@ func run(cores, size, queueCap int, out string) error {
 				Identical: r.Identical,
 				Attrib:    r.Attrib,
 			})
-			fmt.Fprintf(os.Stderr, "%s %s loops=%d seq=%v par=%v measured=%.2fx identical=%v\n",
-				bm, r.Technique, r.Loops, r.SeqWall.Round(time.Millisecond),
+			fmt.Fprintf(os.Stderr, "engine=%s %s %s loops=%d seq=%v par=%v measured=%.2fx identical=%v\n",
+				r.Engine, bm, r.Technique, r.Loops, r.SeqWall.Round(time.Millisecond),
 				r.ParWall.Round(time.Millisecond), r.Measured, r.Identical)
 			if !r.Identical {
 				// The artifact doubles as CI's equivalence guard: a

@@ -8,7 +8,22 @@
 //
 //	go run ./scripts/benchcompare BENCH_pipeline.json /tmp/new.json
 //
+// -tiers flips benchcompare into its second role: instead of diffing two
+// commits, it reads ONE artifact whose rows carry per-engine
+// measurements (schema v3: bench scripts sweep walker and compiled) and
+// pairs the walker/compiled rows of otherwise-identical identity. The
+// walker is the reference baseline, so the report is the compiled
+// tier's wall-clock speedup over it (walker par_ms / compiled par_ms);
+// a pair where the compiled tier is *slower* than the walker beyond the
+// artifact's noise margin is a regression (exit 1) — the fast path must
+// never lose to the oracle it is checked against.
+//
+//	go run ./scripts/benchcompare -tiers BENCH_parallel.json
+//
 // Usage: go run ./scripts/benchcompare [-margin 0] old.json new.json
+//
+//	benchcompare -tiers [-margin 0] one.json
+//
 // (-margin overrides the noise margin recorded in the new artifact).
 package main
 
@@ -22,7 +37,19 @@ import (
 
 func main() {
 	margin := flag.Float64("margin", 0, "noise margin override (0 = use the new artifact's meta.noise_margin)")
+	tiers := flag.Bool("tiers", false, "diff the walker/compiled rows inside ONE artifact and report per-tier speedup")
 	flag.Parse()
+	if *tiers {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchcompare -tiers [-margin 0.95] one.json")
+			os.Exit(2)
+		}
+		if err := runTiers(flag.Arg(0), *margin); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcompare:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchcompare [-margin 0.95] old.json new.json")
 		os.Exit(2)
@@ -134,15 +161,112 @@ func commitOf(meta map[string]any) string {
 	return s
 }
 
-// collect walks the document and records every "speedup"-like field
-// under a path built from the identifying fields of the objects that
-// enclose it (benchmark name, technique, worker count), so rows pair up
-// across artifacts regardless of array order.
-func collect(v any, path string, out map[string]float64) {
+// runTiers implements -tiers: pair up the walker/compiled rows of one
+// schema-v3 artifact by their engine-less identity and report the
+// compiled tier's wall-clock speedup over the walker reference.
+func runTiers(path string, margin float64) error {
+	doc, err := load(path)
+	if err != nil {
+		return err
+	}
+	meta := metaOf(doc)
+	if s := schemaOf(meta); s < 3 {
+		return fmt.Errorf("%s: schema v%d has no per-engine rows — regenerate with the current bench scripts (-engine both)", path, s)
+	}
+	if margin <= 0 {
+		margin = 0.95
+		if m, ok := meta["noise_margin"].(float64); ok && m > 0 {
+			margin = m
+		}
+	}
+	fmt.Printf("tier diff of %s (margin %.2f)\n", path, margin)
+
+	rows := map[string]map[string]float64{}
+	collectTiers(doc, "", rows)
+
+	keys := make([]string, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	pairs, regressions := 0, 0
+	for _, k := range keys {
+		wk, haveWk := rows[k]["walker"]
+		cp, haveCp := rows[k]["compiled"]
+		if !haveWk || !haveCp {
+			for eng, ms := range rows[k] {
+				fmt.Printf("  UNPAIRED   %-40s engine=%s %.3fms (no counterpart row)\n", k, eng, ms)
+			}
+			continue
+		}
+		pairs++
+		if cp <= 0 {
+			fmt.Printf("  ok         %-40s walker %.3fms, compiled too fast to time\n", k, wk)
+			continue
+		}
+		tier := wk / cp
+		if tier < margin {
+			regressions++
+			fmt.Printf("  REGRESSION %-40s compiled %.3fx of walker (%.3fms -> %.3fms, floor %.3fx)\n", k, tier, wk, cp, margin)
+			continue
+		}
+		fmt.Printf("  ok         %-40s compiled %.2fx over walker (%.3fms -> %.3fms)\n", k, tier, wk, cp)
+	}
+	if pairs == 0 {
+		return fmt.Errorf("%s: no walker/compiled row pairs found", path)
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d tier regression(s): compiled slower than the walker beyond the noise margin", regressions)
+	}
+	fmt.Printf("%d tier pair(s), compiled never slower than the walker\n", pairs)
+	return nil
+}
+
+// collectTiers walks the document and records every row's par_ms under
+// its engine-less identity (benchmark/technique/workers), keyed by the
+// row's engine — the pairing input of runTiers.
+func collectTiers(v any, path string, out map[string]map[string]float64) {
 	switch t := v.(type) {
 	case map[string]any:
 		p := path
 		for _, idk := range [...]string{"benchmark", "technique"} {
+			if s, ok := t[idk].(string); ok && s != "" {
+				p = join(p, s)
+			}
+		}
+		if w, ok := t["workers"].(float64); ok {
+			p = join(p, fmt.Sprintf("workers=%d", int(w)))
+		}
+		eng, _ := t["engine"].(string)
+		if ms, ok := t["par_ms"].(float64); ok && eng != "" {
+			if out[p] == nil {
+				out[p] = map[string]float64{}
+			}
+			out[p][eng] = ms
+		}
+		for k, c := range t {
+			if k == "attribution" {
+				continue
+			}
+			collectTiers(c, p, out)
+		}
+	case []any:
+		for _, c := range t {
+			collectTiers(c, path, out)
+		}
+	}
+}
+
+// collect walks the document and records every "speedup"-like field
+// under a path built from the identifying fields of the objects that
+// enclose it (benchmark name, technique, worker count, engine), so rows
+// pair up across artifacts regardless of array order.
+func collect(v any, path string, out map[string]float64) {
+	switch t := v.(type) {
+	case map[string]any:
+		p := path
+		for _, idk := range [...]string{"benchmark", "technique", "engine"} {
 			if s, ok := t[idk].(string); ok && s != "" {
 				p = join(p, s)
 			}

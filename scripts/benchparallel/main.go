@@ -8,9 +8,15 @@
 // carries an attribution block from a separate traced run (internal/obs)
 // decomposing where the seq-vs-par wall-clock gap went.
 //
+// By default the sweep runs once per execution tier (walker and
+// compiled), tagging every row with its engine: within one artifact the
+// per-engine rows of the same worker count measure the compiled tier's
+// speedup over the walker (scripts/benchcompare -tiers gates on it).
+// -engine walker|compiled restricts the sweep to one tier.
+//
 // Usage: go run ./scripts/benchparallel [-workers 4] [-size 0]
 //
-//	[-o BENCH_parallel.json]
+//	[-engine both|walker|compiled] [-o BENCH_parallel.json]
 package main
 
 import (
@@ -21,11 +27,13 @@ import (
 	"time"
 
 	"noelle/internal/eval"
+	"noelle/internal/interp"
 )
 
-// Row is one worker count's measurement.
+// Row is one worker count's measurement on one execution tier.
 type Row struct {
 	Workers   int               `json:"workers"`
+	Engine    string            `json:"engine"`
 	Modeled   float64           `json:"modeled_speedup"`
 	SeqMS     float64           `json:"seq_ms"`
 	ParMS     float64           `json:"par_ms"`
@@ -42,25 +50,38 @@ type Artifact struct {
 	Rows      []Row          `json:"rows"`
 }
 
+// sweepEngines resolves the -engine flag: "both" (default) measures the
+// walker first (the reference baseline), then the compiled tier.
+func sweepEngines(flagVal string) ([]interp.Engine, error) {
+	if flagVal == "both" || flagVal == "" {
+		return []interp.Engine{interp.EngineWalker, interp.EngineCompiled}, nil
+	}
+	eng, err := interp.ParseEngine(flagVal)
+	if err != nil {
+		return nil, err
+	}
+	return []interp.Engine{eng}, nil
+}
+
 func main() {
 	workers := flag.Int("workers", 4, "top worker count of the sweep (powers of two up to this)")
 	size := flag.Int("size", 0, "array length per loop (0 = bundled default)")
+	engine := flag.String("engine", "both", "execution tier(s) to measure: both|walker|compiled")
 	out := flag.String("o", "BENCH_parallel.json", "output JSON path")
 	flag.Parse()
 
-	if err := run(*workers, *size, *out); err != nil {
+	if err := run(*workers, *size, *engine, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchparallel:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topWorkers, size int, out string) error {
+func run(topWorkers, size int, engine, out string) error {
 	counts := eval.WorkerSweep(topWorkers)
 	if counts == nil {
 		return fmt.Errorf("-workers must be >= 1 (got %d)", topWorkers)
 	}
-
-	rows, err := eval.WallClockStudy(size, counts, 0, false)
+	engines, err := sweepEngines(engine)
 	if err != nil {
 		return err
 	}
@@ -73,22 +94,29 @@ func run(topWorkers, size int, out string) error {
 	if art.Size == 0 {
 		art.Size = 65536
 	}
-	for _, r := range rows {
-		art.Rows = append(art.Rows, Row{
-			Workers:   r.Workers,
-			Modeled:   r.Modeled,
-			SeqMS:     float64(r.SeqWall.Microseconds()) / 1000,
-			ParMS:     float64(r.ParWall.Microseconds()) / 1000,
-			Speedup:   r.Measured,
-			Identical: r.Identical,
-			Attrib:    r.Attrib,
-		})
-		fmt.Fprintf(os.Stderr, "workers=%d modeled=%.2fx seq=%v par=%v measured=%.2fx identical=%v\n",
-			r.Workers, r.Modeled, r.SeqWall.Round(time.Millisecond), r.ParWall.Round(time.Millisecond),
-			r.Measured, r.Identical)
-		if a := r.Attrib; a != nil {
-			fmt.Fprintf(os.Stderr, "  gap=%.0fms blocked(crit)=%.0fms overhead=%.0fms trace-tax~%.0fms -> %.0f%% attributed\n",
-				a.GapMS, a.BlockedCritMS, a.OverheadMS, a.TraceTaxMS, 100*a.AttributedFrac)
+	for _, eng := range engines {
+		rows, err := eval.WallClockStudy(size, counts, 0, false, eng)
+		if err != nil {
+			return fmt.Errorf("engine=%s: %w", eng, err)
+		}
+		for _, r := range rows {
+			art.Rows = append(art.Rows, Row{
+				Workers:   r.Workers,
+				Engine:    r.Engine,
+				Modeled:   r.Modeled,
+				SeqMS:     float64(r.SeqWall.Microseconds()) / 1000,
+				ParMS:     float64(r.ParWall.Microseconds()) / 1000,
+				Speedup:   r.Measured,
+				Identical: r.Identical,
+				Attrib:    r.Attrib,
+			})
+			fmt.Fprintf(os.Stderr, "engine=%s workers=%d modeled=%.2fx seq=%v par=%v measured=%.2fx identical=%v\n",
+				r.Engine, r.Workers, r.Modeled, r.SeqWall.Round(time.Millisecond), r.ParWall.Round(time.Millisecond),
+				r.Measured, r.Identical)
+			if a := r.Attrib; a != nil {
+				fmt.Fprintf(os.Stderr, "  gap=%.0fms blocked(crit)=%.0fms overhead=%.0fms trace-tax~%.0fms -> %.0f%% attributed\n",
+					a.GapMS, a.BlockedCritMS, a.OverheadMS, a.TraceTaxMS, 100*a.AttributedFrac)
+			}
 		}
 	}
 

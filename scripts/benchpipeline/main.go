@@ -14,9 +14,16 @@
 // where the seq-vs-par wall-clock gap went. -trace additionally exports
 // those traced runs as one Chrome trace-event JSON timeline.
 //
+// By default the study runs once per execution tier (walker and
+// compiled), tagging every row with its engine: within one artifact the
+// per-engine rows of the same technique measure the compiled tier's
+// speedup over the walker (scripts/benchcompare -tiers gates on it).
+// -engine walker|compiled restricts the study to one tier.
+//
 // Usage: go run ./scripts/benchpipeline [-cores 4] [-size 0]
 //
-//	[-queue-cap 0] [-trace trace.json] [-o BENCH_pipeline.json]
+//	[-queue-cap 0] [-engine both|walker|compiled] [-trace trace.json]
+//	[-o BENCH_pipeline.json]
 package main
 
 import (
@@ -27,12 +34,14 @@ import (
 	"time"
 
 	"noelle/internal/eval"
+	"noelle/internal/interp"
 	"noelle/internal/obs"
 )
 
-// Row is one technique's measurement.
+// Row is one technique's measurement on one execution tier.
 type Row struct {
 	Technique string            `json:"technique"`
+	Engine    string            `json:"engine"`
 	Cores     int               `json:"cores"`
 	Parts     int               `json:"parts"` // DSWP stages / HELIX sequential segments
 	Modeled   float64           `json:"modeled_speedup"`
@@ -52,22 +61,36 @@ type Artifact struct {
 	Rows      []Row          `json:"rows"`
 }
 
+// sweepEngines resolves the -engine flag: "both" (default) measures the
+// walker first (the reference baseline), then the compiled tier.
+func sweepEngines(flagVal string) ([]interp.Engine, error) {
+	if flagVal == "both" || flagVal == "" {
+		return []interp.Engine{interp.EngineWalker, interp.EngineCompiled}, nil
+	}
+	eng, err := interp.ParseEngine(flagVal)
+	if err != nil {
+		return nil, err
+	}
+	return []interp.Engine{eng}, nil
+}
+
 func main() {
 	cores := flag.Int("cores", 4, "core count for the pipeline plans and the dispatch cap")
 	size := flag.Int("size", 0, "iteration count per loop (0 = bundled default)")
 	queueCap := flag.Int("queue-cap", 0, "communication queue capacity (0 = default)")
+	engine := flag.String("engine", "both", "execution tier(s) to measure: both|walker|compiled")
 	trace := flag.String("trace", "", "also export the attribution runs as a Chrome trace-event JSON file")
 	out := flag.String("o", "BENCH_pipeline.json", "output JSON path")
 	flag.Parse()
 
-	if err := run(*cores, *size, *queueCap, *trace, *out); err != nil {
+	if err := run(*cores, *size, *queueCap, *engine, *trace, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchpipeline:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cores, size, queueCap int, trace, out string) error {
-	rows, err := eval.PipelineWallClockStudy(size, cores, 0, queueCap, false)
+func run(cores, size, queueCap int, engine, trace, out string) error {
+	engines, err := sweepEngines(engine)
 	if err != nil {
 		return err
 	}
@@ -81,34 +104,41 @@ func run(cores, size, queueCap int, trace, out string) error {
 		art.Size = 65536
 	}
 	var legs []obs.TraceLeg
-	for _, r := range rows {
-		art.Rows = append(art.Rows, Row{
-			Technique: r.Technique,
-			Cores:     r.Cores,
-			Parts:     r.Parts,
-			Modeled:   r.Modeled,
-			SeqMS:     float64(r.SeqWall.Microseconds()) / 1000,
-			ParMS:     float64(r.ParWall.Microseconds()) / 1000,
-			Speedup:   r.Measured,
-			CommOps:   r.QueueOps,
-			Identical: r.Identical,
-			Attrib:    r.Attrib,
-		})
-		fmt.Fprintf(os.Stderr, "%s cores=%d parts=%d modeled=%.2fx seq=%v par=%v measured=%.2fx comm=%d identical=%v\n",
-			r.Technique, r.Cores, r.Parts, r.Modeled, r.SeqWall.Round(time.Millisecond),
-			r.ParWall.Round(time.Millisecond), r.Measured, r.QueueOps, r.Identical)
-		if a := r.Attrib; a != nil {
-			fmt.Fprintf(os.Stderr, "  gap=%.0fms blocked(crit)=%.0fms overhead=%.0fms trace-tax~%.0fms -> %.0f%% attributed\n",
-				a.GapMS, a.BlockedCritMS, a.OverheadMS, a.TraceTaxMS, 100*a.AttributedFrac)
+	for _, eng := range engines {
+		rows, err := eval.PipelineWallClockStudy(size, cores, 0, queueCap, false, eng)
+		if err != nil {
+			return fmt.Errorf("engine=%s: %w", eng, err)
 		}
-		if r.Trace != nil {
-			legs = append(legs, obs.TraceLeg{Name: r.Technique, Tracer: r.Trace})
-		}
-		if !r.Identical {
-			// The artifact doubles as CI's equivalence guard: a parallel
-			// leg that diverges from -seq must fail the build, not just
-			// flip a JSON field.
-			return fmt.Errorf("%s: parallel output diverged from the sequential fallback", r.Technique)
+		for _, r := range rows {
+			art.Rows = append(art.Rows, Row{
+				Technique: r.Technique,
+				Engine:    r.Engine,
+				Cores:     r.Cores,
+				Parts:     r.Parts,
+				Modeled:   r.Modeled,
+				SeqMS:     float64(r.SeqWall.Microseconds()) / 1000,
+				ParMS:     float64(r.ParWall.Microseconds()) / 1000,
+				Speedup:   r.Measured,
+				CommOps:   r.QueueOps,
+				Identical: r.Identical,
+				Attrib:    r.Attrib,
+			})
+			fmt.Fprintf(os.Stderr, "engine=%s %s cores=%d parts=%d modeled=%.2fx seq=%v par=%v measured=%.2fx comm=%d identical=%v\n",
+				r.Engine, r.Technique, r.Cores, r.Parts, r.Modeled, r.SeqWall.Round(time.Millisecond),
+				r.ParWall.Round(time.Millisecond), r.Measured, r.QueueOps, r.Identical)
+			if a := r.Attrib; a != nil {
+				fmt.Fprintf(os.Stderr, "  gap=%.0fms blocked(crit)=%.0fms overhead=%.0fms trace-tax~%.0fms -> %.0f%% attributed\n",
+					a.GapMS, a.BlockedCritMS, a.OverheadMS, a.TraceTaxMS, 100*a.AttributedFrac)
+			}
+			if r.Trace != nil {
+				legs = append(legs, obs.TraceLeg{Name: r.Engine + "/" + r.Technique, Tracer: r.Trace})
+			}
+			if !r.Identical {
+				// The artifact doubles as CI's equivalence guard: a parallel
+				// leg that diverges from -seq must fail the build, not just
+				// flip a JSON field.
+				return fmt.Errorf("engine=%s %s: parallel output diverged from the sequential fallback", r.Engine, r.Technique)
+			}
 		}
 	}
 

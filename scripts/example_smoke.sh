@@ -55,12 +55,19 @@ st_orig=$(run orig "$tmp/prof.nir")
 st_seq=$(run seq -seq "$tmp/par.nir")
 st_par=$(run par -queue-cap 16 "$tmp/par.nir")
 st_w2=$(run w2 -workers 2 "$tmp/par.nir")
+# Execution tiers: the walker (reference) and compiled (default) engines
+# must agree on exit code, cycles, steps, and output bytes too.
+st_wk=$(run wk -engine walker "$tmp/par.nir")
+st_cp=$(run cp -engine compiled "$tmp/par.nir")
 [ "${st_orig%% *}" = "${st_seq%% *}" ] && [ "$st_seq" = "$st_par" ] && [ "$st_par" = "$st_w2" ] ||
   { echo "FAIL: exit/cycles/steps diverged (orig='$st_orig' seq='$st_seq' par='$st_par' w2='$st_w2')"; exit 1; }
+[ "$st_wk" = "$st_cp" ] && [ "$st_cp" = "$st_par" ] ||
+  { echo "FAIL: execution tiers diverged (walker='$st_wk' compiled='$st_cp' default='$st_par')"; exit 1; }
 
 diff -u examples/parallelize/testdata/expected_output.txt "$tmp/orig.txt"
 diff -u "$tmp/orig.txt" "$tmp/seq.txt"
 diff -u "$tmp/seq.txt" "$tmp/par.txt"
 diff -u "$tmp/par.txt" "$tmp/w2.txt"
+diff -u "$tmp/wk.txt" "$tmp/cp.txt"
 
 echo "example-smoke: OK (auto selected per-loop techniques; output byte-identical)"
