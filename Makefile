@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race tier-diff bench bench-cache bench-parallel bench-pipeline bench-auto cache-smoke check-docs example-smoke trace-smoke
+.PHONY: build test vet lint race tier-diff bench bench-cache bench-parallel bench-pipeline bench-auto bench-serve cache-smoke serve-smoke check-docs example-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,21 @@ bench-cache:
 # noelle-cache stats).
 cache-smoke:
 	bash scripts/cache_smoke.sh
+
+# Compile-service smoke through the real daemon under -race: concurrent
+# mixed requests, an identical burst that must coalesce, a warm re-run
+# that must hit the resident session and byte-match a cold noelle-load
+# run, then a graceful drain (asserted via the stats endpoint and a
+# report diff — see scripts/serve_smoke.sh).
+serve-smoke:
+	bash scripts/serve_smoke.sh
+
+# Warm-vs-cold service study: identical client fleets at several
+# concurrency levels against a session-reusing daemon and a
+# cold-per-request one, recorded as JSON with throughput and
+# p50/p95/p99 latency. Gates on warm mean latency >= 2x better.
+bench-serve:
+	$(GO) run ./scripts/benchserve -mode bench -o BENCH_serve.json
 
 # Seq-vs-parallel wall-clock of the interpreter's dispatch runtime on the
 # DOALL-transformed bundled parallel benchmark, recorded as JSON. The

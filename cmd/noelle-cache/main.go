@@ -7,7 +7,9 @@
 //	stats      store-wide totals: modules, records, bytes, and the
 //	           hit/miss/put counters sessions fold into the stats file
 //	           (last.* describes the most recent session — a fully warm
-//	           run shows last.misses=0)
+//	           run shows last.misses=0); -json renders the same data
+//	           through the abscache.RootStats codec the noelle-serve
+//	           stats endpoint also speaks
 //	ls         every module directory with its indexed functions
 //	dump FN    decode function FN's record: edges (positional, with the
 //	           pdg flag encoding) and per-loop abstraction summaries
@@ -17,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +30,7 @@ import (
 
 func main() {
 	dir := flag.String("dir", "", "abstraction store root (the noelle-load -cache-dir value)")
+	jsonOut := flag.Bool("json", false, "render stats as JSON (the abscache.RootStats codec the noelle-serve stats endpoint also speaks)")
 	flag.Parse()
 	if *dir == "" || flag.NArg() < 1 {
 		usage()
@@ -34,7 +38,11 @@ func main() {
 	var err error
 	switch cmd := flag.Arg(0); cmd {
 	case "stats":
-		err = stats(*dir)
+		if *jsonOut {
+			err = statsJSON(*dir)
+		} else {
+			err = stats(*dir)
+		}
 	case "ls":
 		err = ls(*dir)
 	case "dump":
@@ -56,8 +64,22 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: noelle-cache -dir DIR <stats|ls|dump FN|gc|clear>")
+	fmt.Fprintln(os.Stderr, "usage: noelle-cache -dir DIR [-json] <stats|ls|dump FN|gc|clear>")
 	os.Exit(2)
+}
+
+// statsJSON renders the store root through the shared RootStats codec.
+func statsJSON(dir string) error {
+	rs, err := abscache.CollectRootStats(dir)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rs, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
 }
 
 func stats(dir string) error {

@@ -1,0 +1,88 @@
+// noelle-serve is the NOELLE compile service: a long-running daemon
+// that accepts concurrent analyze/transform/execute requests over a
+// length-prefixed protocol (internal/serve) and answers them from one
+// warm process. Modules are kept resident as sessions keyed by
+// structural fingerprint, identical in-flight requests coalesce, the
+// persistent abstraction stores under -cache-dir are shared by every
+// client, and a bounded worker pool sheds load with a retryable
+// "saturated" status instead of queueing without bound.
+//
+// Usage: noelle-serve -listen unix:/tmp/noelle.sock [-cache-dir DIR]
+//
+// The daemon drains gracefully on SIGINT/SIGTERM or a protocol shutdown
+// request: queued and running requests finish and are answered, stores
+// fold their counters to disk, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"noelle/internal/obs"
+	"noelle/internal/serve"
+
+	// Link every registered custom tool into the daemon.
+	_ "noelle/internal/tools"
+)
+
+func main() {
+	listen := flag.String("listen", "unix:/tmp/noelle-serve.sock", "listen address (unix:PATH or tcp:HOST:PORT)")
+	cacheDir := flag.String("cache-dir", "", "persistent abstraction store root shared by all sessions (empty: memory-only)")
+	workers := flag.Int("workers", runtime.NumCPU(), "execution pool size")
+	queue := flag.Int("queue", 64, "request queue depth before saturated fast-fail")
+	sessionCap := flag.Int("sessions", 16, "max resident warm module sessions (LRU beyond)")
+	metrics := flag.Bool("metrics", false, "dump the service metrics registry to stderr on shutdown")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "max graceful drain wait before cancelling in-flight pipelines")
+	flag.Parse()
+
+	network, target := serve.SplitAddr(*listen)
+	if network == "unix" {
+		// A stale socket from a crashed daemon would fail the bind.
+		os.Remove(target)
+	}
+	ln, err := net.Listen(network, target)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	reg := obs.NewRegistry()
+	srv := serve.New(serve.Config{
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		MaxSessions: *sessionCap,
+		CacheDir:    *cacheDir,
+		Registry:    reg,
+	})
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "noelle-serve: draining")
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "noelle-serve: listening on %s (%d workers, queue %d, %d sessions)\n",
+		*listen, *workers, *queue, *sessionCap)
+	err = srv.Serve(ln)
+	if network == "unix" {
+		os.Remove(target)
+	}
+	if *metrics {
+		fmt.Fprint(os.Stderr, reg.Format())
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

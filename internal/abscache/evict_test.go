@@ -1,0 +1,50 @@
+package abscache_test
+
+import (
+	"testing"
+
+	"noelle/internal/abscache"
+)
+
+// TestDirtyEvictionWritesBack: a record enriched with loop summaries
+// (dirty in the in-memory tier) must not lose them when LRU pressure
+// evicts it before the next flush — the compile-service deployment hits
+// this routinely, with many concurrent sessions sharing one store.
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	m := compile(t)
+	root := t.TempDir()
+	st, err := abscache.Open(root, m, 1) // one-slot memory tier
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+
+	_, _, recStep := buildRecord(t, m, "step")
+	if err := st.Put(recStep); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	sum := abscache.LoopSummary{Header: 1, Depth: 1, NumInstrs: 9, IVs: 1, HasGovIV: true}
+	st.AddLoopSummary(recStep.Fingerprint, sum)
+
+	// Admitting a second record evicts the dirty first one.
+	_, _, recMain := buildRecord(t, m, "main")
+	if err := st.Put(recMain); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	rec, _, err := abscache.FindRecord(root, "step")
+	if err != nil {
+		t.Fatalf("find: %v", err)
+	}
+	found := false
+	for _, l := range rec.Loops {
+		if l == sum {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("loop summary lost across dirty eviction: on-disk loops = %+v", rec.Loops)
+	}
+}

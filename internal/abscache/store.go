@@ -17,11 +17,13 @@ import (
 
 // Stats counts one session's store traffic. A hit is a record that
 // decoded into a valid graph; everything else (absent, corrupt, stale
-// shape) is a miss, and the caller rebuilds.
+// shape) is a miss, and the caller rebuilds. The JSON tags are the wire
+// codec shared by `noelle-cache stats -json` and the noelle-serve stats
+// endpoint — one layout, two surfaces.
 type Stats struct {
-	Hits   int64
-	Misses int64
-	Puts   int64
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Puts   int64 `json:"puts"`
 }
 
 // IndexEntry is one line of a module's index file: the latest
@@ -145,11 +147,26 @@ func (s *Store) Get(fp ir.Fingerprint, f *ir.Function) (*pdg.Graph, *Record, boo
 	}
 	s.mu.Lock()
 	if !cached {
-		s.lru.put(fp, rec)
+		s.admitLocked(fp, rec)
 	}
 	s.stats.Hits++
 	s.mu.Unlock()
 	return g, rec, true
+}
+
+// admitLocked inserts rec into the memory tier, writing back any evicted
+// record that still carries unflushed loop-summary enrichment — without
+// this, concurrent sessions thrashing the LRU (the daemon's steady
+// state) would silently drop summaries that were only resident in the
+// evicted copy. The write is best effort: an error only costs warmth,
+// never correctness. Caller holds mu.
+func (s *Store) admitLocked(fp ir.Fingerprint, rec *Record) {
+	for _, ev := range s.lru.put(fp, rec) {
+		if s.dirty[ev.fp] {
+			delete(s.dirty, ev.fp)
+			s.writeRecord(ev.rec)
+		}
+	}
 }
 
 func (s *Store) miss() {
@@ -164,7 +181,7 @@ func (s *Store) Put(rec *Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Puts++
-	s.lru.put(rec.Fingerprint, rec)
+	s.admitLocked(rec.Fingerprint, rec)
 	if err := s.writeRecord(rec); err != nil {
 		return err
 	}
@@ -191,7 +208,7 @@ func (s *Store) AddLoopSummary(fp ir.Fingerprint, sum LoopSummary) {
 		if rec, err = s.readRecord(fp); err != nil {
 			return
 		}
-		s.lru.put(fp, rec)
+		s.admitLocked(fp, rec)
 	}
 	for i, l := range rec.Loops {
 		if l.Header == sum.Header {
@@ -212,7 +229,9 @@ func (s *Store) AddLoopSummary(fp ir.Fingerprint, sum LoopSummary) {
 	}
 }
 
-// Stats returns this session's counters.
+// Stats returns a snapshot of this session's counters: a by-value copy
+// taken under the store lock, safe to poll concurrently with live
+// traffic (the noelle-serve stats endpoint does, on every request).
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -231,7 +250,7 @@ func (s *Store) flushLocked() error {
 	for fp := range s.dirty {
 		rec, ok := s.lru.get(fp)
 		if !ok {
-			continue // evicted; the on-disk record is still the pre-enrichment one
+			continue // unreachable: eviction writes dirty records back and clears the mark
 		}
 		if err := s.writeRecord(rec); err != nil {
 			return err

@@ -130,6 +130,38 @@ func (p *Fingerprinter) Function(f *Function) Fingerprint {
 	return fp
 }
 
+// Module returns a structural fingerprint of the whole module: the
+// globals hash plus every function's closure fingerprint, folded in
+// name-sorted order. Two modules with equal fingerprints have equal
+// abstractions for every function, so a compile service (internal/serve)
+// keys warm per-module sessions by it. Like Function, the hash survives
+// CloneModule, print→parse round trips, and ID renumbering.
+func (p *Fingerprinter) Module() Fingerprint {
+	fns := append([]*Function(nil), p.mod.Functions...)
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Nam < fns[j].Nam })
+	h := sha256.New()
+	writeStr(h, "noelle.modfp.v1")
+	p.mu.Lock()
+	g := p.globalsLocked()
+	p.mu.Unlock()
+	h.Write(g[:])
+	for _, f := range fns {
+		writeStr(h, f.Nam)
+		fp := p.Function(f)
+		h.Write(fp[:])
+	}
+	var fp Fingerprint
+	h.Sum(fp[:0])
+	return fp
+}
+
+// ModuleFingerprint computes m's structural fingerprint with a throwaway
+// fingerprinter (callers that also need per-function fingerprints should
+// share one Fingerprinter instead).
+func ModuleFingerprint(m *Module) Fingerprint {
+	return NewFingerprinter(m).Module()
+}
+
 // reachableLocked returns the functions reachable from f through direct
 // calls. An indirect call makes the result conservatively the whole
 // module (any address-taken function may run). The per-function callee

@@ -108,3 +108,60 @@ func TestFingerprintDistinctFunctionsDiffer(t *testing.T) {
 		t.Error("different functions share a fingerprint")
 	}
 }
+
+// Module fingerprints key the compile service's session cache: any two
+// structurally identical modules — cloned, renumbered, reordered — must
+// land on one resident session, and any semantic change must not.
+
+func TestModuleFingerprintStableAcrossCloneAndCosmetics(t *testing.T) {
+	m := buildCallerModule(t)
+	want := ModuleFingerprint(m)
+
+	if got := ModuleFingerprint(CloneModule(m)); got != want {
+		t.Errorf("clone module fingerprint %s != %s", got.Short(), want.Short())
+	}
+	m.AssignIDs()
+	m.Instrs(func(_ *Function, in *Instr) bool {
+		in.ID = in.ID*31 + 1000
+		return true
+	})
+	if got := ModuleFingerprint(m); got != want {
+		t.Errorf("renumbering changed module fingerprint: %s != %s", got.Short(), want.Short())
+	}
+	// Function declaration order is cosmetic too: the hash sorts by name.
+	m2 := buildCallerModule(t)
+	for i, j := 0, len(m2.Functions)-1; i < j; i, j = i+1, j-1 {
+		m2.Functions[i], m2.Functions[j] = m2.Functions[j], m2.Functions[i]
+	}
+	if got := ModuleFingerprint(m2); got != want {
+		t.Errorf("function reorder changed module fingerprint: %s != %s", got.Short(), want.Short())
+	}
+}
+
+func TestModuleFingerprintChangesOnSemanticEdits(t *testing.T) {
+	want := ModuleFingerprint(buildCallerModule(t))
+
+	m := buildCallerModule(t)
+	m.FunctionByName("main").Blocks[0].Instrs[1].Ops[1] = ConstInt(42)
+	if ModuleFingerprint(m) == want {
+		t.Error("body edit did not change module fingerprint")
+	}
+
+	m = buildCallerModule(t)
+	m.Globals[0].Init[0] = 99
+	if ModuleFingerprint(m) == want {
+		t.Error("global initializer edit did not change module fingerprint")
+	}
+
+	// An extra function changes the module even though existing
+	// functions keep their fingerprints.
+	m = buildCallerModule(t)
+	f := NewFunction("extra", FuncOf(I64Type))
+	m.AddFunction(f)
+	b := NewBuilder()
+	b.SetInsertionBlock(f.NewBlock("entry"))
+	b.CreateRet(ConstInt(0))
+	if ModuleFingerprint(m) == want {
+		t.Error("added function did not change module fingerprint")
+	}
+}

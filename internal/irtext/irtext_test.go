@@ -196,3 +196,22 @@ entry:
 		t.Error("indirect call should have no static callee")
 	}
 }
+
+// TestModuleFingerprintSurvivesPrintParse: the session key the compile
+// service uses must be identical for a module and its textual round
+// trip — that is what lets clients ship re-printed IR and still land on
+// the resident warm session.
+func TestModuleFingerprintSurvivesPrintParse(t *testing.T) {
+	m1, err := Parse(sample)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	m2, err := Parse(ir.Print(m1))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	a, b := ir.ModuleFingerprint(m1), ir.ModuleFingerprint(m2)
+	if a != b {
+		t.Errorf("module fingerprint changed across print->parse: %s != %s", a.Short(), b.Short())
+	}
+}

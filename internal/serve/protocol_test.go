@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"noelle/internal/core"
+	"noelle/internal/tool"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		{},
+		[]byte("x"),
+		[]byte(`{"type":"ping"}`),
+		bytes.Repeat([]byte("noelle"), 10000),
+	}
+	var buf bytes.Buffer
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for i, want := range payloads {
+		got, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatalf("frame %d: ReadFrame: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := ReadFrame(&buf, 0); err != io.EOF {
+		t.Errorf("exhausted stream: got %v, want io.EOF", err)
+	}
+}
+
+// TestFrameTruncated distinguishes a clean close between frames (io.EOF)
+// from a torn frame (io.ErrUnexpectedEOF) at every cut point.
+func TestFrameTruncated(t *testing.T) {
+	var full bytes.Buffer
+	payload := []byte("abstraction")
+	if err := WriteFrame(&full, payload); err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < full.Len(); cut++ {
+		r := bytes.NewReader(full.Bytes()[:cut])
+		_, err := ReadFrame(r, 0)
+		switch {
+		case cut == 0:
+			if err != io.EOF {
+				t.Errorf("cut %d: got %v, want io.EOF", cut, err)
+			}
+		default:
+			if err != io.ErrUnexpectedEOF {
+				t.Errorf("cut %d: got %v, want io.ErrUnexpectedEOF", cut, err)
+			}
+		}
+	}
+}
+
+func TestFrameOversized(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<20)
+	_, err := ReadFrame(bytes.NewReader(hdr[:]), 1024)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+	// The writer side never splits: a frame at exactly the limit reads.
+	var buf bytes.Buffer
+	payload := bytes.Repeat([]byte("a"), 1024)
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadFrame(&buf, 1024); err != nil || len(got) != 1024 {
+		t.Fatalf("at-limit frame: got %d bytes, err %v", len(got), err)
+	}
+}
+
+// TestReportMsgRoundTrip checks the wire projection of tool.Report
+// renders byte-identically after a JSON round trip — the property the
+// serve-smoke byte-diff against noelle-load rests on.
+func TestReportMsgRoundTrip(t *testing.T) {
+	rep := tool.Report{
+		Tool:         "licm",
+		Summary:      "hoisted 3 of 4 candidates",
+		Metrics:      map[string]int64{"hoisted": 3, "candidates": 4},
+		Detail:       []string{"@kernel: hoisted mul", "@main: kept load"},
+		Abstractions: []core.Abstraction{"loops", "pdg"},
+	}
+	data, err := json.Marshal(reportMsg(rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msg ReportMsg
+	if err := json.Unmarshal(data, &msg); err != nil {
+		t.Fatal(err)
+	}
+	var want, got bytes.Buffer
+	rep.Fprint(&want)
+	msg.ToReport().Fprint(&got)
+	if want.String() != got.String() {
+		t.Errorf("rendering changed across the wire:\nwant:\n%sgot:\n%s", want.String(), got.String())
+	}
+}
+
+// TestReportMsgEmptyAbstractions: a report with no abstractions must
+// still render "[]" (not "[ ]" or a nil-slice artifact) after the trip.
+func TestReportMsgEmptyAbstractions(t *testing.T) {
+	rep := tool.Report{Tool: "dead", Summary: "nothing to delete", Metrics: map[string]int64{}}
+	data, _ := json.Marshal(reportMsg(rep))
+	var msg ReportMsg
+	if err := json.Unmarshal(data, &msg); err != nil {
+		t.Fatal(err)
+	}
+	var want, got bytes.Buffer
+	rep.Fprint(&want)
+	msg.ToReport().Fprint(&got)
+	if want.String() != got.String() {
+		t.Errorf("empty-abstraction rendering differs:\nwant:\n%sgot:\n%s", want.String(), got.String())
+	}
+}
+
+func TestStatsPayloadCounter(t *testing.T) {
+	p := &StatsPayload{Metrics: strings.Join([]string{
+		"serve.coalesced 7",
+		"serve.session.hits 12",
+		"serve.latency.run count=3 p50=1ms",
+	}, "\n")}
+	if got := p.Counter("serve.coalesced"); got != 7 {
+		t.Errorf("coalesced = %d, want 7", got)
+	}
+	if got := p.Counter("serve.session.hits"); got != 12 {
+		t.Errorf("hits = %d, want 12", got)
+	}
+	if got := p.Counter("serve.session.misses"); got != 0 {
+		t.Errorf("absent counter = %d, want 0", got)
+	}
+	if got := p.Counter("serve.latency.run"); got != 0 {
+		t.Errorf("histogram line parsed as counter: %d", got)
+	}
+}

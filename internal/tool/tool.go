@@ -18,6 +18,7 @@ package tool
 import (
 	"context"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -117,6 +118,23 @@ func (r Report) String() string {
 	return r.Tool + ": " + r.Summary
 }
 
+// Fprint writes the report in the canonical noelle-load stderr layout:
+// the summary line, indented detail lines, a metrics line when any
+// metric was recorded, and the requested-abstractions line. The compile
+// service's client (internal/serve) renders received reports through the
+// same function, which is what makes "daemon reports byte-identical to a
+// cold noelle-load run" checkable with a plain diff.
+func (r Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s: %s\n", r.Tool, r.Summary)
+	for _, d := range r.Detail {
+		fmt.Fprintf(w, "  %s\n", d)
+	}
+	if len(r.Metrics) > 0 {
+		fmt.Fprintf(w, "%s: metrics: %s\n", r.Tool, r.MetricsLine())
+	}
+	fmt.Fprintf(w, "%s: abstractions requested: %v\n", r.Tool, r.Abstractions)
+}
+
 // MetricsLine renders the metrics as "k1=v1 k2=v2" in sorted key order.
 func (r Report) MetricsLine() string {
 	keys := make([]string, 0, len(r.Metrics))
@@ -157,8 +175,12 @@ type ConditionalTransformer interface {
 	TransformsWith(opts Options) bool
 }
 
-// transforms resolves whether t may mutate the module under opts.
-func transforms(t Tool, opts Options) bool {
+// TransformsWith resolves whether t may mutate the module under opts,
+// consulting ConditionalTransformer when implemented. Callers that need
+// to know up front whether a pipeline is read-only (the compile service
+// decides between running on a shared warm manager and cloning the
+// module) use this instead of the static Transforms().
+func TransformsWith(t Tool, opts Options) bool {
 	if ct, ok := t.(ConditionalTransformer); ok {
 		return ct.TransformsWith(opts)
 	}
@@ -289,6 +311,25 @@ func (s *VerifierStats) add(r *verify.Result) {
 // transformed functions re-fingerprint, so their stale records are
 // simply never requested again (noelle-cache gc sweeps them).
 func RunPipeline(ctx context.Context, n *core.Noelle, names []string, opts Options) ([]Report, VerifierStats, error) {
+	return RunPipelineStream(ctx, n, names, opts, nil)
+}
+
+// RunPipelineStream is RunPipeline with per-stage delivery: when emit is
+// non-nil it is called with each stage's report as soon as the stage
+// finishes running (before post-stage verification), in pipeline order.
+// The compile service streams reports to its client through this; the
+// returned slice still accumulates every emitted report.
+//
+// Concurrency note for shared stores: multiple pipelines may run
+// concurrently over distinct managers attached (WithStore/SetStore) to
+// one abscache.Store — the daemon does exactly that. Every store
+// operation the pipeline triggers (warm Gets during precompute, Puts
+// after cold builds, loop-summary enrichment, and the post-stage /
+// end-of-pipeline Flush calls) is serialized by the store's own mutex,
+// and Flush only commits crash-safe whole-record renames, so interleaved
+// flushes from concurrent pipelines cannot tear records or the index
+// (regression-tested in internal/tools with -race).
+func RunPipelineStream(ctx context.Context, n *core.Noelle, names []string, opts Options, emit func(Report)) ([]Report, VerifierStats, error) {
 	tier, err := verify.ParseTier(opts.VerifyTier)
 	if err != nil {
 		return nil, VerifierStats{}, fmt.Errorf("tool: %w", err)
@@ -314,10 +355,13 @@ func RunPipeline(ctx context.Context, n *core.Noelle, names []string, opts Optio
 		}
 		rep, err := Run(ctx, t, n, opts)
 		reports = append(reports, rep)
+		if emit != nil {
+			emit(rep)
+		}
 		if err != nil {
 			return reports, stats, fmt.Errorf("%s: %w", t.Name(), err)
 		}
-		if transforms(t, opts) {
+		if TransformsWith(t, opts) {
 			vres := verify.Module(n.Mod, tier)
 			stats.add(vres)
 			if err := vres.Err(); err != nil {

@@ -1,0 +1,516 @@
+// benchserve is the compile service's load generator, with two modes.
+//
+// -mode bench (default) measures what the daemon exists to buy: it
+// starts two in-process servers — one warm (session reuse + shared
+// abstraction store), one cold (ColdPerRequest: every request pays the
+// full parse and abstraction build, like a cold CLI process, minus even
+// the process startup the CLI would add) — and drives identical client
+// fleets at several concurrency levels, recording throughput and
+// p50/p95/p99 latency per fleet into BENCH_serve.json (make
+// bench-serve). The artifact gates on warm mean latency being at least
+// 2x better than cold.
+//
+// -mode smoke drives a RUNNING daemon (-addr) through the full service
+// surface: a cold populate, a concurrent burst of identical requests
+// that must coalesce, a warm re-run that must render byte-identically
+// to the cold one, concurrent mixed traffic on a second module, and a
+// stats probe asserting warm-hit and coalesce counters moved. It writes
+// the module and the canonical report rendering under -out-dir so
+// scripts/serve_smoke.sh can diff them against a cold noelle-load run,
+// then asks the daemon to shut down.
+//
+// Usage: go run ./scripts/benchserve [-mode bench|smoke] [flags]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"noelle/internal/eval"
+	"noelle/internal/ir"
+	"noelle/internal/minic"
+	"noelle/internal/passes"
+	"noelle/internal/serve"
+
+	// The in-process bench servers resolve pipelines through the registry.
+	_ "noelle/internal/tools"
+)
+
+// fixture is the benchmarked program: enough loops and calls that the
+// abstraction build (parse + PDG precompute) dominates a cold request,
+// which is exactly the cost the warm server amortizes. The %d seed
+// varies the structure so distinct clients can get distinct modules.
+const fixtureHead = `
+int table[256];
+int st[2];
+int scale = %d;
+
+int prvg_next(int *s) {
+  s[0] = (s[0] * 1103515245 + 12345) %% 2147483647;
+  if (s[0] < 0) { s[0] = 0 - s[0]; }
+  return s[0];
+}
+int never_called(int x) { return x * 2; }
+`
+
+// fixtureStage is repeated kernelCount times (indexed %[1]d): each copy
+// is a loop nest with cross-iteration array traffic, calls, and
+// hoistable invariants — the shape whose PDG is expensive to build.
+const fixtureStage = `
+int stage%[1]d(int n) {
+  int i;
+  int j;
+  int acc = %[1]d;
+  for (i = 0; i < n; i = i + 1) {
+    int k = scale * 7 + %[1]d;
+    for (j = 0; j < 8; j = j + 1) {
+      table[(i + j + %[1]d) %% 256] = k + table[(i + j) %% 256] + prvg_next(&st[0]) %% 3;
+      acc = acc + table[(i + j) %% 256];
+    }
+    acc = acc + k * j - i;
+  }
+  return acc;
+}
+`
+
+const kernelCount = 8
+
+func moduleText(seed int) (string, error) {
+	var src strings.Builder
+	fmt.Fprintf(&src, fixtureHead, seed)
+	for i := 0; i < kernelCount; i++ {
+		fmt.Fprintf(&src, fixtureStage, i+1)
+	}
+	src.WriteString("int main() {\n  st[0] = 7;\n  int acc = 0;\n")
+	for i := 0; i < kernelCount; i++ {
+		fmt.Fprintf(&src, "  acc = acc + stage%d(40);\n", i+1)
+	}
+	src.WriteString("  print_i64(acc % 1000);\n  return acc % 256;\n}\n")
+
+	m, err := minic.Compile("benchserve", src.String())
+	if err != nil {
+		return "", err
+	}
+	passes.Optimize(m)
+	return ir.Print(m), nil
+}
+
+func main() {
+	mode := flag.String("mode", "bench", "bench (in-process warm-vs-cold study) or smoke (drive a running daemon)")
+	addr := flag.String("addr", "", "daemon address for -mode smoke (unix:PATH or tcp:HOST:PORT)")
+	outDir := flag.String("out-dir", ".", "smoke: directory for the module and report artifacts")
+	out := flag.String("o", "BENCH_serve.json", "bench: output JSON path")
+	perClient := flag.Int("requests", 10, "bench: requests per client at each concurrency level")
+	toolsFlag := flag.String("tools", "perspective", "bench: comma-separated pipeline each request runs")
+	flag.Parse()
+
+	var err error
+	switch *mode {
+	case "bench":
+		err = benchMain(*out, *toolsFlag, *perClient)
+	case "smoke":
+		err = smokeMain(*addr, *outDir)
+	default:
+		err = fmt.Errorf("unknown -mode %q", *mode)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchserve:", err)
+		os.Exit(1)
+	}
+}
+
+// ---------- bench mode ----------
+
+// Row is one concurrency level's warm-vs-cold comparison.
+type Row struct {
+	Concurrency int     `json:"concurrency"`
+	Requests    int     `json:"requests"` // total across the fleet
+	WarmRPS     float64 `json:"warm_rps"`
+	ColdRPS     float64 `json:"cold_rps"`
+	WarmMeanMS  float64 `json:"warm_mean_ms"`
+	ColdMeanMS  float64 `json:"cold_mean_ms"`
+	WarmP50MS   float64 `json:"warm_p50_ms"`
+	WarmP95MS   float64 `json:"warm_p95_ms"`
+	WarmP99MS   float64 `json:"warm_p99_ms"`
+	ColdP50MS   float64 `json:"cold_p50_ms"`
+	ColdP95MS   float64 `json:"cold_p95_ms"`
+	ColdP99MS   float64 `json:"cold_p99_ms"`
+	Speedup     float64 `json:"mean_speedup"` // cold mean / warm mean
+}
+
+// Artifact is the written JSON document.
+type Artifact struct {
+	Benchmark string         `json:"benchmark"`
+	Tools     []string       `json:"tools"`
+	Meta      eval.BenchMeta `json:"meta"`
+	Rows      []Row          `json:"rows"`
+}
+
+// startInProc runs a server over a loopback listener and returns its
+// address plus a drain function.
+func startInProc(cfg serve.Config) (string, func() error, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := serve.New(cfg)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	stop := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		return <-done
+	}
+	return "tcp:" + ln.Addr().String(), stop, nil
+}
+
+// fleet drives c clients, each sending perClient sequential requests of
+// its own module variant over one connection, and returns every
+// request's latency plus the fleet wall-clock.
+func fleet(addr string, c, perClient int, tools []string, mods []string) ([]time.Duration, time.Duration, error) {
+	var (
+		mu  sync.Mutex
+		lat []time.Duration
+		wg  sync.WaitGroup
+	)
+	errs := make(chan error, c)
+	start := time.Now()
+	for i := 0; i < c; i++ {
+		wg.Add(1)
+		go func(mod string) {
+			defer wg.Done()
+			cl, err := serve.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for r := 0; r < perClient; r++ {
+				req := &serve.RunRequest{Module: mod, Tools: tools, Opts: serve.DefaultRunOptions()}
+				t0 := time.Now()
+				done, err := cl.Run(req, nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if done.Status != serve.StatusOK {
+					errs <- fmt.Errorf("run status %q: %s", done.Status, done.Error)
+					return
+				}
+				mu.Lock()
+				lat = append(lat, time.Since(t0))
+				mu.Unlock()
+			}
+		}(mods[i%len(mods)])
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return lat, wall, nil
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func summarize(lat []time.Duration) (mean, p50, p95, p99 time.Duration) {
+	if len(lat) == 0 {
+		return
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	return total / time.Duration(len(sorted)), quantile(sorted, 0.50), quantile(sorted, 0.95), quantile(sorted, 0.99)
+}
+
+func benchMain(out, toolsFlag string, perClient int) error {
+	tools := strings.Split(toolsFlag, ",")
+	cacheDir, err := os.MkdirTemp("", "benchserve-cache-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(cacheDir)
+
+	warmAddr, stopWarm, err := startInProc(serve.Config{Workers: 4, QueueDepth: 128, CacheDir: cacheDir})
+	if err != nil {
+		return err
+	}
+	defer stopWarm()
+	coldAddr, stopCold, err := startInProc(serve.Config{Workers: 4, QueueDepth: 128, ColdPerRequest: true})
+	if err != nil {
+		return err
+	}
+	defer stopCold()
+
+	art := Artifact{
+		Benchmark: "serve.WarmVsCold",
+		Tools:     tools,
+		Meta:      eval.NewBenchMeta("make bench-serve", 0.95),
+	}
+	var warmMeanSum, coldMeanSum float64
+	for _, conc := range []int{1, 2, 4} {
+		// Distinct module per client: reuse within a client's request
+		// stream, none across clients — the per-user steady state.
+		mods := make([]string, conc)
+		for i := range mods {
+			if mods[i], err = moduleText(3 + 100*i); err != nil {
+				return err
+			}
+		}
+		warmLat, warmWall, err := fleet(warmAddr, conc, perClient, tools, mods)
+		if err != nil {
+			return fmt.Errorf("warm fleet (c=%d): %w", conc, err)
+		}
+		coldLat, coldWall, err := fleet(coldAddr, conc, perClient, tools, mods)
+		if err != nil {
+			return fmt.Errorf("cold fleet (c=%d): %w", conc, err)
+		}
+		wMean, wP50, wP95, wP99 := summarize(warmLat)
+		cMean, cP50, cP95, cP99 := summarize(coldLat)
+		row := Row{
+			Concurrency: conc,
+			Requests:    conc * perClient,
+			WarmRPS:     float64(len(warmLat)) / warmWall.Seconds(),
+			ColdRPS:     float64(len(coldLat)) / coldWall.Seconds(),
+			WarmMeanMS:  ms(wMean), ColdMeanMS: ms(cMean),
+			WarmP50MS: ms(wP50), WarmP95MS: ms(wP95), WarmP99MS: ms(wP99),
+			ColdP50MS: ms(cP50), ColdP95MS: ms(cP95), ColdP99MS: ms(cP99),
+		}
+		if row.WarmMeanMS > 0 {
+			row.Speedup = row.ColdMeanMS / row.WarmMeanMS
+		}
+		warmMeanSum += row.WarmMeanMS
+		coldMeanSum += row.ColdMeanMS
+		art.Rows = append(art.Rows, row)
+		fmt.Fprintf(os.Stderr, "c=%d warm: %.1f req/s mean=%.2fms p95=%.2fms | cold: %.1f req/s mean=%.2fms p95=%.2fms | %.1fx\n",
+			conc, row.WarmRPS, row.WarmMeanMS, row.WarmP95MS, row.ColdRPS, row.ColdMeanMS, row.ColdP95MS, row.Speedup)
+	}
+
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+
+	// The daemon's reason to exist: warm must be at least 2x better than
+	// cold on mean latency (and cold here is generous — it skips the
+	// process startup a real cold CLI invocation would also pay).
+	if warmMeanSum*2 > coldMeanSum {
+		return fmt.Errorf("warm mean latency not 2x better than cold: warm=%.2fms cold=%.2fms (summed over levels)",
+			warmMeanSum, coldMeanSum)
+	}
+	return nil
+}
+
+// ---------- smoke mode ----------
+
+// renderRun executes one request, rendering reports and the verifier
+// footer exactly as noelle-load prints them to stderr.
+func renderRun(cl *serve.Client, req *serve.RunRequest) (string, *serve.Done, error) {
+	var b strings.Builder
+	done, err := cl.Run(req, func(msg serve.ReportMsg) { msg.ToReport().Fprint(&b) })
+	if err != nil {
+		return "", nil, err
+	}
+	if done.Status != serve.StatusOK {
+		return "", nil, fmt.Errorf("run status %q: %s", done.Status, done.Error)
+	}
+	if done.VerifierStats != "" {
+		fmt.Fprintln(&b, done.VerifierStats)
+	}
+	return b.String(), done, nil
+}
+
+func smokeMain(addr, outDir string) error {
+	if addr == "" {
+		return fmt.Errorf("-mode smoke requires -addr")
+	}
+	modA, err := moduleText(3)
+	if err != nil {
+		return err
+	}
+	modB, err := moduleText(41)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "smoke_module.nir"), []byte(modA), 0o644); err != nil {
+		return err
+	}
+
+	// The daemon may still be binding its socket.
+	var cl *serve.Client
+	for i := 0; ; i++ {
+		if cl, err = serve.Dial(addr); err == nil {
+			break
+		}
+		if i > 100 {
+			return fmt.Errorf("daemon never came up at %s: %w", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		return err
+	}
+
+	reqA := &serve.RunRequest{Module: modA, Tools: []string{"licm", "dead"}, Opts: serve.DefaultRunOptions()}
+
+	// Phase 1: cold populate. This rendering is the byte-diff reference
+	// against a cold `noelle-load -tools licm,dead`.
+	coldOut, d, err := renderRun(cl, reqA)
+	if err != nil {
+		return fmt.Errorf("cold run: %w", err)
+	}
+	if d.SessionHit {
+		return fmt.Errorf("first request claimed a session hit")
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "smoke_report.txt"), []byte(coldOut), 0o644); err != nil {
+		return err
+	}
+
+	// Phase 2: concurrent mixed traffic — a burst of identical requests
+	// (must coalesce: any two overlapping identical requests share one
+	// execution) interleaved with a different module's pipeline.
+	coalesced, err := coalesceBurst(addr, reqA, modB)
+	if err != nil {
+		return err
+	}
+
+	// Phase 3: warm re-run on the original connection must hit the
+	// resident session and render byte-identically.
+	warmOut, d, err := renderRun(cl, reqA)
+	if err != nil {
+		return fmt.Errorf("warm run: %w", err)
+	}
+	if !d.SessionHit {
+		return fmt.Errorf("warm re-run missed the session")
+	}
+	if warmOut != coldOut {
+		return fmt.Errorf("warm reports differ from cold:\n--- cold ---\n%s--- warm ---\n%s", coldOut, warmOut)
+	}
+
+	st, err := cl.Stats()
+	if err != nil {
+		return err
+	}
+	hits := st.Counter("serve.session.hits")
+	if hits == 0 {
+		return fmt.Errorf("stats: no session hits after warm traffic\n%s", st.Metrics)
+	}
+	if coalesced == 0 || st.Counter("serve.coalesced") == 0 {
+		return fmt.Errorf("stats: no coalesced requests after identical burst\n%s", st.Metrics)
+	}
+	fmt.Fprintf(os.Stderr, "smoke: session hits=%d coalesced=%d sessions=%d stores=%d\n",
+		hits, st.Counter("serve.coalesced"), st.Sessions, len(st.Stores))
+
+	if err := cl.Shutdown(); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "smoke: shutdown acknowledged")
+	return nil
+}
+
+// coalesceBurst fires bursts of identical concurrent requests (plus one
+// mixed-module request) until at least one response reports Coalesced.
+// Identical overlapping requests always coalesce, so one burst nearly
+// always suffices; the retry bounds scheduler bad luck.
+func coalesceBurst(addr string, req *serve.RunRequest, otherModule string) (int, error) {
+	const clients = 8
+	for attempt := 0; attempt < 5; attempt++ {
+		var (
+			wg        sync.WaitGroup
+			mu        sync.Mutex
+			coalesced int
+		)
+		errs := make(chan error, clients+1)
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cl, err := serve.Dial(addr)
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer cl.Close()
+				done, err := cl.Run(req, nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if done.Status != serve.StatusOK {
+					errs <- fmt.Errorf("burst status %q: %s", done.Status, done.Error)
+					return
+				}
+				if done.Coalesced {
+					mu.Lock()
+					coalesced++
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() { // the mixed-traffic lane
+			defer wg.Done()
+			cl, err := serve.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			other := &serve.RunRequest{Module: otherModule, Tools: []string{"perspective"}, Opts: serve.DefaultRunOptions()}
+			if done, err := cl.Run(other, nil); err != nil {
+				errs <- err
+			} else if done.Status != serve.StatusOK {
+				errs <- fmt.Errorf("mixed run status %q: %s", done.Status, done.Error)
+			}
+		}()
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		if coalesced > 0 {
+			return coalesced, nil
+		}
+	}
+	return 0, nil
+}

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke check for the compile service
+# (make serve-smoke).
+#
+# Starts noelle-serve under -race on a unix socket, drives it with the
+# benchserve load generator in smoke mode (cold populate, concurrent
+# identical burst that must coalesce, warm re-run that must hit the
+# resident session, mixed second-module traffic, stats assertions), then
+# byte-diffs the daemon's report rendering against a cold
+# `noelle-load -tools licm,dead` on the same module, and finally checks
+# the daemon drained cleanly and its store is readable by noelle-cache.
+set -euo pipefail
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"; [ -n "${daemon_pid:-}" ] && kill "$daemon_pid" 2>/dev/null || true' EXIT
+sock="$workdir/noelle.sock"
+cache="$workdir/cache"
+
+echo "== start daemon =="
+go run -race ./cmd/noelle-serve -listen "unix:$sock" -cache-dir "$cache" \
+  -workers 2 -queue 32 -sessions 8 -metrics 2> "$workdir/daemon.log" &
+daemon_pid=$!
+
+echo "== drive traffic (benchserve -mode smoke) =="
+go run ./scripts/benchserve -mode smoke -addr "unix:$sock" -out-dir "$workdir"
+
+echo "== wait for clean daemon exit =="
+if ! wait "$daemon_pid"; then
+  echo "FAIL: daemon exited non-zero" >&2
+  cat "$workdir/daemon.log" >&2
+  exit 1
+fi
+daemon_pid=""
+cat "$workdir/daemon.log"
+
+echo "== byte-diff daemon reports vs cold noelle-load =="
+go run ./cmd/noelle-load -tools licm,dead -o /dev/null "$workdir/smoke_module.nir" \
+  2> "$workdir/load_report.txt"
+if ! diff -u "$workdir/load_report.txt" "$workdir/smoke_report.txt"; then
+  echo "FAIL: daemon report rendering differs from cold noelle-load" >&2
+  exit 1
+fi
+
+echo "== store left behind is readable =="
+go run ./cmd/noelle-cache -dir "$cache" stats
+go run ./cmd/noelle-cache -dir "$cache" -json stats > /dev/null
+
+echo "OK: serve smoke passed (coalesced + warm hits asserted by the generator)"
