@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race tier-diff bench bench-cache bench-parallel bench-pipeline bench-auto bench-serve cache-smoke serve-smoke check-docs example-smoke trace-smoke
+.PHONY: build test vet lint race tier-diff bench bench-cache bench-parallel bench-pipeline bench-auto bench-serve cache-smoke serve-smoke check-docs example-smoke trace-smoke campaign-smoke
 
 build:
 	$(GO) build ./...
@@ -95,6 +95,21 @@ bench-auto:
 trace-smoke:
 	$(GO) run ./scripts/benchpipeline -cores 4 -trace trace_pipeline.json -o BENCH_pipeline.json
 	$(GO) run ./scripts/tracecheck trace_pipeline.json
+
+# Differential fuzzing smoke under -race: 200 fixed-seed generated
+# programs swept across every technique plus the auto orchestrator
+# (both engines always run — walker vs compiled is an oracle), then the
+# stress, fault-injection, and miscompile-injection legs. Fixed seeds
+# keep the run deterministic and replayable; any failure writes a
+# minimized .nir reproducer under fuzz-failures/. The inject leg exits
+# non-zero unless the seeded miscompile is caught, so the harness's
+# detection power is itself gated.
+campaign-smoke:
+	$(GO) run -race ./cmd/noelle-fuzz -leg campaign -seeds 200 -blocks 4 -arrays 3 -arraylen 32 \
+		-matrix "tech=doall,dswp,helix,auto;cores=2;qcap=0" -parallel 4
+	$(GO) run -race ./cmd/noelle-fuzz -leg stress -seeds 12 -blocks 4 -arrays 3 -arraylen 32
+	$(GO) run -race ./cmd/noelle-fuzz -leg faults -seeds 12 -blocks 4 -arrays 3 -arraylen 32
+	$(GO) run -race ./cmd/noelle-fuzz -leg inject -seeds 40 -blocks 4 -arrays 3 -arraylen 32
 
 # Documentation consistency: markdown links resolve, cmd/README.md lists
 # every binary under cmd/, and every registered tool is described there.

@@ -1,6 +1,6 @@
 //go:build race
 
-package interp_test
+package bench
 
 // raceEnabled reports whether the race detector is compiled in.
 const raceEnabled = true

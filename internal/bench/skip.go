@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"flag"
+	"os"
+	"runtime"
+)
+
+// skipper is the slice of testing.TB that SkipIfNoisy needs. Accepting
+// the interface keeps the testing package out of bench's import graph
+// (bench is linked into real binaries like noelle-eval).
+type skipper interface {
+	Helper()
+	Skip(args ...any)
+	Skipf(format string, args ...any)
+}
+
+// SkipIfNoisy is the single gate for wall-clock speedup assertions: it
+// skips the calling test in every environment where the measured ratio
+// is noise rather than signal — under the race detector (which
+// serializes enough to distort timing), in -short mode, on shared CI
+// runners that opt out via NOELLE_SKIP_SPEEDUP_TEST, and on machines
+// with fewer than minCPUs real CPUs (0 = no core requirement; tiers
+// timed in-process against each other need no spare cores, worker
+// scaling bars do). Every speedup test must call it instead of
+// hand-rolling a subset of these checks — the historical flake was
+// exactly a site that forgot one.
+func SkipIfNoisy(t skipper, minCPUs int) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("wall-clock measurement is meaningless under -race")
+	}
+	if shortMode() {
+		t.Skip("wall-clock measurement skipped in -short mode")
+	}
+	if os.Getenv("NOELLE_SKIP_SPEEDUP_TEST") != "" {
+		t.Skip("NOELLE_SKIP_SPEEDUP_TEST set (noisy shared-runner CI)")
+	}
+	if minCPUs > 0 && runtime.NumCPU() < minCPUs {
+		t.Skipf("need >= %d CPUs for the wall-clock speedup bar, have %d", minCPUs, runtime.NumCPU())
+	}
+}
+
+// shortMode reads the -test.short flag without importing testing: the
+// flag exists only inside a test binary (nil lookup elsewhere), and is
+// parsed before any test body runs.
+func shortMode() bool {
+	f := flag.Lookup("test.short")
+	if f == nil {
+		return false
+	}
+	g, ok := f.Value.(flag.Getter)
+	if !ok {
+		return false
+	}
+	b, _ := g.Get().(bool)
+	return b
+}

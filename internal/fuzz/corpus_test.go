@@ -1,0 +1,369 @@
+package fuzz
+
+// The seed corpus under corpus/ pins the harness's detection power as
+// go test regressions: each .nir file is a real DSWP/HELIX lowering
+// with one hand-seeded miscompile (the same shapes internal/verify's
+// mutation suite constructs in memory), plus one clean lowering as the
+// negative control. Every file header records the diagnostics the comm
+// linter must report (`; expect: ...`) or `; expect-clean`. The corpus
+// is regenerated — never hand-edited — with:
+//
+//	go test ./internal/fuzz -run TestCorpus -regen-corpus
+//
+// so a taskgen change that alters the lowering shape refreshes the
+// files while the expectations stay the regression contract.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"noelle/internal/core"
+	"noelle/internal/interp"
+	"noelle/internal/ir"
+	"noelle/internal/irtext"
+	"noelle/internal/minic"
+	"noelle/internal/passes"
+	"noelle/internal/tools/dswp"
+	"noelle/internal/tools/helix"
+	"noelle/internal/verify"
+)
+
+var regenCorpus = flag.Bool("regen-corpus", false, "rewrite internal/fuzz/corpus from the mutation recipes")
+
+// corpusPipelineSrc mirrors the DSWP-lowerable shape from the verify
+// mutation suite: a long Independent chain feeding a Sequential
+// accumulator, so the lowering carries value queues and a token queue.
+const corpusPipelineSrc = `
+int b[96];
+int c[96];
+int main() {
+  int i;
+  for (i = 0; i < 96; i = i + 1) { b[i] = i * 7 + 3; }
+  int acc = 0;
+  for (i = 0; i < 96; i = i + 1) {
+    int x = b[i] * 3 + i;
+    int y = x * x + 11;
+    int z = (y + x) * 5 + 1;
+    int w = z * z + y;
+    acc = (acc + w) % 9973;
+    c[i] = w % 127;
+  }
+  print_i64(acc);
+  return acc % 251;
+}`
+
+// corpusCarriedSrc mirrors the HELIX-lowerable shape: an
+// order-sensitive recurrence (sequential, signal-bracketed segment)
+// inside a parallel body.
+const corpusCarriedSrc = `
+int a[72];
+int c[72];
+int main() {
+  int i;
+  for (i = 0; i < 72; i = i + 1) { a[i] = i * 5 + 2; }
+  int acc = 1;
+  for (i = 0; i < 72; i = i + 1) {
+    int x = a[i] * a[i] + i;
+    int y = x * 3 + 7;
+    acc = (acc * 3 + y) % 4093;
+    c[i] = y % 101;
+  }
+  print_i64(acc);
+  return acc % 251;
+}`
+
+type corpusRecipe struct {
+	name   string
+	expect []string // comm-tier diagnostics; empty = expect-clean
+	build  func(t *testing.T) *ir.Module
+}
+
+func corpusLowerDSWP(t *testing.T) *ir.Module {
+	t.Helper()
+	m, err := minic.Compile("corpus", corpusPipelineSrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	passes.Optimize(m)
+	opts := core.DefaultOptions()
+	opts.MinHotness = 0
+	opts.Cores = 2
+	n := core.New(m, opts)
+	if res := dswp.Run(n, dswp.Exec{Enabled: true}); len(res.Lowered) == 0 {
+		t.Fatalf("dswp lowered nothing (rejections %v)", res.Rejections)
+	}
+	return m
+}
+
+func corpusLowerHELIX(t *testing.T) *ir.Module {
+	t.Helper()
+	m, err := minic.Compile("corpus", corpusCarriedSrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	passes.Optimize(m)
+	opts := core.DefaultOptions()
+	opts.MinHotness = 0
+	n := core.New(m, opts)
+	res := helix.Run(n, false, helix.Exec{Enabled: true})
+	segs := 0
+	for _, lo := range res.Lowered {
+		segs += lo.Segments
+	}
+	if len(res.Lowered) == 0 || segs == 0 {
+		t.Fatalf("helix lowered no signal-carrying loop (lowered %v)", res.Lowered)
+	}
+	return m
+}
+
+// corpusStageFn finds stage idx of the first DSWP family in m.
+func corpusStageFn(t *testing.T, m *ir.Module, idx int) *ir.Function {
+	t.Helper()
+	for _, f := range m.Functions {
+		if f.MD.Get(verify.MDKind) == verify.KindDSWPStage && f.MD.Get(verify.MDStage) == fmt.Sprint(idx) {
+			return f
+		}
+	}
+	t.Fatalf("lowered module has no DSWP stage %d", idx)
+	return nil
+}
+
+func corpusFindCall(f *ir.Function, extern string, pred func(*ir.Instr) bool) *ir.Instr {
+	var found *ir.Instr
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Opcode != ir.OpCall {
+			return true
+		}
+		if c := in.CalledFunction(); c == nil || c.Nam != extern {
+			return true
+		}
+		if pred != nil && !pred(in) {
+			return true
+		}
+		found = in
+		return false
+	})
+	return found
+}
+
+func isTokenPush(in *ir.Instr) bool {
+	args := in.CallArgs()
+	if len(args) != 2 {
+		return false
+	}
+	c, ok := args[1].(*ir.Const)
+	return ok && c.Int == 1
+}
+
+func corpusHelixTaskFn(t *testing.T, m *ir.Module) *ir.Function {
+	t.Helper()
+	for _, f := range m.Functions {
+		if f.MD.Get(verify.MDKind) == verify.KindHelixTask &&
+			corpusFindCall(f, interp.ExternSignalWait, nil) != nil {
+			return f
+		}
+	}
+	t.Fatal("no signal-carrying helix task in lowered module")
+	return nil
+}
+
+func corpusRecipes() []corpusRecipe {
+	return []corpusRecipe{
+		{
+			name: "clean_dswp",
+			build: func(t *testing.T) *ir.Module {
+				return corpusLowerDSWP(t)
+			},
+		},
+		{
+			name:   "dropped_token_push",
+			expect: []string{"but never pushed"},
+			build: func(t *testing.T) *ir.Module {
+				m := corpusLowerDSWP(t)
+				push := corpusFindCall(corpusStageFn(t, m, 0), interp.ExternQueuePush, isTokenPush)
+				if push == nil {
+					t.Fatal("stage 0 has no token push")
+				}
+				push.Parent.Remove(push)
+				return m
+			},
+		},
+		{
+			name:   "double_close",
+			expect: []string{"(double close)"},
+			build: func(t *testing.T) *ir.Module {
+				m := corpusLowerDSWP(t)
+				cl := corpusFindCall(corpusStageFn(t, m, 0), interp.ExternQueueClose, nil)
+				if cl == nil {
+					t.Fatal("stage 0 closes nothing")
+				}
+				dup := &ir.Instr{Opcode: ir.OpCall, Ty: cl.Ty, Ops: append([]ir.Value{}, cl.Ops...)}
+				cl.Parent.InsertAfter(dup, cl)
+				return m
+			},
+		},
+		{
+			name:   "push_hoisted_out_of_loop",
+			expect: []string{"does not execute exactly once per iteration"},
+			build: func(t *testing.T) *ir.Module {
+				m := corpusLowerDSWP(t)
+				s0 := corpusStageFn(t, m, 0)
+				push := corpusFindCall(s0, interp.ExternQueuePush, isTokenPush)
+				cl := corpusFindCall(s0, interp.ExternQueueClose, nil)
+				if push == nil || cl == nil {
+					t.Fatal("stage 0 lacks push/close to rearrange")
+				}
+				push.Parent.Remove(push)
+				cl.Parent.InsertBefore(push, cl)
+				return m
+			},
+		},
+		{
+			name:   "retargeted_pop",
+			expect: []string{"but never popped"},
+			build: func(t *testing.T) *ir.Module {
+				m := corpusLowerDSWP(t)
+				s1 := corpusStageFn(t, m, 1)
+				var pops []*ir.Instr
+				s1.Instrs(func(in *ir.Instr) bool {
+					if in.Opcode == ir.OpCall {
+						if c := in.CalledFunction(); c != nil && c.Nam == interp.ExternQueuePop {
+							pops = append(pops, in)
+						}
+					}
+					return true
+				})
+				if len(pops) < 2 {
+					t.Fatalf("stage 1 has %d pops, need 2 to retarget", len(pops))
+				}
+				pops[0].Ops[1] = pops[1].Ops[1]
+				return m
+			},
+		},
+		{
+			name:   "swapped_wait_fire",
+			expect: []string{"precedes its wait (happens-before chain is cyclic)"},
+			build: func(t *testing.T) *ir.Module {
+				m := corpusLowerHELIX(t)
+				task := corpusHelixTaskFn(t, m)
+				wait := corpusFindCall(task, interp.ExternSignalWait, nil)
+				fire := corpusFindCall(task, interp.ExternSignalFire, nil)
+				if wait == nil || fire == nil {
+					t.Fatal("task lacks the wait/fire bracket")
+				}
+				fire.Parent.Remove(fire)
+				wait.Parent.InsertBefore(fire, wait)
+				return m
+			},
+		},
+		{
+			name:   "dropped_fire",
+			expect: []string{"awaited but never fired"},
+			build: func(t *testing.T) *ir.Module {
+				m := corpusLowerHELIX(t)
+				fire := corpusFindCall(corpusHelixTaskFn(t, m), interp.ExternSignalFire, nil)
+				if fire == nil {
+					t.Fatal("task has no fire")
+				}
+				fire.Parent.Remove(fire)
+				return m
+			},
+		},
+	}
+}
+
+// TestCorpusRegen rewrites the corpus files when -regen-corpus is set;
+// otherwise it only checks the recipes still build (so a taskgen change
+// that breaks a recipe is caught here, with the regen command in the
+// failure message, not as a stale-file mystery in TestCorpusReplay).
+func TestCorpusRegen(t *testing.T) {
+	for _, r := range corpusRecipes() {
+		r := r
+		t.Run(r.name, func(t *testing.T) {
+			m := r.build(t)
+			if !*regenCorpus {
+				return
+			}
+			var sb strings.Builder
+			fmt.Fprintf(&sb, "; corpus: %s — hand-seeded comm-protocol miscompile (see corpus_test.go)\n", r.name)
+			if len(r.expect) == 0 {
+				sb.WriteString("; expect-clean\n")
+			}
+			for _, e := range r.expect {
+				fmt.Fprintf(&sb, "; expect: %s\n", e)
+			}
+			sb.WriteString(ir.Print(m))
+			if err := os.MkdirAll("corpus", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join("corpus", r.name+".nir"), []byte(sb.String()), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestCorpusReplay replays every corpus file through the comm-tier
+// oracle: broken shapes must be flagged with their recorded
+// diagnostics, the clean control must pass, and no corpus entry may
+// trip the shallower quick/SSA tiers (the miscompiles are
+// SSA-preserving by construction — that is what makes them a dynamic
+// hazard worth a dedicated linter).
+func TestCorpusReplay(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("corpus", "*.nir"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus files (err=%v); regenerate with: go test ./internal/fuzz -run TestCorpus -regen-corpus", err)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var expects []string
+			clean := false
+			for _, line := range strings.Split(string(data), "\n") {
+				if s, ok := strings.CutPrefix(line, "; expect: "); ok {
+					expects = append(expects, s)
+				}
+				if line == "; expect-clean" {
+					clean = true
+				}
+			}
+			if !clean && len(expects) == 0 {
+				t.Fatalf("%s declares no expectations; regenerate the corpus", file)
+			}
+			m, err := irtext.Parse(string(data))
+			if err != nil {
+				t.Fatalf("corpus file does not parse: %v", err)
+			}
+			res := verify.Module(m, verify.TierComm)
+			if res.CountAt(verify.TierQuick) > 0 || res.CountAt(verify.TierSSA) > 0 {
+				t.Fatalf("corpus entry trips shallow tiers (must be SSA-preserving): %v", res.Err())
+			}
+			if clean {
+				if err := res.Err(); err != nil {
+					t.Fatalf("clean control flagged by the comm tier: %v", err)
+				}
+				return
+			}
+			for _, want := range expects {
+				found := false
+				for _, f := range res.Findings {
+					if strings.Contains(f.Detail, want) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("comm tier did not report %q; findings:\n%v", want, res.Err())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,328 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"noelle/internal/ir"
+	"noelle/internal/minic"
+	"noelle/internal/passes"
+)
+
+// GenConfig sizes the generated programs. The zero value selects the
+// campaign defaults; smaller values make cheaper programs for bounded
+// smoke runs.
+type GenConfig struct {
+	// Blocks is the number of loop blocks main executes between the
+	// array-init prologue and the checksum epilogue.
+	Blocks int
+	// Arrays is the number of shared global int arrays.
+	Arrays int
+	// ArrayLen is the element count of every global array (and so the
+	// trip count of most generated loops).
+	ArrayLen int
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Blocks <= 0 {
+		c.Blocks = 5
+	}
+	if c.Arrays < 2 {
+		c.Arrays = 4
+	}
+	if c.ArrayLen < 8 {
+		c.ArrayLen = 64
+	}
+	return c
+}
+
+// BlockKind names one generated loop shape.
+type BlockKind string
+
+// The loop shapes the generator draws from. The first three are the
+// parallelization candidates (the hot block is always one of them so
+// DOALL/DSWP/HELIX have plausible work); the rest are adversarial
+// context: loop-carried aliasing, data-dependent control flow, calls,
+// and non-unit strides that the planners must reject or handle.
+const (
+	KindMap        BlockKind = "map"        // independent per-element writes: DOALL bait
+	KindReduction  BlockKind = "reduction"  // privatizable accumulators: DOALL bait
+	KindRecurrence BlockKind = "recurrence" // order-sensitive recurrence behind a long chain: DSWP/HELIX bait
+	KindNested     BlockKind = "nested"     // two-deep loop nest over a flattened index
+	KindAlias      BlockKind = "alias"      // loop-carried memory dependence through offset reads
+	KindBranchy    BlockKind = "branchy"    // while-loop with data-dependent continue/break
+	KindCall       BlockKind = "call"       // body calls a generated helper function
+	KindStride     BlockKind = "stride"     // geometric stride + triangular inner bound
+)
+
+var hotKinds = []BlockKind{KindMap, KindReduction, KindRecurrence}
+
+var coldKinds = []BlockKind{
+	KindMap, KindReduction, KindRecurrence, KindNested,
+	KindAlias, KindBranchy, KindCall, KindStride,
+}
+
+// Block is one generated loop nest of main.
+type Block struct {
+	Kind BlockKind
+	Src  string
+}
+
+// Program is one deterministically generated mini-C program. The same
+// (Seed, Cfg) pair always regenerates the identical program, which is
+// what makes a bare seed a complete reproducer; the keep mask is the
+// minimizer's handle for dropping blocks without disturbing the ones
+// that remain.
+type Program struct {
+	Seed int64
+	Cfg  GenConfig
+
+	Helpers []string
+	Blocks  []Block
+	keep    []bool
+}
+
+// Generate builds the program for one seed. Generation is pure: every
+// random draw comes from a rand.Rand seeded with seed, so the output is
+// identical across processes and platforms.
+func Generate(seed int64, cfg GenConfig) *Program {
+	cfg = cfg.withDefaults()
+	g := &genState{
+		rng: rand.New(rand.NewSource(seed)),
+		cfg: cfg,
+	}
+	p := &Program{Seed: seed, Cfg: cfg}
+	p.Helpers = g.helpers()
+	for b := 0; b < cfg.Blocks; b++ {
+		kind := coldKinds[g.rng.Intn(len(coldKinds))]
+		hot := b == 0
+		if hot {
+			// The first block is the hot loop: a parallelization
+			// candidate with a deep arithmetic chain so it dominates the
+			// profile the planners see.
+			kind = hotKinds[g.rng.Intn(len(hotKinds))]
+		}
+		p.Blocks = append(p.Blocks, g.block(b, kind, hot))
+	}
+	p.keep = make([]bool, len(p.Blocks))
+	for i := range p.keep {
+		p.keep[i] = true
+	}
+	return p
+}
+
+// Name is the module name the program compiles under.
+func (p *Program) Name() string { return fmt.Sprintf("fuzz_seed%d", p.Seed) }
+
+// ActiveBlocks returns the indices the keep mask retains.
+func (p *Program) ActiveBlocks() []int {
+	var out []int
+	for i, k := range p.keep {
+		if k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Source assembles the mini-C text: globals, helpers, then a main of
+// array-init loops, the active blocks, a checksum sweep over every
+// array, and prints of all accumulators (so every block's effect is
+// observable in Output and in the exit code).
+func (p *Program) Source() string {
+	var sb strings.Builder
+	n := p.Cfg.ArrayLen
+	for a := 0; a < p.Cfg.Arrays; a++ {
+		fmt.Fprintf(&sb, "int a%d[%d];\n", a, n)
+	}
+	sb.WriteString("\n")
+	for _, h := range p.Helpers {
+		sb.WriteString(h)
+		sb.WriteString("\n")
+	}
+	sb.WriteString("int main() {\n")
+	sb.WriteString("  int s0 = 1;\n  int s1 = 2;\n  int s2 = 3;\n  int s3 = 5;\n")
+	for a := 0; a < p.Cfg.Arrays; a++ {
+		// Distinct affine seeds per array so no two arrays start equal.
+		fmt.Fprintf(&sb, "  { int i; for (i = 0; i < %d; i = i + 1) { a%d[i] = (i * %d + %d) %% %d + 1; } }\n",
+			n, a, 7+4*a, 3+a, 4093)
+	}
+	for i, b := range p.Blocks {
+		if !p.keep[i] {
+			continue
+		}
+		sb.WriteString(b.Src)
+	}
+	sb.WriteString("  int chk = 17;\n")
+	for a := 0; a < p.Cfg.Arrays; a++ {
+		fmt.Fprintf(&sb, "  { int i; for (i = 0; i < %d; i = i + 1) { chk = (chk * 31 + a%d[i] %% 251) %% 65521; } }\n", n, a)
+	}
+	sb.WriteString("  print_i64(s0);\n  print_i64(s1);\n  print_i64(s2);\n  print_i64(s3);\n  print_i64(chk);\n")
+	sb.WriteString("  return (s0 + s1 + s2 + s3 + chk) % 251;\n}\n")
+	return sb.String()
+}
+
+// Compile builds the program to optimized, verified IR — the same
+// minic → passes.Optimize pipeline the bundled benchmarks use, so a
+// generated module enters the campaign exactly as verifier-clean as a
+// hand-written one.
+func (p *Program) Compile() (*ir.Module, error) {
+	m, err := minic.Compile(p.Name(), p.Source())
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: seed %d does not compile: %w", p.Seed, err)
+	}
+	passes.Optimize(m)
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("fuzz: seed %d produced unverifiable IR: %w", p.Seed, err)
+	}
+	return m, nil
+}
+
+func (p *Program) clone() *Program {
+	q := *p
+	q.keep = append([]bool(nil), p.keep...)
+	return &q
+}
+
+// without returns a copy with block i dropped from the keep mask.
+func (p *Program) without(i int) *Program {
+	q := p.clone()
+	q.keep[i] = false
+	return q
+}
+
+// withArrayLen regenerates the program at a smaller array length,
+// preserving the keep mask. Regeneration is deterministic from the
+// seed, so the shrunken program is as replayable as the original.
+func (p *Program) withArrayLen(n int) *Program {
+	cfg := p.Cfg
+	cfg.ArrayLen = n
+	q := Generate(p.Seed, cfg)
+	copy(q.keep, p.keep)
+	return q
+}
+
+// genState carries the generation randomness and sizing.
+type genState struct {
+	rng *rand.Rand
+	cfg GenConfig
+}
+
+var primes = []int{251, 509, 1021, 2039, 4093, 8191, 16381, 32749, 65521}
+var smallConsts = []int{3, 5, 7, 11, 13, 17, 19, 23, 29, 31}
+
+func (g *genState) prime() int { return primes[g.rng.Intn(len(primes))] }
+func (g *genState) small() int { return smallConsts[g.rng.Intn(len(smallConsts))] }
+func (g *genState) arr() int   { return g.rng.Intn(g.cfg.Arrays) }
+
+// arr2 picks two distinct arrays (source, destination).
+func (g *genState) arr2() (int, int) {
+	a := g.arr()
+	b := g.arr()
+	for b == a {
+		b = (b + 1) % g.cfg.Arrays
+	}
+	return a, b
+}
+
+// helpers emits two small pure functions the call blocks target. They
+// are always generated (even if no call block draws them) so the corpus
+// keeps unused functions for the dead tool to notice.
+func (g *genState) helpers() []string {
+	var hs []string
+	for h := 0; h < 2; h++ {
+		trip := 2 + g.rng.Intn(5)
+		hs = append(hs, fmt.Sprintf(
+			"int h%d(int x) {\n  int r = x %% %d + 1;\n  int k;\n  for (k = 0; k < %d; k = k + 1) { r = (r * %d + k) %% %d; }\n  return r;\n}\n",
+			h, g.prime(), trip, g.small(), g.prime()))
+	}
+	return hs
+}
+
+// chain emits a depth-long arithmetic chain seeded by expression in,
+// with every second step bounded by a modulus so values never overflow
+// (and so stay non-negative: generated array indices derive only from
+// induction variables, but values flow into %, /, and shifts where
+// signedness would otherwise make ledgers diverge for the wrong
+// reason). Returns the emitted lines and the last temporary's name.
+func (g *genState) chain(pfx string, in string, depth int) (string, string) {
+	var sb strings.Builder
+	prev := in
+	last := in
+	for d := 0; d < depth; d++ {
+		v := fmt.Sprintf("%st%d", pfx, d)
+		if d%2 == 0 {
+			fmt.Fprintf(&sb, "      int %s = %s * %d + %s;\n", v, prev, g.small(), last)
+		} else {
+			fmt.Fprintf(&sb, "      int %s = (%s * %s + %s) %% %d;\n", v, prev, prev, last, g.prime())
+		}
+		last = prev
+		prev = v
+	}
+	return sb.String(), prev
+}
+
+// block generates one loop block. Hot blocks get a deep chain over the
+// full array; cold blocks stay shallow so the hot loop dominates the
+// profile and remains the planners' obvious target.
+func (g *genState) block(idx int, kind BlockKind, hot bool) Block {
+	n := g.cfg.ArrayLen
+	depth := 1 + g.rng.Intn(2)
+	if hot {
+		depth = 6 + g.rng.Intn(4)
+	}
+	pfx := fmt.Sprintf("b%d", idx)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "  { /* block %d: %s */\n", idx, kind)
+	acc := fmt.Sprintf("s%d", g.rng.Intn(4))
+	switch kind {
+	case KindMap:
+		src, dst := g.arr2()
+		body, out := g.chain(pfx, "x", depth)
+		fmt.Fprintf(&sb, "    int i;\n    for (i = 0; i < %d; i = i + 1) {\n      int x = a%d[i] + i;\n%s      a%d[i] = %s %% %d + i %% %d;\n      %s = %s + %s %% %d;\n    }\n",
+			n, src, body, dst, out, g.prime(), g.small(), acc, acc, out, g.small())
+	case KindReduction:
+		src := g.arr()
+		body, out := g.chain(pfx, "x", depth)
+		acc2 := fmt.Sprintf("s%d", g.rng.Intn(4))
+		fmt.Fprintf(&sb, "    int i;\n    for (i = 0; i < %d; i = i + 1) {\n      int x = a%d[i] * %d + i;\n%s      %s = %s + %s %% %d;\n      %s = %s + x %% %d;\n    }\n",
+			n, src, g.small(), body, acc, acc, out, g.prime(), acc2, acc2, g.small())
+	case KindRecurrence:
+		src, dst := g.arr2()
+		body, out := g.chain(pfx, "x", depth)
+		mod := g.prime()
+		fmt.Fprintf(&sb, "    int acc = %d;\n    int i;\n    for (i = 0; i < %d; i = i + 1) {\n      int x = a%d[i];\n%s      acc = (acc * %d + %s) %% %d;\n      a%d[i] = %s %% %d;\n    }\n    %s = %s + acc;\n",
+			1+g.rng.Intn(9), n, src, body, g.small(), out, mod, dst, out, 127, acc, acc)
+	case KindNested:
+		rows := 4 + g.rng.Intn(4)
+		cols := n / rows
+		if cols < 2 {
+			cols = 2
+		}
+		src, dst := g.arr2()
+		fmt.Fprintf(&sb, "    int r;\n    for (r = 0; r < %d; r = r + 1) {\n      int j;\n      for (j = 0; j < %d; j = j + 1) {\n        int x = a%d[(r * %d + j) %% %d];\n        %s = %s + (x * %d + r + j) %% %d;\n        a%d[(r * %d + j) %% %d] = x + r %% %d;\n      }\n    }\n",
+			rows, cols, src, cols, n, acc, acc, g.small(), g.prime(), dst, cols, n, g.small())
+	case KindAlias:
+		a := g.arr()
+		off := 1 + g.rng.Intn(n/2)
+		fmt.Fprintf(&sb, "    int i;\n    for (i = 0; i < %d; i = i + 1) {\n      a%d[i] = (a%d[(i + %d) %% %d] * %d + i) %% %d;\n      %s = %s + a%d[i] %% %d;\n    }\n",
+			n, a, a, off, n, g.small(), g.prime(), acc, acc, a, g.small())
+	case KindBranchy:
+		src, dst := g.arr2()
+		step := 2 + g.rng.Intn(2)
+		fmt.Fprintf(&sb, "    int i = 0;\n    while (i < %d) {\n      int x = a%d[i];\n      if (x %% %d == 0) { i = i + %d; continue; }\n      if (%s > 100000000) { break; }\n      %s = %s + x %% %d;\n      a%d[i] = (x * %d + i) %% %d;\n      i = i + 1;\n    }\n",
+			n, src, g.small(), step, acc, acc, acc, g.small(), dst, g.small(), g.prime())
+	case KindCall:
+		src := g.arr()
+		h := g.rng.Intn(2)
+		fmt.Fprintf(&sb, "    int i;\n    for (i = 0; i < %d; i = i + 1) {\n      %s = %s + h%d(a%d[i] + i) %% %d;\n    }\n",
+			n, acc, acc, h, src, g.prime())
+	case KindStride:
+		src := g.arr()
+		fmt.Fprintf(&sb, "    int i;\n    for (i = 1; i < %d; i = i * 2) {\n      int j;\n      for (j = 0; j < i %% 17 + 1; j = j + 1) {\n        %s = %s + (a%d[(i + j) %% %d] * %d) %% %d;\n      }\n    }\n",
+			n, acc, acc, src, n, g.small(), g.prime())
+	}
+	sb.WriteString("  }\n")
+	return Block{Kind: kind, Src: sb.String()}
+}

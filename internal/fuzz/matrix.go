@@ -1,0 +1,65 @@
+package fuzz
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseMatrix parses the -matrix flag syntax:
+//
+//	tech=doall,dswp;cores=2,4;qcap=0,8
+//
+// Omitted axes keep the default matrix's values, so a reproducer can
+// pin a single cell ("tech=dswp;cores=2;qcap=0") while an exploratory
+// run narrows just one axis ("tech=helix").
+func ParseMatrix(spec string) (Matrix, error) {
+	m := DefaultMatrix()
+	if strings.TrimSpace(spec) == "" {
+		return m, nil
+	}
+	for _, field := range strings.Split(spec, ";") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return m, fmt.Errorf("fuzz: matrix field %q is not key=v1,v2", field)
+		}
+		vals := strings.Split(val, ",")
+		switch key {
+		case "tech":
+			m.Techniques = nil
+			for _, v := range vals {
+				v = strings.TrimSpace(v)
+				switch v {
+				case "doall", "dswp", "helix", "auto":
+					m.Techniques = append(m.Techniques, v)
+				default:
+					return m, fmt.Errorf("fuzz: unknown technique %q (want doall|dswp|helix|auto)", v)
+				}
+			}
+		case "cores", "qcap":
+			var ints []int
+			for _, v := range vals {
+				n, err := strconv.Atoi(strings.TrimSpace(v))
+				if err != nil || n < 0 {
+					return m, fmt.Errorf("fuzz: bad %s value %q", key, v)
+				}
+				ints = append(ints, n)
+			}
+			if key == "cores" {
+				m.Cores = ints
+			} else {
+				m.QueueCaps = ints
+			}
+		default:
+			return m, fmt.Errorf("fuzz: unknown matrix axis %q (want tech|cores|qcap)", key)
+		}
+	}
+	if len(m.Techniques) == 0 || len(m.Cores) == 0 || len(m.QueueCaps) == 0 {
+		return m, fmt.Errorf("fuzz: matrix %q leaves an axis empty", spec)
+	}
+	return m, nil
+}

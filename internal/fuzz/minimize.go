@@ -1,0 +1,38 @@
+package fuzz
+
+// Minimize greedily shrinks a failing program while the fails predicate
+// keeps holding: first by dropping loop blocks one at a time (repeating
+// until a fixed point, so later drops can enable earlier ones), then by
+// halving the array length, which also shortens every trip count.
+// Because regeneration is deterministic from (seed, config, keep mask),
+// the minimized program is exactly as replayable as the original — the
+// reproducer header records all three.
+//
+// The predicate re-runs the failing oracle on each candidate, so the
+// result is guaranteed to still fail; at worst (a failure that needs
+// every block) the original program comes back unchanged.
+func Minimize(p *Program, fails func(*Program) bool) *Program {
+	cur := p
+	for changed := true; changed; {
+		changed = false
+		for _, i := range cur.ActiveBlocks() {
+			if len(cur.ActiveBlocks()) == 1 {
+				break // keep at least one block: an empty main fails nothing
+			}
+			cand := cur.without(i)
+			if fails(cand) {
+				cur = cand
+				changed = true
+			}
+		}
+		for cur.Cfg.ArrayLen > 8 {
+			cand := cur.withArrayLen(cur.Cfg.ArrayLen / 2)
+			if !fails(cand) {
+				break
+			}
+			cur = cand
+			changed = true
+		}
+	}
+	return cur
+}

@@ -1,0 +1,52 @@
+package fuzz
+
+import (
+	"bytes"
+	"fmt"
+	"runtime/debug"
+	"runtime/pprof"
+	"time"
+)
+
+// DeadlockError reports a guarded operation that did not finish within
+// its watchdog budget. It carries a full goroutine dump so a CI failure
+// names the parked operations (queue pushes, signal waits, dispatch
+// barriers) instead of just timing out.
+type DeadlockError struct {
+	Op      string
+	Timeout time.Duration
+	Stacks  string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("fuzz: %s did not finish within %v (suspected deadlock); goroutine dump:\n%s",
+		e.Op, e.Timeout, e.Stacks)
+}
+
+// guard runs fn under the campaign watchdog: a panic becomes an error
+// carrying the panicking stack, and a hang becomes a *DeadlockError
+// with a dump of every goroutine at expiry. On timeout the stuck
+// goroutine is intentionally leaked (there is no way to preempt it);
+// the campaign process is expected to report and exit, which is why
+// each guarded operation gets a fresh goroutine rather than a pool.
+func guard(op string, timeout time.Duration, fn func() error) error {
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- fmt.Errorf("fuzz: panic in %s: %v\n%s", op, r, debug.Stack())
+			}
+		}()
+		done <- fn()
+	}()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(timeout):
+		var b bytes.Buffer
+		if p := pprof.Lookup("goroutine"); p != nil {
+			_ = p.WriteTo(&b, 2)
+		}
+		return &DeadlockError{Op: op, Timeout: timeout, Stacks: b.String()}
+	}
+}

@@ -6,9 +6,16 @@
 // counts — must match exactly. This is the same oracle discipline the
 // repo already applies to parallel-vs-sequential dispatch, extended to
 // the engine axis.
+//
+// The core (RunModule, Compare, CompareRuns) is testing-free so that
+// non-test oracles — the fuzzing campaign runner in internal/fuzz and
+// its noelle-fuzz CLI — can drive the exact same comparison; the
+// testing.TB wrappers (Run, AssertTiersAgree) layer the usual go test
+// reporting on top.
 package interptest
 
 import (
+	"fmt"
 	"testing"
 
 	"noelle/internal/interp"
@@ -48,11 +55,13 @@ type Result struct {
 	ExternCalls map[string]int64
 }
 
-// Run executes m's entry function on one tier and collects the result.
-// Each call builds a fresh interpreter (and so a fresh memory image):
-// tiers never share mutable state.
-func Run(t testing.TB, m *ir.Module, eng interp.Engine, cfg Config) Result {
-	t.Helper()
+// RunModule executes m's entry function on one tier and collects the
+// result. Each call builds a fresh interpreter (and so a fresh memory
+// image): tiers never share mutable state. The returned error reports
+// harness-level problems only (e.g. a missing entry function); the
+// execution's own error lands in Result.Err, because a failing run is a
+// perfectly comparable observable.
+func RunModule(m *ir.Module, eng interp.Engine, cfg Config) (Result, error) {
 	it := interp.New(m)
 	it.Eng = eng
 	it.SeqDispatch = cfg.SeqDispatch
@@ -74,7 +83,7 @@ func Run(t testing.TB, m *ir.Module, eng interp.Engine, cfg Config) Result {
 	}
 	f := m.FunctionByName(fnName)
 	if f == nil {
-		t.Fatalf("interptest: module has no @%s", fnName)
+		return res, fmt.Errorf("interptest: module has no @%s", fnName)
 	}
 	res.Value, res.Err = it.Call(f, cfg.Args)
 	res.Engine = it.Engine()
@@ -82,6 +91,78 @@ func Run(t testing.TB, m *ir.Module, eng interp.Engine, cfg Config) Result {
 	res.Steps, res.Cycles = it.Steps, it.Cycles
 	res.Fingerprint = it.MemoryFingerprint()
 	res.Comm[0], res.Comm[1], res.Comm[2], res.Comm[3], res.Comm[4] = it.CommStats()
+	return res, nil
+}
+
+// CommNames labels the Comm counter slots, in order.
+var CommNames = [5]string{"creates", "pushes", "pops", "waits", "fires"}
+
+// Compare diffs every observable of two runs of the same module and
+// returns one human-readable line per disagreement (nil when the runs
+// agree). The labels name the two sides in the diff lines, e.g.
+// "walker"/"compiled" or "seq"/"par".
+func Compare(aLabel string, a Result, bLabel string, b Result) []string {
+	var diffs []string
+	if a.Value != b.Value {
+		diffs = append(diffs, fmt.Sprintf("result: %s %d, %s %d", aLabel, a.Value, bLabel, b.Value))
+	}
+	ae, be := errString(a.Err), errString(b.Err)
+	if ae != be {
+		diffs = append(diffs, fmt.Sprintf("error: %s %s, %s %s", aLabel, ae, bLabel, be))
+	}
+	if a.Output != b.Output {
+		diffs = append(diffs, fmt.Sprintf("output: %s %q, %s %q", aLabel, a.Output, bLabel, b.Output))
+	}
+	if a.Steps != b.Steps {
+		diffs = append(diffs, fmt.Sprintf("steps: %s %d, %s %d", aLabel, a.Steps, bLabel, b.Steps))
+	}
+	if a.Cycles != b.Cycles {
+		diffs = append(diffs, fmt.Sprintf("cycles: %s %d, %s %d", aLabel, a.Cycles, bLabel, b.Cycles))
+	}
+	if a.Fingerprint != b.Fingerprint {
+		diffs = append(diffs, fmt.Sprintf("memory fingerprint: %s %#x, %s %#x", aLabel, a.Fingerprint, bLabel, b.Fingerprint))
+	}
+	for i, name := range CommNames {
+		if a.Comm[i] != b.Comm[i] {
+			diffs = append(diffs, fmt.Sprintf("comm %s: %s %d, %s %d", name, aLabel, a.Comm[i], bLabel, b.Comm[i]))
+		}
+	}
+	for name, n := range a.ExternCalls {
+		if bn := b.ExternCalls[name]; bn != n {
+			diffs = append(diffs, fmt.Sprintf("extern @%s calls: %s %d, %s %d", name, aLabel, n, bLabel, bn))
+		}
+	}
+	for name := range b.ExternCalls {
+		if _, ok := a.ExternCalls[name]; !ok {
+			diffs = append(diffs, fmt.Sprintf("extern @%s called on %s only (%d calls)", name, bLabel, b.ExternCalls[name]))
+		}
+	}
+	return diffs
+}
+
+// TiersAgree runs m on both tiers and returns the field-by-field
+// divergence list (nil when the tiers agree) plus both results. This is
+// the testing-free form of AssertTiersAgree the campaign runner uses.
+func TiersAgree(m *ir.Module, cfg Config) (walker, compiled Result, diffs []string, err error) {
+	walker, err = RunModule(m, interp.EngineWalker, cfg)
+	if err != nil {
+		return walker, compiled, nil, err
+	}
+	compiled, err = RunModule(m, interp.EngineCompiled, cfg)
+	if err != nil {
+		return walker, compiled, nil, err
+	}
+	return walker, compiled, Compare("walker", walker, "compiled", compiled), nil
+}
+
+// Run executes m's entry function on one tier and collects the result,
+// failing the test on harness-level errors.
+func Run(t testing.TB, m *ir.Module, eng interp.Engine, cfg Config) Result {
+	t.Helper()
+	res, err := RunModule(m, eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return res
 }
 
@@ -91,45 +172,12 @@ func Run(t testing.TB, m *ir.Module, eng interp.Engine, cfg Config) Result {
 // (e.g. that the compiled run did not silently fall back).
 func AssertTiersAgree(t testing.TB, m *ir.Module, cfg Config) (walker, compiled Result) {
 	t.Helper()
-	walker = Run(t, m, interp.EngineWalker, cfg)
-	compiled = Run(t, m, interp.EngineCompiled, cfg)
-
-	if walker.Value != compiled.Value {
-		t.Errorf("tiers disagree on result: walker %d, compiled %d", walker.Value, compiled.Value)
+	walker, compiled, diffs, err := TiersAgree(m, cfg)
+	if err != nil {
+		t.Fatal(err)
 	}
-	we, ce := errString(walker.Err), errString(compiled.Err)
-	if we != ce {
-		t.Errorf("tiers disagree on error:\n  walker:   %s\n  compiled: %s", we, ce)
-	}
-	if walker.Output != compiled.Output {
-		t.Errorf("tiers disagree on output:\n  walker:   %q\n  compiled: %q", walker.Output, compiled.Output)
-	}
-	if walker.Steps != compiled.Steps {
-		t.Errorf("tiers disagree on steps: walker %d, compiled %d", walker.Steps, compiled.Steps)
-	}
-	if walker.Cycles != compiled.Cycles {
-		t.Errorf("tiers disagree on cycles: walker %d, compiled %d", walker.Cycles, compiled.Cycles)
-	}
-	if walker.Fingerprint != compiled.Fingerprint {
-		t.Errorf("tiers disagree on memory fingerprint: walker %#x, compiled %#x",
-			walker.Fingerprint, compiled.Fingerprint)
-	}
-	commNames := [5]string{"creates", "pushes", "pops", "waits", "fires"}
-	for i, name := range commNames {
-		if walker.Comm[i] != compiled.Comm[i] {
-			t.Errorf("tiers disagree on comm %s: walker %d, compiled %d",
-				name, walker.Comm[i], compiled.Comm[i])
-		}
-	}
-	for name, n := range walker.ExternCalls {
-		if cn := compiled.ExternCalls[name]; cn != n {
-			t.Errorf("tiers disagree on extern @%s calls: walker %d, compiled %d", name, n, cn)
-		}
-	}
-	for name := range compiled.ExternCalls {
-		if _, ok := walker.ExternCalls[name]; !ok {
-			t.Errorf("extern @%s called on compiled tier only (%d calls)", name, compiled.ExternCalls[name])
-		}
+	for _, d := range diffs {
+		t.Errorf("tiers disagree on %s", d)
 	}
 	return walker, compiled
 }

@@ -1,7 +1,6 @@
 package interp_test
 
 import (
-	"os"
 	"runtime"
 	"testing"
 	"time"
@@ -319,18 +318,7 @@ func TestDOALLParallelObservationalEquivalence(t *testing.T) {
 // under the race detector, which serializes enough to distort timing) the
 // test skips.
 func TestDOALLParallelSpeedup(t *testing.T) {
-	if raceEnabled {
-		t.Skip("wall-clock measurement is meaningless under -race")
-	}
-	if testing.Short() {
-		t.Skip("wall-clock measurement skipped in -short mode")
-	}
-	if os.Getenv("NOELLE_SKIP_SPEEDUP_TEST") != "" {
-		t.Skip("NOELLE_SKIP_SPEEDUP_TEST set (noisy shared-runner CI)")
-	}
-	if runtime.NumCPU() < 4 {
-		t.Skipf("need >= 4 CPUs for the 4-worker speedup bar, have %d", runtime.NumCPU())
-	}
+	bench.SkipIfNoisy(t, 4)
 	prev := runtime.GOMAXPROCS(0)
 	if prev < 4 {
 		runtime.GOMAXPROCS(4)

@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"noelle/internal/obs"
+)
+
+// TestRetryPolicyBackoffDeterministic pins the backoff contract: with a
+// seeded source the schedule is reproducible, every delay is positive,
+// jittered below its exponential ceiling, and capped at MaxDelay.
+func TestRetryPolicyBackoffDeterministic(t *testing.T) {
+	mk := func() RetryPolicy {
+		p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond,
+			Rand: rand.New(rand.NewSource(42))}
+		return p.withDefaults()
+	}
+	a, b := mk(), mk()
+	for k := 0; k < 8; k++ {
+		da, db := a.backoff(k), b.backoff(k)
+		if da != db {
+			t.Fatalf("retry %d: same seed gave %v vs %v", k, da, db)
+		}
+		ceil := a.BaseDelay << k
+		if ceil <= 0 || ceil > a.MaxDelay {
+			ceil = a.MaxDelay
+		}
+		if da <= 0 || da > ceil {
+			t.Fatalf("retry %d: delay %v outside (0, %v]", k, da, ceil)
+		}
+	}
+}
+
+// TestRunRetrySaturatedEventuallySucceeds drives the whole retry loop
+// against a real saturated daemon, deterministically: one busy worker
+// (held by the test hook) plus a full one-slot queue makes the first
+// attempt shed; the recorded Sleep hook releases the worker and waits
+// for the queue to drain, so the single retry lands in a free slot and
+// succeeds. No wall-clock sleeping is involved.
+func TestRunRetrySaturatedEventuallySucceeds(t *testing.T) {
+	reg := obs.NewRegistry()
+	release := make(chan struct{})
+	firstRunning := make(chan struct{}, 1)
+	laterRunning := make(chan struct{}, 4)
+	srv, dial := startServer(t, Config{Workers: 1, QueueDepth: 1, Registry: reg})
+	first := true
+	srv.testHookRunning = func(string) {
+		if first {
+			first = false
+			firstRunning <- struct{}{}
+			<-release
+			return
+		}
+		select {
+		case laterRunning <- struct{}{}:
+		default:
+		}
+	}
+
+	okDone := make(chan *Done, 2)
+	runAsync := func(seed int) {
+		c := dial()
+		done, err := c.Run(runReq(moduleText(t, seed), "perspective"), nil)
+		if err != nil {
+			t.Errorf("run: %v", err)
+		}
+		okDone <- done
+	}
+	go runAsync(100) // occupies the worker, held by the hook
+	<-firstRunning
+	go runAsync(200) // occupies the only queue slot
+	waitQueueDepth(t, reg, 1)
+
+	var delays []time.Duration
+	pol := RetryPolicy{
+		Attempts:  3,
+		BaseDelay: 10 * time.Millisecond,
+		MaxDelay:  80 * time.Millisecond,
+		Rand:      rand.New(rand.NewSource(7)),
+		Sleep: func(d time.Duration) {
+			delays = append(delays, d)
+			if len(delays) == 1 {
+				close(release) // worker finishes, dequeues the queued job
+				<-laterRunning // queued job running: the slot is free now
+			}
+		},
+	}
+	c := dial()
+	done, err := c.RunRetry(runReq(moduleText(t, 300), "perspective"), nil, pol)
+	if err != nil {
+		t.Fatalf("RunRetry: %v", err)
+	}
+	if done.Status != StatusOK {
+		t.Fatalf("final status %q (%s), want ok", done.Status, done.Error)
+	}
+	if len(delays) != 1 {
+		t.Fatalf("slept %d times (%v), want exactly 1 backoff", len(delays), delays)
+	}
+	if delays[0] <= 0 || delays[0] > pol.BaseDelay {
+		t.Fatalf("first backoff %v outside (0, %v]", delays[0], pol.BaseDelay)
+	}
+	if got := reg.Counter("serve.rejected.saturated"); got != 1 {
+		t.Errorf("saturated counter = %d, want 1 (one shed attempt)", got)
+	}
+	for i := 0; i < 2; i++ {
+		if d := <-okDone; d == nil || d.Status != StatusOK {
+			t.Errorf("background request outcome: %+v", d)
+		}
+	}
+}
+
+// TestRunRetryExhaustsAttempts: when the daemon never frees up, the
+// retry loop stops after Attempts tries and hands back the retryable
+// done frame itself, so the caller sees what it timed out on.
+func TestRunRetryExhaustsAttempts(t *testing.T) {
+	reg := obs.NewRegistry()
+	release := make(chan struct{})
+	firstRunning := make(chan struct{}, 1)
+	srv, dial := startServer(t, Config{Workers: 1, QueueDepth: 1, Registry: reg})
+	first := true
+	srv.testHookRunning = func(string) {
+		if first {
+			first = false
+			firstRunning <- struct{}{}
+			<-release
+		}
+	}
+
+	okDone := make(chan *Done, 2)
+	runAsync := func(seed int) {
+		c := dial()
+		done, err := c.Run(runReq(moduleText(t, seed), "perspective"), nil)
+		if err != nil {
+			t.Errorf("run: %v", err)
+		}
+		okDone <- done
+	}
+	go runAsync(100)
+	<-firstRunning
+	go runAsync(200)
+	waitQueueDepth(t, reg, 1)
+
+	var delays []time.Duration
+	pol := RetryPolicy{
+		Attempts: 3,
+		Rand:     rand.New(rand.NewSource(7)),
+		Sleep:    func(d time.Duration) { delays = append(delays, d) },
+	}
+	c := dial()
+	done, err := c.RunRetry(runReq(moduleText(t, 300), "perspective"), nil, pol)
+	if err != nil {
+		t.Fatalf("RunRetry: %v", err)
+	}
+	if done.Status != StatusSaturated || !done.Retryable {
+		t.Fatalf("got status %q retryable=%v, want the saturated frame back", done.Status, done.Retryable)
+	}
+	if len(delays) != pol.Attempts-1 {
+		t.Fatalf("slept %d times, want %d (attempts-1)", len(delays), pol.Attempts-1)
+	}
+	if got := reg.Counter("serve.rejected.saturated"); got != int64(pol.Attempts) {
+		t.Errorf("saturated counter = %d, want %d (every attempt shed)", got, pol.Attempts)
+	}
+	close(release)
+	for i := 0; i < 2; i++ {
+		if d := <-okDone; d == nil || d.Status != StatusOK {
+			t.Errorf("background request outcome: %+v", d)
+		}
+	}
+}
+
+// waitQueueDepth polls the queue-depth gauge through the stats-payload
+// parser the CLI shares (gauges only appear in the rendered registry).
+func waitQueueDepth(t *testing.T, reg *obs.Registry, want int64) {
+	t.Helper()
+	depth := func() int64 {
+		p := StatsPayload{Metrics: reg.Format()}
+		return p.Counter("serve.queue.depth")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for depth() < want && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if depth() < want {
+		t.Fatalf("queue depth never reached %d", want)
+	}
+}
